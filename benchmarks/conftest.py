@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures on top of a
+synthetic backbone (see DESIGN.md for the substitution rationale).  The
+fixtures here build that backbone, its traffic and the change dataset once
+per session so individual benchmarks stay fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.backbone import BackboneParams, generate_backbone
+from repro.workloads.changes import generate_change_dataset
+from repro.workloads.figure1 import build_scenario
+from repro.workloads.traffic import generate_fecs
+
+
+@pytest.fixture(scope="session")
+def backbone():
+    """The benchmark backbone: 4 regions, 2 routers per group, 2x parallel links."""
+    return generate_backbone(
+        BackboneParams(regions=4, routers_per_group=2, parallel_links=2, prefixes_per_region=2)
+    )
+
+
+@pytest.fixture(scope="session")
+def fecs(backbone):
+    """Flow equivalence classes for the benchmark backbone."""
+    return generate_fecs(backbone, max_classes=24)
+
+
+@pytest.fixture(scope="session")
+def pre_snapshot(backbone, fecs):
+    """The simulated pre-change snapshot (router granularity)."""
+    return backbone.simulator().snapshot(fecs, name="pre")
+
+
+@pytest.fixture(scope="session")
+def change_dataset(backbone, pre_snapshot):
+    """The synthetic change dataset standing in for the paper's ticket data."""
+    return generate_change_dataset(backbone, pre_snapshot, count=60, seed=23)
+
+
+@pytest.fixture(scope="session")
+def figure1_scenario():
+    """The Figure 1 case-study scenario."""
+    return build_scenario()

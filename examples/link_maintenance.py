@@ -1,0 +1,84 @@
+"""Link maintenance: drain a link and prove that only its traffic moved.
+
+This is the motivating change from the paper's introduction: *move all
+traffic from link A to link B as a precursor to shutting A down*.  The
+engineer must ensure that (1) everything on link A moved, (2) it moved to
+link B and nowhere else, and (3) no other traffic was touched.
+
+The example builds a small two-AS network with two parallel transit routers,
+simulates the pre-change forwarding state from router configurations, models
+the drain as a configuration change (deny the drained transit's routes),
+re-simulates, and verifies the change relationally.
+
+Run with::
+
+    python examples/link_maintenance.py
+"""
+
+from __future__ import annotations
+
+from repro.network import NetworkConfig, Simulator, Topology, deny_prefixes
+from repro.rela import any_of, atomic, locs, nochange, seq, any_hops
+from repro.snapshots import FlowEquivalenceClass
+from repro.verifier import verify_change
+
+
+def build_network() -> tuple[Topology, NetworkConfig]:
+    topology = Topology("maintenance")
+    topology.add_router("edge", group="EDGE", region="W", asn=100)
+    topology.add_router("transit-a", group="TRANSIT-A", region="W", asn=100)
+    topology.add_router("transit-b", group="TRANSIT-B", region="W", asn=100)
+    topology.add_router("core", group="CORE", region="E", asn=200)
+    topology.add_router("stub", group="STUB", region="E", asn=200)
+    topology.add_link("edge", "transit-a", members=2, cost=10)
+    topology.add_link("edge", "transit-b", members=2, cost=10)
+    topology.add_link("transit-a", "core", cost=10)
+    topology.add_link("transit-b", "core", cost=10)
+    topology.add_link("core", "stub", cost=10)
+
+    config = NetworkConfig()
+    for prefix in ("203.0.113.0/24", "198.51.100.0/24"):
+        config.router("stub").originate(prefix)
+    return topology, config
+
+
+def main() -> None:
+    topology, config = build_network()
+    fecs = [
+        FlowEquivalenceClass("customers", dst_prefix="203.0.113.0/24", ingress="edge"),
+        FlowEquivalenceClass("voip", dst_prefix="198.51.100.0/24", ingress="edge"),
+    ]
+
+    pre = Simulator(topology, config).snapshot(fecs, name="pre")
+    print("pre-change paths:")
+    for fec, graph in pre.items():
+        print(f"  {fec.fec_id}: {sorted('-'.join(p) for p in graph.path_set())}")
+
+    # The change: drain transit-a by filtering the routes it would import,
+    # so the edge stops using it.  Then re-simulate.
+    drained = config.copy()
+    drained.router("transit-a").set_import_policy(
+        "core", deny_prefixes(["0.0.0.0/0"], name="drain-transit-a")
+    )
+    post = Simulator(topology, drained).snapshot(fecs, name="post")
+    print("post-change paths:")
+    for fec, graph in post.items():
+        print(f"  {fec.fec_id}: {sorted('-'.join(p) for p in graph.path_set())}")
+
+    # Relational spec: traffic through transit-a moves to a path through
+    # transit-b; everything else stays exactly the same.
+    drain_spec = atomic(
+        seq(any_hops(), locs({"transit-a"}), any_hops()),
+        any_of(seq(any_hops(), locs({"transit-b"}), any_hops())),
+        name="drain",
+    ).else_(nochange())
+
+    report = verify_change(pre, post, drain_spec, db=topology.to_location_db())
+    print()
+    print(report.summary())
+    if not report.holds:
+        print(report.table())
+
+
+if __name__ == "__main__":
+    main()

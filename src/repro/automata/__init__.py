@@ -1,0 +1,65 @@
+"""Automata substrate: regular languages and rational relations.
+
+This package is the reproduction's stand-in for OpenFST/HFST (Section 7 of
+the paper).  It provides finite state automata (:class:`~repro.automata.fsa.FSA`),
+finite state transducers (:class:`~repro.automata.fst.FST`), a regular
+expression AST and parser, and the comparison routines the Rela decision
+procedure is built on.
+"""
+
+from repro.automata.alphabet import DROP, HASH, Alphabet
+from repro.automata.equivalence import (
+    ComparisonResult,
+    check_equal,
+    check_subset,
+    compare,
+    symmetric_difference,
+)
+from repro.automata.fsa import EPSILON, FSA
+from repro.automata.fst import FST
+from repro.automata.regex import (
+    AnySym,
+    Complement,
+    Concat,
+    Empty,
+    Epsilon,
+    Intersect,
+    Regex,
+    Star,
+    Sym,
+    SymSet,
+    Union,
+    concat_all,
+    literal,
+    parse_regex,
+    union_all,
+)
+
+__all__ = [
+    "Alphabet",
+    "DROP",
+    "HASH",
+    "EPSILON",
+    "FSA",
+    "FST",
+    "Regex",
+    "Empty",
+    "Epsilon",
+    "Sym",
+    "SymSet",
+    "AnySym",
+    "Union",
+    "Concat",
+    "Star",
+    "Intersect",
+    "Complement",
+    "literal",
+    "union_all",
+    "concat_all",
+    "parse_regex",
+    "ComparisonResult",
+    "compare",
+    "check_equal",
+    "check_subset",
+    "symmetric_difference",
+]

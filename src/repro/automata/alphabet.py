@@ -1,0 +1,138 @@
+"""Symbol alphabets for path automata.
+
+Forwarding paths are words over an alphabet of *network locations* (interface,
+router, or router-group names) plus two special symbols used by the Rela
+compilation strategy:
+
+* ``DROP`` — the paper models dropped packets as a path ending in the special
+  location ``drop`` (Section 5.1).
+* ``HASH`` — the ``any`` modifier is compiled by rewriting whole path sets to
+  the placeholder symbol ``#`` (Section 5.3).
+
+An :class:`Alphabet` interns symbol names to dense integer identifiers so the
+automata layer can use fast integer keyed transition tables while the public
+API speaks in human readable location names.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import AlphabetError
+
+#: Name of the special symbol that models packet drops.
+DROP = "drop"
+
+#: Name of the placeholder symbol used when compiling the ``any`` modifier.
+HASH = "#"
+
+
+class Alphabet:
+    """A growable, interned set of path symbols.
+
+    The alphabet is shared by every automaton participating in one
+    verification problem.  Symbols can be added at any time; operations that
+    need the full alphabet (such as complementation) use the set of symbols
+    known at the moment they run, which is why callers should register all
+    network locations before compiling specifications.
+    """
+
+    __slots__ = ("_name_to_id", "_id_to_name")
+
+    def __init__(self, symbols: Iterable[str] = (), *, with_specials: bool = True):
+        self._name_to_id: dict[str, int] = {}
+        self._id_to_name: list[str] = []
+        if with_specials:
+            self.intern(DROP)
+            self.intern(HASH)
+        for symbol in symbols:
+            self.intern(symbol)
+
+    # ------------------------------------------------------------------
+    # Interning
+    # ------------------------------------------------------------------
+    def intern(self, name: str) -> int:
+        """Return the identifier for ``name``, registering it if new."""
+        if not isinstance(name, str) or not name:
+            raise AlphabetError(f"symbol names must be non-empty strings, got {name!r}")
+        existing = self._name_to_id.get(name)
+        if existing is not None:
+            return existing
+        symbol_id = len(self._id_to_name)
+        self._name_to_id[name] = symbol_id
+        self._id_to_name.append(name)
+        return symbol_id
+
+    def intern_all(self, names: Iterable[str]) -> list[int]:
+        """Intern every name in ``names`` and return their identifiers."""
+        return [self.intern(name) for name in names]
+
+    def id_of(self, name: str) -> int:
+        """Return the identifier of an already-registered symbol."""
+        try:
+            return self._name_to_id[name]
+        except KeyError:
+            raise AlphabetError(f"unknown symbol {name!r}") from None
+
+    def name_of(self, symbol_id: int) -> str:
+        """Return the name of a symbol identifier."""
+        try:
+            return self._id_to_name[symbol_id]
+        except IndexError:
+            raise AlphabetError(f"unknown symbol id {symbol_id!r}") from None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, name: object) -> bool:
+        return name in self._name_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_name)
+
+    def names(self) -> list[str]:
+        """All registered symbol names, in registration order."""
+        return list(self._id_to_name)
+
+    def ids(self) -> range:
+        """All registered symbol identifiers."""
+        return range(len(self._id_to_name))
+
+    @property
+    def drop_id(self) -> int:
+        """Identifier of the special ``drop`` symbol."""
+        return self.id_of(DROP)
+
+    @property
+    def hash_id(self) -> int:
+        """Identifier of the special ``#`` placeholder symbol."""
+        return self.id_of(HASH)
+
+    def word_to_ids(self, word: Iterable[str]) -> tuple[int, ...]:
+        """Translate a word of symbol names into symbol identifiers."""
+        return tuple(self.id_of(name) for name in word)
+
+    def ids_to_word(self, ids: Iterable[int]) -> tuple[str, ...]:
+        """Translate a word of symbol identifiers back into names."""
+        return tuple(self.name_of(symbol_id) for symbol_id in ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Alphabet({len(self)} symbols)"
+
+
+def require_same_alphabet(*alphabets: Alphabet) -> Alphabet:
+    """Check that all automata participating in an operation share an alphabet.
+
+    Sharing is by identity: symbol identifiers are only meaningful relative to
+    the :class:`Alphabet` instance that produced them.
+    """
+    first = alphabets[0]
+    for other in alphabets[1:]:
+        if other is not first:
+            raise AlphabetError(
+                "automata must share the same Alphabet instance to be combined"
+            )
+    return first

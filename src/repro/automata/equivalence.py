@@ -1,0 +1,100 @@
+"""Language equivalence, inclusion and witness extraction.
+
+The Rela decision procedure reduces every specification to equalities and
+inclusions between regular path sets (Section 6.2).  This module packages the
+comparisons used by the verifier:
+
+* :func:`compare` — full two-sided comparison with witness words for both
+  directions (paths the post-change network is *missing* and paths it
+  *unexpectedly* contains);
+* :func:`check_equal`, :func:`check_subset` — boolean decision procedures;
+* :func:`symmetric_difference` — the automaton of all disagreement words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.automata.alphabet import require_same_alphabet
+from repro.automata.fsa import FSA, Word
+
+
+@dataclass(slots=True)
+class ComparisonResult:
+    """Outcome of comparing two regular path sets.
+
+    Attributes
+    ----------
+    equal:
+        Whether the two languages are identical.
+    left_subset_of_right / right_subset_of_left:
+        The two inclusion directions, decided independently.
+    missing:
+        Witness words accepted by the left language but not the right.  For a
+        spec ``PreState ▷ Rpre = PostState ▷ Rpost`` these are the *expected*
+        post-change paths that the network does not exhibit.
+    unexpected:
+        Witness words accepted by the right language but not the left: paths
+        the post-change network exhibits even though the spec forbids them.
+    """
+
+    equal: bool
+    left_subset_of_right: bool
+    right_subset_of_left: bool
+    missing: list[Word] = field(default_factory=list)
+    unexpected: list[Word] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.equal
+
+
+def symmetric_difference(left: FSA, right: FSA) -> FSA:
+    """Automaton accepting every word on which the two languages disagree."""
+    require_same_alphabet(left.alphabet, right.alphabet)
+    return left.difference(right).union(right.difference(left))
+
+
+def check_equal(left: FSA, right: FSA) -> bool:
+    """Decide language equality."""
+    return left.equivalent(right)
+
+def check_subset(left: FSA, right: FSA) -> bool:
+    """Decide language inclusion ``left ⊆ right``."""
+    return left.is_subset_of(right)
+
+
+def compare(
+    left: FSA,
+    right: FSA,
+    *,
+    max_witnesses: int = 10,
+    max_witness_length: int = 64,
+) -> ComparisonResult:
+    """Compare two path sets and collect witnesses for each disagreement side.
+
+    Witness enumeration is breadth-first, so the shortest disagreeing paths
+    are reported first; at most ``max_witnesses`` per direction are produced.
+    """
+    require_same_alphabet(left.alphabet, right.alphabet)
+    left_minus_right = left.difference(right)
+    right_minus_left = right.difference(left)
+
+    missing = list(
+        left_minus_right.enumerate_words(
+            max_count=max_witnesses, max_length=max_witness_length
+        )
+    )
+    unexpected = list(
+        right_minus_left.enumerate_words(
+            max_count=max_witnesses, max_length=max_witness_length
+        )
+    )
+    left_in_right = not missing and left_minus_right.is_empty()
+    right_in_left = not unexpected and right_minus_left.is_empty()
+    return ComparisonResult(
+        equal=left_in_right and right_in_left,
+        left_subset_of_right=left_in_right,
+        right_subset_of_left=right_in_left,
+        missing=missing,
+        unexpected=unexpected,
+    )

@@ -1,0 +1,627 @@
+"""Finite state automata over path symbols.
+
+This module provides the regular-language half of the substrate that the
+paper obtains from OpenFST/HFST: nondeterministic finite automata with
+epsilon transitions, the classical closure operations (union, concatenation,
+Kleene star, intersection, complement, difference), determinization,
+minimization, emptiness, and witness extraction.
+
+Representation
+--------------
+States are dense integers ``0..n-1``.  Transitions are stored per state as a
+mapping from symbol identifier (or :data:`EPSILON`) to the set of destination
+states.  Every automaton references the :class:`~repro.automata.alphabet.Alphabet`
+whose identifiers it uses; automata can only be combined when they share the
+same alphabet instance.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.automata.alphabet import Alphabet, require_same_alphabet
+from repro.errors import AutomatonError
+
+#: Label used for epsilon (empty-word) transitions.
+EPSILON = None
+
+Symbol = int | None
+Word = tuple[str, ...]
+
+
+class FSA:
+    """A nondeterministic finite automaton with epsilon transitions."""
+
+    __slots__ = ("alphabet", "transitions", "initial", "accepting")
+
+    def __init__(self, alphabet: Alphabet):
+        self.alphabet = alphabet
+        #: ``transitions[state][symbol] -> set of destination states``
+        self.transitions: list[dict[Symbol, set[int]]] = []
+        self.initial: int = self.add_state()
+        self.accepting: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_state(self) -> int:
+        """Add a fresh state and return its identifier."""
+        self.transitions.append({})
+        return len(self.transitions) - 1
+
+    def add_transition(self, src: int, symbol: Symbol, dst: int) -> None:
+        """Add a transition ``src --symbol--> dst``.
+
+        ``symbol`` is a symbol identifier from the automaton's alphabet, or
+        :data:`EPSILON` for an empty-word move.
+        """
+        if not (0 <= src < len(self.transitions) and 0 <= dst < len(self.transitions)):
+            raise AutomatonError(f"transition references unknown state: {src} -> {dst}")
+        if symbol is not EPSILON and not (0 <= symbol < len(self.alphabet)):
+            raise AutomatonError(f"transition uses unknown symbol id {symbol!r}")
+        self.transitions[src].setdefault(symbol, set()).add(dst)
+
+    def mark_accepting(self, state: int) -> None:
+        """Mark ``state`` as accepting."""
+        if not 0 <= state < len(self.transitions):
+            raise AutomatonError(f"unknown state {state}")
+        self.accepting.add(state)
+
+    @property
+    def num_states(self) -> int:
+        """Number of states."""
+        return len(self.transitions)
+
+    @property
+    def num_transitions(self) -> int:
+        """Number of transition edges (counting each destination separately)."""
+        return sum(len(dsts) for row in self.transitions for dsts in row.values())
+
+    # ------------------------------------------------------------------
+    # Primitive languages
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty_language(cls, alphabet: Alphabet) -> FSA:
+        """The automaton accepting no words at all (the RIR ``0``)."""
+        return cls(alphabet)
+
+    @classmethod
+    def epsilon_language(cls, alphabet: Alphabet) -> FSA:
+        """The automaton accepting only the empty word (the RIR ``1``)."""
+        fsa = cls(alphabet)
+        fsa.mark_accepting(fsa.initial)
+        return fsa
+
+    @classmethod
+    def symbol(cls, alphabet: Alphabet, name: str) -> FSA:
+        """The automaton accepting the single one-symbol word ``name``."""
+        fsa = cls(alphabet)
+        end = fsa.add_state()
+        fsa.add_transition(fsa.initial, alphabet.intern(name), end)
+        fsa.mark_accepting(end)
+        return fsa
+
+    @classmethod
+    def any_symbol(cls, alphabet: Alphabet, names: Iterable[str] | None = None) -> FSA:
+        """Automaton accepting any single symbol drawn from ``names``.
+
+        When ``names`` is ``None`` the automaton accepts any single symbol of
+        the alphabet as it exists *now*; it is the caller's responsibility to
+        have registered all locations first (this mirrors the ``.`` wildcard
+        in Rela path expressions).
+        """
+        fsa = cls(alphabet)
+        end = fsa.add_state()
+        symbol_names = alphabet.names() if names is None else list(names)
+        for name in symbol_names:
+            fsa.add_transition(fsa.initial, alphabet.intern(name), end)
+        fsa.mark_accepting(end)
+        return fsa
+
+    @classmethod
+    def from_word(cls, alphabet: Alphabet, word: Sequence[str]) -> FSA:
+        """Automaton accepting exactly one word."""
+        fsa = cls(alphabet)
+        current = fsa.initial
+        for name in word:
+            nxt = fsa.add_state()
+            fsa.add_transition(current, alphabet.intern(name), nxt)
+            current = nxt
+        fsa.mark_accepting(current)
+        return fsa
+
+    @classmethod
+    def from_words(cls, alphabet: Alphabet, words: Iterable[Sequence[str]]) -> FSA:
+        """Automaton accepting exactly the given finite set of words."""
+        fsa = cls(alphabet)
+        for word in words:
+            current = fsa.initial
+            for name in word:
+                nxt = fsa.add_state()
+                fsa.add_transition(current, alphabet.intern(name), nxt)
+                current = nxt
+            fsa.mark_accepting(current)
+        return fsa
+
+    # ------------------------------------------------------------------
+    # Copy / embed helpers
+    # ------------------------------------------------------------------
+    def copy(self) -> FSA:
+        """Return a structural copy sharing the same alphabet."""
+        clone = FSA(self.alphabet)
+        clone.transitions = [
+            {symbol: set(dsts) for symbol, dsts in row.items()} for row in self.transitions
+        ]
+        clone.initial = self.initial
+        clone.accepting = set(self.accepting)
+        return clone
+
+    def _embed(self, other: FSA) -> int:
+        """Copy ``other``'s states into ``self`` and return the state offset."""
+        offset = len(self.transitions)
+        for row in other.transitions:
+            self.transitions.append(
+                {symbol: {dst + offset for dst in dsts} for symbol, dsts in row.items()}
+            )
+        return offset
+
+    # ------------------------------------------------------------------
+    # Regular operations (Thompson-style)
+    # ------------------------------------------------------------------
+    def union(self, other: FSA) -> FSA:
+        """Language union."""
+        require_same_alphabet(self.alphabet, other.alphabet)
+        result = FSA(self.alphabet)
+        off_a = result._embed(self)
+        off_b = result._embed(other)
+        result.add_transition(result.initial, EPSILON, self.initial + off_a)
+        result.add_transition(result.initial, EPSILON, other.initial + off_b)
+        result.accepting = {s + off_a for s in self.accepting} | {
+            s + off_b for s in other.accepting
+        }
+        return result
+
+    def concat(self, other: FSA) -> FSA:
+        """Language concatenation."""
+        require_same_alphabet(self.alphabet, other.alphabet)
+        result = FSA(self.alphabet)
+        off_a = result._embed(self)
+        off_b = result._embed(other)
+        result.add_transition(result.initial, EPSILON, self.initial + off_a)
+        for state in self.accepting:
+            result.add_transition(state + off_a, EPSILON, other.initial + off_b)
+        result.accepting = {s + off_b for s in other.accepting}
+        return result
+
+    def star(self) -> FSA:
+        """Kleene star."""
+        result = FSA(self.alphabet)
+        offset = result._embed(self)
+        result.add_transition(result.initial, EPSILON, self.initial + offset)
+        for state in self.accepting:
+            result.add_transition(state + offset, EPSILON, self.initial + offset)
+        result.accepting = {s + offset for s in self.accepting} | {result.initial}
+        return result
+
+    def plus(self) -> FSA:
+        """One-or-more repetitions."""
+        return self.concat(self.star())
+
+    def optional(self) -> FSA:
+        """Zero-or-one occurrence."""
+        return self.union(FSA.epsilon_language(self.alphabet))
+
+    # ------------------------------------------------------------------
+    # Epsilon handling
+    # ------------------------------------------------------------------
+    def epsilon_closure(self, states: Iterable[int]) -> frozenset[int]:
+        """The set of states reachable from ``states`` via epsilon moves."""
+        closure = set(states)
+        stack = list(closure)
+        while stack:
+            state = stack.pop()
+            for dst in self.transitions[state].get(EPSILON, ()):
+                if dst not in closure:
+                    closure.add(dst)
+                    stack.append(dst)
+        return frozenset(closure)
+
+    def remove_epsilons(self) -> FSA:
+        """Return an equivalent automaton without epsilon transitions."""
+        result = FSA(self.alphabet)
+        while result.num_states < self.num_states:
+            result.add_state()
+        result.initial = self.initial
+        for state in range(self.num_states):
+            closure = self.epsilon_closure([state])
+            if closure & self.accepting:
+                result.mark_accepting(state)
+            for member in closure:
+                for symbol, dsts in self.transitions[member].items():
+                    if symbol is EPSILON:
+                        continue
+                    for dst in dsts:
+                        result.add_transition(state, symbol, dst)
+        return result
+
+    # ------------------------------------------------------------------
+    # Determinization / completion / minimization
+    # ------------------------------------------------------------------
+    def determinize(self) -> FSA:
+        """Subset construction.
+
+        The result has no epsilon transitions and at most one destination per
+        (state, symbol) pair.  It is trimmed (only reachable subsets are
+        materialized) but not necessarily complete.
+        """
+        result = FSA(self.alphabet)
+        start = self.epsilon_closure([self.initial])
+        subset_ids: dict[frozenset[int], int] = {start: result.initial}
+        if start & self.accepting:
+            result.mark_accepting(result.initial)
+        queue: deque[frozenset[int]] = deque([start])
+        while queue:
+            subset = queue.popleft()
+            src_id = subset_ids[subset]
+            moves: dict[int, set[int]] = {}
+            for state in subset:
+                for symbol, dsts in self.transitions[state].items():
+                    if symbol is EPSILON:
+                        continue
+                    moves.setdefault(symbol, set()).update(dsts)
+            for symbol, dsts in moves.items():
+                target = self.epsilon_closure(dsts)
+                if target not in subset_ids:
+                    new_id = result.add_state()
+                    subset_ids[target] = new_id
+                    if target & self.accepting:
+                        result.mark_accepting(new_id)
+                    queue.append(target)
+                result.add_transition(src_id, symbol, subset_ids[target])
+        return result
+
+    def is_deterministic(self) -> bool:
+        """True when the automaton has no epsilon moves and no symbol fan-out."""
+        for row in self.transitions:
+            if EPSILON in row:
+                return False
+            if any(len(dsts) > 1 for dsts in row.values()):
+                return False
+        return True
+
+    def complete(self) -> FSA:
+        """Return a complete DFA (every state has a move on every symbol).
+
+        The automaton must already be deterministic; a non-accepting sink
+        state is added if any move is missing.
+        """
+        if not self.is_deterministic():
+            raise AutomatonError("complete() requires a deterministic automaton")
+        result = self.copy()
+        symbols = list(self.alphabet.ids())
+        sink: int | None = None
+        for state in range(result.num_states):
+            for symbol in symbols:
+                if symbol not in result.transitions[state]:
+                    if sink is None:
+                        sink = result.add_state()
+                    result.add_transition(state, symbol, sink)
+        if sink is not None:
+            for symbol in symbols:
+                result.add_transition(sink, symbol, sink)
+        return result
+
+    def complement(self) -> FSA:
+        """Language complement with respect to the full alphabet, Sigma*."""
+        dfa = self.determinize().complete()
+        result = dfa.copy()
+        result.accepting = {
+            state for state in range(result.num_states) if state not in dfa.accepting
+        }
+        return result
+
+    def minimize(self) -> FSA:
+        """Return the minimal DFA for this language (Hopcroft's algorithm)."""
+        dfa = self.determinize().complete()
+        n = dfa.num_states
+        if n == 0:
+            return dfa
+        symbols = list(self.alphabet.ids())
+
+        # Reverse transition table: inverse[symbol][state] -> set of predecessors
+        inverse: dict[int, list[set[int]]] = {
+            symbol: [set() for _ in range(n)] for symbol in symbols
+        }
+        for src in range(n):
+            for symbol, dsts in dfa.transitions[src].items():
+                for dst in dsts:
+                    inverse[symbol][dst].add(src)
+
+        accepting = set(dfa.accepting)
+        non_accepting = set(range(n)) - accepting
+        partition: list[set[int]] = [block for block in (accepting, non_accepting) if block]
+        worklist: list[tuple[int, int]] = [
+            (index, symbol) for index in range(len(partition)) for symbol in symbols
+        ]
+
+        while worklist:
+            block_index, symbol = worklist.pop()
+            splitter = partition[block_index]
+            predecessors: set[int] = set()
+            for state in splitter:
+                predecessors |= inverse[symbol][state]
+            if not predecessors:
+                continue
+            for index in range(len(partition)):
+                block = partition[index]
+                inside = block & predecessors
+                outside = block - predecessors
+                if not inside or not outside:
+                    continue
+                partition[index] = inside
+                partition.append(outside)
+                new_index = len(partition) - 1
+                for sym in symbols:
+                    worklist.append((new_index, sym))
+                    worklist.append((index, sym))
+
+        block_of = {}
+        for index, block in enumerate(partition):
+            for state in block:
+                block_of[state] = index
+
+        result = FSA(self.alphabet)
+        while result.num_states < len(partition):
+            result.add_state()
+        result.initial = block_of[dfa.initial]
+        for state in dfa.accepting:
+            result.mark_accepting(block_of[state])
+        seen: set[tuple[int, int]] = set()
+        for src in range(n):
+            for symbol, dsts in dfa.transitions[src].items():
+                for dst in dsts:
+                    key = (block_of[src], symbol)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    result.add_transition(block_of[src], symbol, block_of[dst])
+        return result.trim(keep_initial=True)
+
+    def trim(self, *, keep_initial: bool = True) -> FSA:
+        """Drop states that are unreachable or cannot reach an accepting state."""
+        reachable = self._reachable_from({self.initial})
+        productive = self._coreachable_from(self.accepting)
+        useful = reachable & productive
+        if keep_initial:
+            useful.add(self.initial)
+
+        order = sorted(useful)
+        remap = {old: new for new, old in enumerate(order)}
+        result = FSA(self.alphabet)
+        while result.num_states < len(order):
+            result.add_state()
+        if not order:
+            return FSA(self.alphabet)
+        result.initial = remap[self.initial]
+        for old in order:
+            for symbol, dsts in self.transitions[old].items():
+                for dst in dsts:
+                    if dst in remap:
+                        result.add_transition(remap[old], symbol, remap[dst])
+        result.accepting = {remap[s] for s in self.accepting if s in remap}
+        return result
+
+    def _reachable_from(self, sources: set[int]) -> set[int]:
+        seen = set(sources)
+        stack = list(sources)
+        while stack:
+            state = stack.pop()
+            for dsts in self.transitions[state].values():
+                for dst in dsts:
+                    if dst not in seen:
+                        seen.add(dst)
+                        stack.append(dst)
+        return seen
+
+    def _coreachable_from(self, targets: set[int]) -> set[int]:
+        predecessors: list[set[int]] = [set() for _ in range(self.num_states)]
+        for src in range(self.num_states):
+            for dsts in self.transitions[src].values():
+                for dst in dsts:
+                    predecessors[dst].add(src)
+        seen = set(targets)
+        stack = list(targets)
+        while stack:
+            state = stack.pop()
+            for pred in predecessors[state]:
+                if pred not in seen:
+                    seen.add(pred)
+                    stack.append(pred)
+        return seen
+
+    # ------------------------------------------------------------------
+    # Boolean language operations
+    # ------------------------------------------------------------------
+    def intersect(self, other: FSA) -> FSA:
+        """Language intersection via the product construction."""
+        require_same_alphabet(self.alphabet, other.alphabet)
+        left = self.remove_epsilons()
+        right = other.remove_epsilons()
+        result = FSA(self.alphabet)
+        pair_ids: dict[tuple[int, int], int] = {(left.initial, right.initial): result.initial}
+        if left.initial in left.accepting and right.initial in right.accepting:
+            result.mark_accepting(result.initial)
+        queue: deque[tuple[int, int]] = deque([(left.initial, right.initial)])
+        while queue:
+            a, b = queue.popleft()
+            src = pair_ids[(a, b)]
+            row_a = left.transitions[a]
+            row_b = right.transitions[b]
+            shared = set(row_a) & set(row_b)
+            for symbol in shared:
+                for dst_a in row_a[symbol]:
+                    for dst_b in row_b[symbol]:
+                        key = (dst_a, dst_b)
+                        if key not in pair_ids:
+                            new_id = result.add_state()
+                            pair_ids[key] = new_id
+                            if dst_a in left.accepting and dst_b in right.accepting:
+                                result.mark_accepting(new_id)
+                            queue.append(key)
+                        result.add_transition(src, symbol, pair_ids[key])
+        return result
+
+    def difference(self, other: FSA) -> FSA:
+        """Words accepted by ``self`` but not by ``other``."""
+        return self.intersect(other.complement())
+
+    # ------------------------------------------------------------------
+    # Decision procedures
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        """True when the automaton accepts no word."""
+        if not self.accepting:
+            return True
+        reachable = self._reachable_from({self.initial})
+        return not (reachable & self.accepting)
+
+    def accepts(self, word: Sequence[str]) -> bool:
+        """True when the automaton accepts the given word of symbol names."""
+        try:
+            ids = self.alphabet.word_to_ids(word)
+        except Exception:
+            return False
+        current = self.epsilon_closure([self.initial])
+        for symbol in ids:
+            nxt: set[int] = set()
+            for state in current:
+                nxt |= self.transitions[state].get(symbol, set())
+            if not nxt:
+                return False
+            current = self.epsilon_closure(nxt)
+        return bool(current & self.accepting)
+
+    def shortest_accepted(self) -> Word | None:
+        """A shortest accepted word, or ``None`` when the language is empty."""
+        start = self.epsilon_closure([self.initial])
+        if start & self.accepting:
+            return ()
+        seen = {start}
+        queue: deque[tuple[frozenset[int], tuple[int, ...]]] = deque([(start, ())])
+        while queue:
+            subset, word = queue.popleft()
+            moves: dict[int, set[int]] = {}
+            for state in subset:
+                for symbol, dsts in self.transitions[state].items():
+                    if symbol is EPSILON:
+                        continue
+                    moves.setdefault(symbol, set()).update(dsts)
+            for symbol, dsts in sorted(moves.items()):
+                target = self.epsilon_closure(dsts)
+                if target in seen:
+                    continue
+                seen.add(target)
+                extended = word + (symbol,)
+                if target & self.accepting:
+                    return self.alphabet.ids_to_word(extended)
+                queue.append((target, extended))
+        return None
+
+    def enumerate_words(self, *, max_count: int = 100, max_length: int = 64) -> Iterator[Word]:
+        """Enumerate accepted words in breadth-first (shortest first) order.
+
+        At most ``max_count`` words are produced and no word longer than
+        ``max_length`` is explored.  Only prefixes that can still reach an
+        accepting state are expanded, so enumeration over an empty or sparse
+        language terminates quickly even when the automaton has cycles.  This
+        is used for counterexample listing and for the finite-language
+        reference semantics in tests.
+        """
+        productive = self._coreachable_from(set(self.accepting))
+        if not productive:
+            return
+        produced = 0
+        start = self.epsilon_closure([self.initial]) & productive
+        if not start:
+            return
+        queue: deque[tuple[frozenset[int], tuple[int, ...]]] = deque([(frozenset(start), ())])
+        while queue and produced < max_count:
+            subset, word = queue.popleft()
+            if subset & self.accepting:
+                yield self.alphabet.ids_to_word(word)
+                produced += 1
+                if produced >= max_count:
+                    return
+            if len(word) >= max_length:
+                continue
+            moves: dict[int, set[int]] = {}
+            for state in subset:
+                for symbol, dsts in self.transitions[state].items():
+                    if symbol is EPSILON:
+                        continue
+                    moves.setdefault(symbol, set()).update(dsts & productive)
+            for symbol, dsts in sorted(moves.items()):
+                if not dsts:
+                    continue
+                target = self.epsilon_closure(dsts) & productive
+                if target:
+                    queue.append((frozenset(target), word + (symbol,)))
+
+    def language(self, *, max_count: int = 10_000, max_length: int = 64) -> set[Word]:
+        """The accepted language as a set of words, subject to bounds."""
+        return set(self.enumerate_words(max_count=max_count, max_length=max_length))
+
+    def has_finite_language(self) -> bool:
+        """True when the accepted language is finite (no productive cycle)."""
+        trimmed = self.remove_epsilons().trim()
+        n = trimmed.num_states
+        if n == 0 or trimmed.is_empty():
+            return True
+        # A useful cycle exists iff the trimmed automaton's graph has a cycle.
+        color = [0] * n  # 0 = white, 1 = grey, 2 = black
+        stack: list[tuple[int, Iterator[int]]] = []
+
+        def successors(state: int) -> Iterator[int]:
+            for dsts in trimmed.transitions[state].values():
+                yield from dsts
+
+        for root in range(n):
+            if color[root] != 0:
+                continue
+            color[root] = 1
+            stack.append((root, successors(root)))
+            while stack:
+                state, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if color[nxt] == 1:
+                        return False
+                    if color[nxt] == 0:
+                        color[nxt] = 1
+                        stack.append((nxt, successors(nxt)))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[state] = 2
+                    stack.pop()
+        return True
+
+    # ------------------------------------------------------------------
+    # Comparisons
+    # ------------------------------------------------------------------
+    def equivalent(self, other: FSA) -> bool:
+        """Language equality."""
+        require_same_alphabet(self.alphabet, other.alphabet)
+        return self.difference(other).is_empty() and other.difference(self).is_empty()
+
+    def is_subset_of(self, other: FSA) -> bool:
+        """Language inclusion (``self`` ⊆ ``other``)."""
+        require_same_alphabet(self.alphabet, other.alphabet)
+        return self.difference(other).is_empty()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FSA(states={self.num_states}, transitions={self.num_transitions}, "
+            f"accepting={len(self.accepting)})"
+        )

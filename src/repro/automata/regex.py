@@ -1,0 +1,389 @@
+"""Regular expression ASTs over path symbols and their compilation to FSAs.
+
+The Rela surface language and the RIR both manipulate *regular path sets*.
+This module provides the shared regular-expression representation: an
+immutable AST with the usual constructors (symbol, epsilon, empty, union,
+concatenation, Kleene star, intersection, complement, difference) plus a
+small text parser used by tests, examples and the Rela front end.
+
+The text syntax is deliberately simple:
+
+* identifiers (``A1``, ``core-1``, ``drop``) denote single symbols;
+* ``.`` denotes any single symbol;
+* juxtaposition (whitespace) denotes concatenation: ``A1 B1 D1``;
+* ``|`` denotes union, ``&`` intersection, ``!`` prefix complement;
+* ``*``, ``+``, ``?`` are postfix repetition operators;
+* parentheses group.
+"""
+
+from __future__ import annotations
+
+import re as _re
+from dataclasses import dataclass
+from collections.abc import Callable, Sequence
+
+from repro.automata.alphabet import Alphabet
+from repro.automata.fsa import FSA
+from repro.errors import RegexSyntaxError
+
+
+class Regex:
+    """Base class for regular-expression AST nodes."""
+
+    __slots__ = ()
+
+    # -- combinator helpers (fluent construction) -----------------------
+    def union(self, other: Regex) -> Regex:
+        return Union(self, other)
+
+    def concat(self, other: Regex) -> Regex:
+        return Concat(self, other)
+
+    def star(self) -> Regex:
+        return Star(self)
+
+    def plus(self) -> Regex:
+        return Concat(self, Star(self))
+
+    def optional(self) -> Regex:
+        return Union(self, Epsilon())
+
+    def intersect(self, other: Regex) -> Regex:
+        return Intersect(self, other)
+
+    def complement(self) -> Regex:
+        return Complement(self)
+
+    def difference(self, other: Regex) -> Regex:
+        return Intersect(self, Complement(other))
+
+    def __or__(self, other: Regex) -> Regex:
+        return self.union(other)
+
+    def __add__(self, other: Regex) -> Regex:
+        return self.concat(other)
+
+    def __and__(self, other: Regex) -> Regex:
+        return self.intersect(other)
+
+    # -- compilation -----------------------------------------------------
+    def to_fsa(self, alphabet: Alphabet) -> FSA:
+        """Compile this regular expression to an FSA over ``alphabet``."""
+        raise NotImplementedError
+
+    # -- introspection ----------------------------------------------------
+    def symbols(self) -> set[str]:
+        """The set of symbol names mentioned by this expression."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class Empty(Regex):
+    """The empty language (no words)."""
+
+    def to_fsa(self, alphabet: Alphabet) -> FSA:
+        return FSA.empty_language(alphabet)
+
+    def symbols(self) -> set[str]:
+        return set()
+
+    def __str__(self) -> str:
+        return "0"
+
+
+@dataclass(frozen=True, slots=True)
+class Epsilon(Regex):
+    """The language containing only the empty word."""
+
+    def to_fsa(self, alphabet: Alphabet) -> FSA:
+        return FSA.epsilon_language(alphabet)
+
+    def symbols(self) -> set[str]:
+        return set()
+
+    def __str__(self) -> str:
+        return "1"
+
+
+@dataclass(frozen=True, slots=True)
+class Sym(Regex):
+    """A single, specific symbol (network location)."""
+
+    name: str
+
+    def to_fsa(self, alphabet: Alphabet) -> FSA:
+        return FSA.symbol(alphabet, self.name)
+
+    def symbols(self) -> set[str]:
+        return {self.name}
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class SymSet(Regex):
+    """Any one symbol drawn from a finite set of names.
+
+    This is how ``where`` queries and router groups compile: the union of all
+    matching locations, as a single-hop path set.
+    """
+
+    names: frozenset[str]
+
+    def to_fsa(self, alphabet: Alphabet) -> FSA:
+        return FSA.any_symbol(alphabet, sorted(self.names))
+
+    def symbols(self) -> set[str]:
+        return set(self.names)
+
+    def __str__(self) -> str:
+        if len(self.names) == 1:
+            return next(iter(self.names))
+        return "[" + "|".join(sorted(self.names)) + "]"
+
+
+@dataclass(frozen=True, slots=True)
+class AnySym(Regex):
+    """Any single symbol of the alphabet (the ``.`` wildcard)."""
+
+    def to_fsa(self, alphabet: Alphabet) -> FSA:
+        return FSA.any_symbol(alphabet)
+
+    def symbols(self) -> set[str]:
+        return set()
+
+    def __str__(self) -> str:
+        return "."
+
+
+@dataclass(frozen=True, slots=True)
+class Union(Regex):
+    left: Regex
+    right: Regex
+
+    def to_fsa(self, alphabet: Alphabet) -> FSA:
+        return self.left.to_fsa(alphabet).union(self.right.to_fsa(alphabet))
+
+    def symbols(self) -> set[str]:
+        return self.left.symbols() | self.right.symbols()
+
+    def __str__(self) -> str:
+        return f"({self.left}|{self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class Concat(Regex):
+    left: Regex
+    right: Regex
+
+    def to_fsa(self, alphabet: Alphabet) -> FSA:
+        return self.left.to_fsa(alphabet).concat(self.right.to_fsa(alphabet))
+
+    def symbols(self) -> set[str]:
+        return self.left.symbols() | self.right.symbols()
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.right}"
+
+
+@dataclass(frozen=True, slots=True)
+class Star(Regex):
+    inner: Regex
+
+    def to_fsa(self, alphabet: Alphabet) -> FSA:
+        return self.inner.to_fsa(alphabet).star()
+
+    def symbols(self) -> set[str]:
+        return self.inner.symbols()
+
+    def __str__(self) -> str:
+        return f"({self.inner})*"
+
+
+@dataclass(frozen=True, slots=True)
+class Intersect(Regex):
+    left: Regex
+    right: Regex
+
+    def to_fsa(self, alphabet: Alphabet) -> FSA:
+        return self.left.to_fsa(alphabet).intersect(self.right.to_fsa(alphabet))
+
+    def symbols(self) -> set[str]:
+        return self.left.symbols() | self.right.symbols()
+
+    def __str__(self) -> str:
+        return f"({self.left}&{self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class Complement(Regex):
+    inner: Regex
+
+    def to_fsa(self, alphabet: Alphabet) -> FSA:
+        return self.inner.to_fsa(alphabet).complement()
+
+    def symbols(self) -> set[str]:
+        return self.inner.symbols()
+
+    def __str__(self) -> str:
+        return f"!({self.inner})"
+
+
+def literal(word: Sequence[str]) -> Regex:
+    """A regex accepting exactly the given word of symbol names."""
+    result: Regex = Epsilon()
+    for name in word:
+        result = Concat(result, Sym(name)) if not isinstance(result, Epsilon) else Sym(name)
+    return result
+
+
+def union_all(parts: Sequence[Regex]) -> Regex:
+    """Union of an arbitrary number of regexes (empty language when none)."""
+    if not parts:
+        return Empty()
+    result = parts[0]
+    for part in parts[1:]:
+        result = Union(result, part)
+    return result
+
+
+def concat_all(parts: Sequence[Regex]) -> Regex:
+    """Concatenation of an arbitrary number of regexes (epsilon when none)."""
+    if not parts:
+        return Epsilon()
+    result = parts[0]
+    for part in parts[1:]:
+        result = Concat(result, part)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Text parser
+# ----------------------------------------------------------------------
+_TOKEN_RE = _re.compile(
+    r"\s*(?:(?P<lparen>\()|(?P<rparen>\))|(?P<star>\*)|(?P<plus>\+)|(?P<opt>\?)"
+    r"|(?P<union>\|)|(?P<inter>&)|(?P<compl>!)|(?P<dot>\.)"
+    r"|(?P<ident>[A-Za-z0-9_#][A-Za-z0-9_\-./:#]*))"
+)
+
+
+class _Parser:
+    """Recursive-descent parser for the text regex syntax."""
+
+    def __init__(self, text: str, resolve: Callable[[str], Regex] | None = None):
+        self.text = text
+        self.resolve = resolve
+        self.tokens = self._tokenize(text)
+        self.pos = 0
+
+    @staticmethod
+    def _tokenize(text: str) -> list[tuple[str, str]]:
+        tokens: list[tuple[str, str]] = []
+        index = 0
+        while index < len(text):
+            match = _TOKEN_RE.match(text, index)
+            if match is None:
+                stripped = text[index:].strip()
+                if not stripped:
+                    break
+                raise RegexSyntaxError(f"unexpected character at {text[index:]!r}")
+            index = match.end()
+            kind = match.lastgroup
+            value = match.group(match.lastgroup)
+            tokens.append((kind, value))
+        return tokens
+
+    def _peek(self) -> tuple[str, str] | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _advance(self) -> tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise RegexSyntaxError(f"unexpected end of expression in {self.text!r}")
+        self.pos += 1
+        return token
+
+    def parse(self) -> Regex:
+        expr = self._parse_union()
+        if self._peek() is not None:
+            raise RegexSyntaxError(
+                f"trailing tokens after expression in {self.text!r}: {self.tokens[self.pos:]}"
+            )
+        return expr
+
+    def _parse_union(self) -> Regex:
+        left = self._parse_intersection()
+        while self._peek() is not None and self._peek()[0] == "union":
+            self._advance()
+            right = self._parse_intersection()
+            left = Union(left, right)
+        return left
+
+    def _parse_intersection(self) -> Regex:
+        left = self._parse_concat()
+        while self._peek() is not None and self._peek()[0] == "inter":
+            self._advance()
+            right = self._parse_concat()
+            left = Intersect(left, right)
+        return left
+
+    def _parse_concat(self) -> Regex:
+        parts: list[Regex] = []
+        while True:
+            token = self._peek()
+            if token is None or token[0] in {"union", "inter", "rparen"}:
+                break
+            parts.append(self._parse_postfix())
+        if not parts:
+            return Epsilon()
+        return concat_all(parts)
+
+    def _parse_postfix(self) -> Regex:
+        expr = self._parse_atom()
+        while True:
+            token = self._peek()
+            if token is None:
+                break
+            if token[0] == "star":
+                self._advance()
+                expr = Star(expr)
+            elif token[0] == "plus":
+                self._advance()
+                expr = Concat(expr, Star(expr))
+            elif token[0] == "opt":
+                self._advance()
+                expr = Union(expr, Epsilon())
+            else:
+                break
+        return expr
+
+    def _parse_atom(self) -> Regex:
+        kind, value = self._advance()
+        if kind == "lparen":
+            inner = self._parse_union()
+            closing = self._advance()
+            if closing[0] != "rparen":
+                raise RegexSyntaxError(f"expected ')' in {self.text!r}")
+            return inner
+        if kind == "dot":
+            return AnySym()
+        if kind == "compl":
+            return Complement(self._parse_postfix())
+        if kind == "ident":
+            if self.resolve is not None:
+                resolved = self.resolve(value)
+                if resolved is not None:
+                    return resolved
+            return Sym(value)
+        raise RegexSyntaxError(f"unexpected token {value!r} in {self.text!r}")
+
+
+def parse_regex(text: str, resolve: Callable[[str], Regex] | None = None) -> Regex:
+    """Parse the text regex syntax into a :class:`Regex` AST.
+
+    ``resolve`` maps identifiers to previously defined sub-expressions (used
+    by the Rela front end for named ``regex`` definitions); identifiers it
+    returns ``None`` for are treated as plain symbols.
+    """
+    return _Parser(text, resolve).parse()

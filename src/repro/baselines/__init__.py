@@ -1,0 +1,23 @@
+"""Baselines: single-snapshot verification and differential analysis."""
+
+from repro.baselines.differential import DifferentialReport, InvariantDiff, differential_analysis
+from repro.baselines.single_snapshot import (
+    InvariantResult,
+    NaiveChangeCheck,
+    check_isolation,
+    check_loop_freedom,
+    check_reachability,
+    check_waypoint,
+)
+
+__all__ = [
+    "InvariantResult",
+    "check_reachability",
+    "check_waypoint",
+    "check_isolation",
+    "check_loop_freedom",
+    "NaiveChangeCheck",
+    "DifferentialReport",
+    "InvariantDiff",
+    "differential_analysis",
+]

@@ -1,0 +1,147 @@
+"""Single-snapshot verification baseline (paper Section 2.2).
+
+Traditional network verification checks one snapshot against a specification:
+"DNS is never blocked", "no packet reaches the high-security zone without
+traversing the firewall".  The paper argues these tools are valuable for
+coarse, long-lived invariants but cannot practically validate changes,
+because a precise single-snapshot spec must enumerate the expected paths of
+every traffic class — its size is proportional to the network, not to the
+change.
+
+This module implements a representative single-snapshot verifier over our
+snapshot format so benchmarks and tests can demonstrate both points:
+
+* the supported invariants (reachability, waypointing, isolation, loop
+  freedom) are useful and cheap; and
+* a "naive change spec" built from them (new path exists, old path gone)
+  misses collateral damage that Rela's relational spec catches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable
+
+from repro.automata.alphabet import DROP
+from repro.snapshots.snapshot import Snapshot
+
+Path = tuple[str, ...]
+
+
+@dataclass(slots=True)
+class InvariantResult:
+    """Outcome of evaluating one invariant over one snapshot."""
+
+    invariant: str
+    holds: bool
+    #: FEC ids violating the invariant, with a short explanation each.
+    violations: list[tuple[str, str]] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def _paths(snapshot: Snapshot, fec_id: str, max_paths: int) -> set[Path]:
+    return snapshot.graph(fec_id).path_set(max_paths=max_paths)
+
+
+def check_reachability(
+    snapshot: Snapshot,
+    *,
+    fec_ids: Iterable[str] | None = None,
+    max_paths: int = 1000,
+) -> InvariantResult:
+    """Every selected class reaches some egress (is neither dropped nor lost)."""
+    result = InvariantResult(invariant="reachability", holds=True)
+    for fec_id in fec_ids or snapshot.fec_ids():
+        paths = _paths(snapshot, fec_id, max_paths)
+        delivered = [path for path in paths if path and path[-1] != DROP]
+        if not delivered:
+            result.holds = False
+            result.violations.append((fec_id, "no forwarding path reaches an egress"))
+    return result
+
+
+def check_waypoint(
+    snapshot: Snapshot,
+    waypoints: set[str],
+    *,
+    fec_ids: Iterable[str] | None = None,
+    max_paths: int = 1000,
+) -> InvariantResult:
+    """Every delivered path of the selected classes traverses a waypoint."""
+    result = InvariantResult(invariant=f"waypoint({sorted(waypoints)})", holds=True)
+    for fec_id in fec_ids or snapshot.fec_ids():
+        for path in _paths(snapshot, fec_id, max_paths):
+            if path and path[-1] == DROP:
+                continue
+            if not waypoints & set(path):
+                result.holds = False
+                result.violations.append(
+                    (fec_id, f"path {'-'.join(path)} bypasses the waypoint set")
+                )
+                break
+    return result
+
+
+def check_isolation(
+    snapshot: Snapshot,
+    forbidden: set[str],
+    *,
+    fec_ids: Iterable[str] | None = None,
+    max_paths: int = 1000,
+) -> InvariantResult:
+    """No path of the selected classes traverses a forbidden location."""
+    result = InvariantResult(invariant=f"isolation({sorted(forbidden)})", holds=True)
+    for fec_id in fec_ids or snapshot.fec_ids():
+        for path in _paths(snapshot, fec_id, max_paths):
+            if forbidden & set(path):
+                result.holds = False
+                result.violations.append(
+                    (fec_id, f"path {'-'.join(path)} traverses a forbidden location")
+                )
+                break
+    return result
+
+
+def check_loop_freedom(snapshot: Snapshot) -> InvariantResult:
+    """No forwarding graph contains a directed cycle."""
+    result = InvariantResult(invariant="loop-freedom", holds=True)
+    for fec, graph in snapshot.items():
+        if not graph.is_acyclic():
+            result.holds = False
+            result.violations.append((fec.fec_id, "forwarding graph contains a loop"))
+    return result
+
+
+@dataclass(slots=True)
+class NaiveChangeCheck:
+    """The "just verify the new network" tactic the paper warns about.
+
+    To validate "replace path P1 with P2" with a single-snapshot tool, one can
+    only assert that P2 exists in the new snapshot and P1 does not.  This
+    check implements exactly that — and therefore, by construction, says
+    nothing about collateral damage to other traffic.
+    """
+
+    old_path: Path
+    new_path: Path
+
+    def check(self, post: Snapshot, *, max_paths: int = 1000) -> InvariantResult:
+        """Evaluate the naive spec on the post-change snapshot only."""
+        result = InvariantResult(
+            invariant=f"naive-change({'-'.join(self.old_path)} -> {'-'.join(self.new_path)})",
+            holds=True,
+        )
+        new_seen = False
+        for fec_id in post.fec_ids():
+            paths = _paths(post, fec_id, max_paths)
+            if self.new_path in paths:
+                new_seen = True
+            if self.old_path in paths:
+                result.holds = False
+                result.violations.append((fec_id, "old path still present"))
+        if not new_seen:
+            result.holds = False
+            result.violations.append(("*", "new path absent from post-change snapshot"))
+        return result

@@ -1,0 +1,145 @@
+"""Command-line interface for the Rela reproduction.
+
+Subcommands mirror the operator workflow described in the paper:
+
+* ``simulate`` — generate a synthetic backbone, simulate its forwarding state
+  and write a snapshot JSON file;
+* ``pathdiff`` — compare two snapshot files the way the manual-inspection
+  workflow does (Section 2.3);
+* ``verify`` — check a pre/post snapshot pair against a Rela spec written in
+  the textual format (Section 4), printing violations in the Table 1 layout;
+* ``casestudy`` — replay the Figure 1 change iterations end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.rela.locations import Granularity
+from repro.rela.parser import parse_program
+from repro.snapshots.pathdiff import path_diff
+from repro.snapshots.snapshot import Snapshot
+from repro.verifier import VerificationOptions, verify_change
+from repro.workloads.backbone import BackboneParams, generate_backbone
+from repro.workloads.figure1 import build_scenario
+from repro.workloads.traffic import generate_fecs
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    params = BackboneParams(
+        regions=args.regions,
+        routers_per_group=args.routers_per_group,
+        parallel_links=args.parallel_links,
+        prefixes_per_region=args.prefixes_per_region,
+        seed=args.seed,
+    )
+    backbone = generate_backbone(params)
+    fecs = generate_fecs(backbone, max_classes=args.max_classes)
+    snapshot = backbone.simulator().snapshot(
+        fecs, name=args.name, granularity=Granularity(args.granularity)
+    )
+    snapshot.to_json(args.output, indent=2)
+    print(
+        f"wrote {args.output}: {len(snapshot)} flow equivalence classes over "
+        f"{backbone.topology.num_routers} routers"
+    )
+    return 0
+
+
+def _cmd_pathdiff(args: argparse.Namespace) -> int:
+    pre = Snapshot.from_json(args.pre)
+    post = Snapshot.from_json(args.post)
+    diff = path_diff(pre, post)
+    print(diff.summary())
+    for entry in diff:
+        print(f"  {entry}")
+    return 0 if len(diff) == 0 else 1
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    pre = Snapshot.from_json(args.pre)
+    post = Snapshot.from_json(args.post)
+    with open(args.spec, encoding="utf-8") as handle:
+        program = parse_program(handle.read())
+    spec = program.spec(args.spec_name)
+    options = VerificationOptions(
+        granularity=Granularity(args.granularity), workers=args.workers
+    )
+    report = verify_change(pre, post, spec, options=options)
+    print(report.summary())
+    if not report.holds:
+        print(report.table(max_rows=args.max_rows))
+    return 0 if report.holds else 1
+
+
+def _cmd_casestudy(args: argparse.Namespace) -> int:
+    scenario = build_scenario()
+    pre = scenario.pre_change()
+    checks = [
+        ("v1", scenario.iteration_v1(), scenario.change_spec()),
+        ("v2", scenario.iteration_v2(), scenario.refined_spec()),
+        ("v3", scenario.iteration_v3(), scenario.refined_spec()),
+        ("final", scenario.final_implementation(), scenario.refined_spec()),
+    ]
+    failures = 0
+    for name, post, spec in checks:
+        report = verify_change(pre, post, spec, db=scenario.db)
+        print(f"[{name}] {report.summary()}")
+        if not report.holds:
+            failures += 1
+            if args.show_counterexamples:
+                print(report.table(max_rows=4))
+    return 0 if failures == 0 else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="rela-repro",
+        description="Relational network verification (Rela) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="generate and simulate a synthetic backbone")
+    simulate.add_argument("output", help="snapshot JSON file to write")
+    simulate.add_argument("--name", default="snapshot")
+    simulate.add_argument("--regions", type=int, default=4)
+    simulate.add_argument("--routers-per-group", type=int, default=2)
+    simulate.add_argument("--parallel-links", type=int, default=2)
+    simulate.add_argument("--prefixes-per-region", type=int, default=4)
+    simulate.add_argument("--max-classes", type=int, default=None)
+    simulate.add_argument("--granularity", default="router", choices=[g.value for g in Granularity])
+    simulate.add_argument("--seed", type=int, default=7)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    diff = sub.add_parser("pathdiff", help="manual-inspection style path diff of two snapshots")
+    diff.add_argument("pre")
+    diff.add_argument("post")
+    diff.set_defaults(func=_cmd_pathdiff)
+
+    verify = sub.add_parser("verify", help="verify a change against a Rela spec file")
+    verify.add_argument("pre")
+    verify.add_argument("post")
+    verify.add_argument("spec", help="Rela program file (textual syntax)")
+    verify.add_argument("--spec-name", default="change", help="name of the spec to check")
+    verify.add_argument("--granularity", default="router", choices=[g.value for g in Granularity])
+    verify.add_argument("--workers", type=int, default=1)
+    verify.add_argument("--max-rows", type=int, default=20)
+    verify.set_defaults(func=_cmd_verify)
+
+    casestudy = sub.add_parser("casestudy", help="replay the Figure 1 change iterations")
+    casestudy.add_argument("--show-counterexamples", action="store_true")
+    casestudy.set_defaults(func=_cmd_casestudy)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

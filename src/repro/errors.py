@@ -1,0 +1,62 @@
+"""Exception hierarchy for the Rela reproduction package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming errors
+such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class AlphabetError(ReproError):
+    """A symbol was used that is not part of the relevant alphabet, or two
+    automata over incompatible alphabets were combined."""
+
+
+class AutomatonError(ReproError):
+    """An automaton was constructed or manipulated inconsistently."""
+
+
+class RegexSyntaxError(ReproError):
+    """A path regular expression could not be parsed."""
+
+
+class SpecSyntaxError(ReproError):
+    """A Rela specification could not be parsed."""
+
+
+class CompilationError(ReproError):
+    """A Rela or RIR expression could not be compiled to automata."""
+
+
+class SemanticsError(ReproError):
+    """The set-based reference semantics could not evaluate an expression
+    (for example, an unbounded complement with no length bound)."""
+
+
+class LocationError(ReproError):
+    """A location query referenced unknown locations or attributes."""
+
+
+class TopologyError(ReproError):
+    """The network topology is malformed (dangling links, duplicate names)."""
+
+
+class RoutingError(ReproError):
+    """Route computation failed (no viable route selection, policy errors)."""
+
+
+class SnapshotError(ReproError):
+    """A forwarding snapshot is malformed or cannot be (de)serialized."""
+
+
+class VerificationError(ReproError):
+    """The verification engine was invoked with inconsistent inputs."""
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload generator received invalid parameters."""

@@ -1,0 +1,56 @@
+"""Network substrate: topology, addressing, policy, routing and simulation."""
+
+from repro.network.addressing import Prefix, PrefixTable, allocate_prefixes
+from repro.network.bgp import (
+    DEFAULT_LOCAL_PREF,
+    BGPComputation,
+    NetworkConfig,
+    Route,
+    RouterConfig,
+)
+from repro.network.fib import Fib, FibEntry, build_fibs
+from repro.network.igp import all_pairs_costs, equal_cost_next_hops, igp_cost, shortest_path_costs
+from repro.network.policy import (
+    PolicyAction,
+    PolicyRule,
+    RoutePolicy,
+    allow_list,
+    deny_all,
+    deny_prefixes,
+    permit_all,
+    set_local_pref,
+)
+from repro.network.simulator import Simulator, TraceOptions, trace_forwarding
+from repro.network.topology import Link, Router, Topology
+
+__all__ = [
+    "Prefix",
+    "PrefixTable",
+    "allocate_prefixes",
+    "Topology",
+    "Router",
+    "Link",
+    "PolicyAction",
+    "PolicyRule",
+    "RoutePolicy",
+    "permit_all",
+    "deny_all",
+    "allow_list",
+    "set_local_pref",
+    "deny_prefixes",
+    "Route",
+    "RouterConfig",
+    "NetworkConfig",
+    "BGPComputation",
+    "DEFAULT_LOCAL_PREF",
+    "Fib",
+    "FibEntry",
+    "build_fibs",
+    "shortest_path_costs",
+    "igp_cost",
+    "equal_cost_next_hops",
+    "all_pairs_costs",
+    "Simulator",
+    "TraceOptions",
+    "trace_forwarding",
+]

@@ -1,0 +1,138 @@
+"""IP prefixes and longest-prefix-match tables.
+
+A tiny, dependency-free IPv4 prefix layer used by the routing substrate: the
+FIB performs longest-prefix match over announced prefixes, and traffic
+descriptors (flow equivalence classes) carry destination prefixes that must
+be matched against route announcements and the Rela prefix predicates.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from collections.abc import Iterable, Iterator
+
+from repro.errors import RoutingError
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Prefix:
+    """An IPv4 prefix in CIDR form."""
+
+    network: int
+    length: int
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``"10.0.0.0/24"`` into a Prefix."""
+        try:
+            net = ipaddress.IPv4Network(text, strict=False)
+        except ValueError as exc:
+            raise RoutingError(f"invalid IPv4 prefix {text!r}: {exc}") from exc
+        return cls(network=int(net.network_address), length=net.prefixlen)
+
+    @classmethod
+    def coerce(cls, value: "Prefix | str") -> "Prefix":
+        """Accept either a Prefix or a CIDR string."""
+        if isinstance(value, Prefix):
+            return value
+        return cls.parse(value)
+
+    def __str__(self) -> str:
+        return f"{ipaddress.IPv4Address(self.network)}/{self.length}"
+
+    # ------------------------------------------------------------------
+    # Relations
+    # ------------------------------------------------------------------
+    def contains(self, other: "Prefix | str") -> bool:
+        """True when ``other`` is a (non-strict) subnet of this prefix."""
+        other = Prefix.coerce(other)
+        if other.length < self.length:
+            return False
+        shift = 32 - self.length
+        return (other.network >> shift) == (self.network >> shift)
+
+    def overlaps(self, other: "Prefix | str") -> bool:
+        """True when the two prefixes share any address."""
+        other = Prefix.coerce(other)
+        return self.contains(other) or other.contains(self)
+
+    def subnets(self, *, new_length: int) -> Iterator["Prefix"]:
+        """Enumerate subnets of this prefix at the given length."""
+        if new_length < self.length or new_length > 32:
+            raise RoutingError(
+                f"cannot split /{self.length} prefix into /{new_length} subnets"
+            )
+        count = 1 << (new_length - self.length)
+        step = 1 << (32 - new_length)
+        for index in range(count):
+            yield Prefix(network=self.network + index * step, length=new_length)
+
+
+class PrefixTable:
+    """A longest-prefix-match table mapping prefixes to arbitrary values."""
+
+    def __init__(self) -> None:
+        self._entries: dict[Prefix, object] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, prefix: Prefix | str) -> bool:
+        return Prefix.coerce(prefix) in self._entries
+
+    def insert(self, prefix: Prefix | str, value: object) -> None:
+        """Insert or replace the value stored for ``prefix``."""
+        self._entries[Prefix.coerce(prefix)] = value
+
+    def remove(self, prefix: Prefix | str) -> None:
+        """Remove an entry (missing entries are ignored)."""
+        self._entries.pop(Prefix.coerce(prefix), None)
+
+    def exact(self, prefix: Prefix | str) -> object | None:
+        """The value stored for exactly this prefix, if any."""
+        return self._entries.get(Prefix.coerce(prefix))
+
+    def lookup(self, destination: Prefix | str) -> object | None:
+        """Longest-prefix match for a destination prefix (or address)."""
+        destination = Prefix.coerce(destination)
+        best: Prefix | None = None
+        for prefix in self._entries:
+            if prefix.contains(destination) and (best is None or prefix.length > best.length):
+                best = prefix
+        return self._entries[best] if best is not None else None
+
+    def lookup_prefix(self, destination: Prefix | str) -> Prefix | None:
+        """The matching prefix itself rather than its value."""
+        destination = Prefix.coerce(destination)
+        best: Prefix | None = None
+        for prefix in self._entries:
+            if prefix.contains(destination) and (best is None or prefix.length > best.length):
+                best = prefix
+        return best
+
+    def prefixes(self) -> list[Prefix]:
+        """All prefixes in the table."""
+        return list(self._entries)
+
+    def items(self) -> Iterable[tuple[Prefix, object]]:
+        return self._entries.items()
+
+
+def allocate_prefixes(base: str, count: int, *, new_length: int = 24) -> list[Prefix]:
+    """Carve ``count`` subnets of ``new_length`` out of a base supernet.
+
+    Used by the synthetic traffic generator to hand each destination region a
+    block of customer prefixes.
+    """
+    base_prefix = Prefix.parse(base)
+    subnets = []
+    for index, subnet in enumerate(base_prefix.subnets(new_length=new_length)):
+        if index >= count:
+            break
+        subnets.append(subnet)
+    if len(subnets) < count:
+        raise RoutingError(
+            f"cannot allocate {count} /{new_length} prefixes from {base}"
+        )
+    return subnets

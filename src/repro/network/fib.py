@@ -1,0 +1,146 @@
+"""Forwarding information bases (FIBs).
+
+A FIB maps, per router, destination prefixes to the set of ECMP next-hop
+routers (or marks the router as the egress for that prefix).  FIBs are either
+derived from the BGP route selection (:func:`build_fibs`) or constructed
+directly — the Figure 1 case-study workload handcrafts per-iteration FIBs so
+that each buggy behaviour from the paper is reproduced exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Iterator
+
+from repro.errors import RoutingError
+from repro.network.addressing import Prefix, PrefixTable
+from repro.network.bgp import SelectedRoutes
+from repro.network.igp import equal_cost_next_hops
+from repro.network.topology import Topology
+
+
+@dataclass(frozen=True, slots=True)
+class FibEntry:
+    """The forwarding decision of one router for one prefix."""
+
+    prefix: Prefix
+    #: ECMP next-hop routers; empty for egress or drop entries.
+    next_hops: frozenset[str] = frozenset()
+    #: True when the router is the traffic's exit (it originates the prefix).
+    egress: bool = False
+
+    def is_drop(self) -> bool:
+        """True when traffic matching this entry is discarded."""
+        return not self.next_hops and not self.egress
+
+
+class Fib:
+    """The forwarding state of the entire network (per-router prefix tables)."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, PrefixTable] = {}
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def set_entry(
+        self,
+        router: str,
+        prefix: Prefix | str,
+        next_hops: Iterable[str] = (),
+        *,
+        egress: bool = False,
+    ) -> FibEntry:
+        """Install (or replace) the entry of ``router`` for ``prefix``."""
+        prefix = Prefix.coerce(prefix)
+        entry = FibEntry(prefix=prefix, next_hops=frozenset(next_hops), egress=egress)
+        self._tables.setdefault(router, PrefixTable()).insert(prefix, entry)
+        return entry
+
+    def remove_entry(self, router: str, prefix: Prefix | str) -> None:
+        """Remove the entry of ``router`` for ``prefix`` (ignored if absent)."""
+        table = self._tables.get(router)
+        if table is not None:
+            table.remove(prefix)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def routers(self) -> list[str]:
+        """Routers that have at least one entry."""
+        return list(self._tables)
+
+    def table(self, router: str) -> PrefixTable:
+        """The prefix table of one router (empty table if none)."""
+        return self._tables.get(router, PrefixTable())
+
+    def lookup(self, router: str, destination: Prefix | str) -> FibEntry | None:
+        """Longest-prefix-match lookup of ``destination`` at ``router``."""
+        table = self._tables.get(router)
+        if table is None:
+            return None
+        entry = table.lookup(destination)
+        return entry if isinstance(entry, FibEntry) else None
+
+    def entries(self, router: str) -> Iterator[FibEntry]:
+        """All entries installed on one router."""
+        for _prefix, entry in self.table(router).items():
+            if isinstance(entry, FibEntry):
+                yield entry
+
+    def num_routes(self) -> int:
+        """Total number of installed entries across all routers."""
+        return sum(len(table) for table in self._tables.values())
+
+    def copy(self) -> "Fib":
+        """A copy that can be mutated to model a change."""
+        clone = Fib()
+        for router, table in self._tables.items():
+            for prefix, entry in table.items():
+                clone._tables.setdefault(router, PrefixTable()).insert(prefix, entry)
+        return clone
+
+
+def build_fibs(topology: Topology, selected: SelectedRoutes) -> Fib:
+    """Derive FIBs from BGP route selection.
+
+    For each router and prefix with selected routes:
+
+    * locally originated routes make the router an egress;
+    * routes whose exit router is the router itself (it imported them over
+      eBGP) forward to the adjacent external neighbor;
+    * routes exiting elsewhere in the AS forward along all equal-cost IGP
+      next hops toward the exit router (hot-potato ECMP).
+    """
+    fib = Fib()
+    # IGP next-hop resolution happens inside the router's own AS: traffic
+    # headed to an exit elsewhere in the AS must not detour through another
+    # AS to get there.
+    intra_as: dict[int, Topology] = {}
+
+    def as_topology(asn: int) -> Topology:
+        if asn not in intra_as:
+            members = [router.name for router in topology.routers_in_asn(asn)]
+            intra_as[asn] = topology.subset(members, name=f"as-{asn}")
+        return intra_as[asn]
+
+    for router, by_prefix in selected.items():
+        asn = topology.router(router).asn
+        for prefix, routes in by_prefix.items():
+            next_hops: set[str] = set()
+            egress = False
+            for route in routes:
+                if route.learned_from is None and route.exit_router == router:
+                    egress = True
+                elif route.exit_router == router and route.learned_from is not None:
+                    next_hops.add(route.learned_from)
+                else:
+                    hops = equal_cost_next_hops(as_topology(asn), router, route.exit_router)
+                    if not hops:
+                        raise RoutingError(
+                            f"router {router!r} has no IGP path toward exit "
+                            f"{route.exit_router!r} for {prefix}"
+                        )
+                    next_hops |= hops
+            fib.set_entry(router, prefix, next_hops, egress=egress)
+    return fib

@@ -1,0 +1,71 @@
+"""IGP shortest paths over the topology's link costs.
+
+The BGP-style route selection in :mod:`repro.network.bgp` breaks ties using
+the IGP cost toward the route's egress (hot-potato routing), and the Figure 1
+case study's third iteration hinges on mis-set link costs making the
+``A3-B3-D1`` detour cheaper than the direct ``A3-D1`` link.  This module
+provides the cost computations: single-source Dijkstra over routers and
+equal-cost next-hop extraction for ECMP forwarding.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.errors import RoutingError
+from repro.network.topology import Topology
+
+
+def shortest_path_costs(topology: Topology, source: str) -> dict[str, int]:
+    """Dijkstra from ``source``: minimal IGP cost to every reachable router."""
+    if not topology.has_router(source):
+        raise RoutingError(f"unknown router {source!r}")
+    costs: dict[str, int] = {source: 0}
+    heap: list[tuple[int, str]] = [(0, source)]
+    visited: set[str] = set()
+    while heap:
+        cost, router = heapq.heappop(heap)
+        if router in visited:
+            continue
+        visited.add(router)
+        for neighbor in topology.neighbors(router):
+            edge_cost = topology.link_cost(router, neighbor)
+            candidate = cost + edge_cost
+            if candidate < costs.get(neighbor, float("inf")):
+                costs[neighbor] = candidate
+                heapq.heappush(heap, (candidate, neighbor))
+    return costs
+
+
+def igp_cost(topology: Topology, source: str, target: str) -> int | None:
+    """Minimal IGP cost between two routers, ``None`` when disconnected."""
+    costs = shortest_path_costs(topology, source)
+    return costs.get(target)
+
+
+def equal_cost_next_hops(topology: Topology, source: str, target: str) -> set[str]:
+    """Neighbors of ``source`` on some shortest IGP path toward ``target``.
+
+    This is the ECMP next-hop set used for intra-AS forwarding toward a BGP
+    next hop: a neighbor ``n`` qualifies when ``cost(source, n) + cost(n,
+    target)`` equals ``cost(source, target)``.
+    """
+    if source == target:
+        return set()
+    source_costs = shortest_path_costs(topology, source)
+    if target not in source_costs:
+        return set()
+    total = source_costs[target]
+    target_costs = shortest_path_costs(topology, target)
+    next_hops: set[str] = set()
+    for neighbor in topology.neighbors(source):
+        edge = topology.link_cost(source, neighbor)
+        remaining = target_costs.get(neighbor)
+        if remaining is not None and edge + remaining == total:
+            next_hops.add(neighbor)
+    return next_hops
+
+
+def all_pairs_costs(topology: Topology) -> dict[str, dict[str, int]]:
+    """Shortest-path costs between every router pair (used by simulations)."""
+    return {router.name: shortest_path_costs(topology, router.name) for router in topology}

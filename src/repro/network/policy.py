@@ -1,0 +1,123 @@
+"""Routing policies: prefix filters, allow-lists and local-preference setting.
+
+The change iterations in Section 2.1 of the paper all revolve around routing
+policy: an allow-list on the A2 routers, local-preference overrides in region
+B, a typo in an import policy at B2.  This module models the minimal policy
+vocabulary needed to reproduce those behaviours:
+
+* a policy is an ordered list of :class:`PolicyRule` records;
+* each rule matches a set of prefixes (or everything) and either denies the
+  route or permits it while optionally adjusting its local preference.
+
+Policies are attached per neighbor, per direction (import/export) in the
+router configurations consumed by the BGP substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from collections.abc import Iterable, Sequence
+
+from repro.network.addressing import Prefix
+
+
+class PolicyAction(str, Enum):
+    """What a matching rule does with a route."""
+
+    PERMIT = "permit"
+    DENY = "deny"
+
+
+@dataclass(frozen=True, slots=True)
+class PolicyRule:
+    """One match/action rule.
+
+    ``prefixes`` is the match condition: the rule applies to routes whose
+    prefix is contained in any of the listed prefixes; an empty tuple matches
+    every route.  On ``PERMIT``, ``set_local_pref`` (when given) overrides the
+    route's local preference.
+    """
+
+    action: PolicyAction = PolicyAction.PERMIT
+    prefixes: tuple[Prefix, ...] = ()
+    set_local_pref: int | None = None
+
+    def matches(self, prefix: Prefix) -> bool:
+        """Whether this rule applies to a route for ``prefix``."""
+        if not self.prefixes:
+            return True
+        return any(entry.contains(prefix) for entry in self.prefixes)
+
+
+@dataclass(slots=True)
+class RoutePolicy:
+    """An ordered rule list with an implicit default action.
+
+    The first matching rule wins.  When no rule matches, ``default_action``
+    applies (real-world BGP route maps usually end with an implicit deny for
+    imports from other ASes, but an implicit permit keeps the synthetic
+    configurations short, so the default is configurable).
+    """
+
+    name: str = "policy"
+    rules: list[PolicyRule] = field(default_factory=list)
+    default_action: PolicyAction = PolicyAction.PERMIT
+
+    def evaluate(self, prefix: Prefix) -> tuple[PolicyAction, int | None]:
+        """Return the action and optional local-pref override for ``prefix``."""
+        for rule in self.rules:
+            if rule.matches(prefix):
+                return rule.action, rule.set_local_pref
+        return self.default_action, None
+
+    def permits(self, prefix: Prefix) -> bool:
+        """Whether a route for ``prefix`` survives this policy."""
+        action, _ = self.evaluate(prefix)
+        return action is PolicyAction.PERMIT
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors used by configurations and workloads
+# ----------------------------------------------------------------------
+def permit_all(name: str = "permit-all") -> RoutePolicy:
+    """A policy that accepts every route unchanged."""
+    return RoutePolicy(name=name)
+
+
+def deny_all(name: str = "deny-all") -> RoutePolicy:
+    """A policy that rejects every route."""
+    return RoutePolicy(name=name, default_action=PolicyAction.DENY)
+
+
+def allow_list(prefixes: Iterable[Prefix | str], *, name: str = "allow-list") -> RoutePolicy:
+    """Permit only the listed prefixes (the A2 allow-list of Figure 1b)."""
+    parsed = tuple(Prefix.coerce(prefix) for prefix in prefixes)
+    return RoutePolicy(
+        name=name,
+        rules=[PolicyRule(action=PolicyAction.PERMIT, prefixes=parsed)],
+        default_action=PolicyAction.DENY,
+    )
+
+
+def set_local_pref(
+    prefixes: Iterable[Prefix | str],
+    local_pref: int,
+    *,
+    name: str = "set-local-pref",
+    otherwise: Sequence[PolicyRule] = (),
+) -> RoutePolicy:
+    """Permit everything, overriding local preference for the given prefixes."""
+    parsed = tuple(Prefix.coerce(prefix) for prefix in prefixes)
+    rules = [PolicyRule(action=PolicyAction.PERMIT, prefixes=parsed, set_local_pref=local_pref)]
+    rules.extend(otherwise)
+    return RoutePolicy(name=name, rules=rules)
+
+
+def deny_prefixes(prefixes: Iterable[Prefix | str], *, name: str = "deny-prefixes") -> RoutePolicy:
+    """Deny the listed prefixes and permit everything else (a prefix filter)."""
+    parsed = tuple(Prefix.coerce(prefix) for prefix in prefixes)
+    return RoutePolicy(
+        name=name,
+        rules=[PolicyRule(action=PolicyAction.DENY, prefixes=parsed)],
+    )

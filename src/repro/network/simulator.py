@@ -1,0 +1,239 @@
+"""Dataplane simulation: from FIBs to per-FEC forwarding graphs.
+
+This is the reproduction's stand-in for the operator's simulation toolchain
+(paper Section 2.3, steps 1-3): given a topology, router configurations and a
+set of traffic descriptors, it computes each flow equivalence class's
+forwarding graph — the DAG-format path set Rela consumes (Section 6.1).
+
+Two entry points are provided:
+
+* :class:`Simulator` — the full pipeline: run the BGP computation, build
+  FIBs, then trace every traffic class;
+* :func:`trace_forwarding` — dataplane-only tracing over an explicit
+  :class:`~repro.network.fib.Fib`, used by workloads that handcraft FIBs
+  (such as the Figure 1 case study) and by tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.automata.alphabet import DROP
+from repro.errors import RoutingError
+from repro.network.addressing import Prefix
+from repro.network.bgp import BGPComputation, NetworkConfig, SelectedRoutes
+from repro.network.fib import Fib, build_fibs
+from repro.network.topology import Topology
+from repro.rela.locations import Granularity
+from repro.snapshots.fec import FlowEquivalenceClass
+from repro.snapshots.forwarding_graph import ForwardingGraph
+from repro.snapshots.snapshot import Snapshot
+
+
+@dataclass(slots=True)
+class TraceOptions:
+    """Options controlling forwarding-graph construction."""
+
+    #: Granularity of the emitted graphs (interface expands parallel links).
+    granularity: Granularity = Granularity.ROUTER
+    #: Safety bound on the number of routers visited per trace.
+    max_hops: int = 1024
+
+
+def trace_forwarding(
+    topology: Topology,
+    fib: Fib,
+    ingress: str,
+    destination: Prefix | str,
+    *,
+    options: TraceOptions | None = None,
+) -> ForwardingGraph:
+    """Trace the forwarding graph of traffic entering at ``ingress``.
+
+    The trace follows FIB longest-prefix-match decisions hop by hop,
+    recording every (router, next-hop) edge used.  Routers whose entry marks
+    them as egress become sinks; missing entries or explicit drop entries
+    send traffic to the special ``drop`` sink.
+    """
+    options = options or TraceOptions()
+    destination = Prefix.coerce(destination)
+    if not topology.has_router(ingress):
+        raise RoutingError(f"unknown ingress router {ingress!r}")
+
+    router_graph = ForwardingGraph(granularity=Granularity.ROUTER)
+    router_graph.add_node(ingress)
+    router_graph.sources.add(ingress)
+
+    visited: set[str] = set()
+    queue: deque[str] = deque([ingress])
+    hops = 0
+    dropped = False
+    while queue and hops < options.max_hops:
+        router = queue.popleft()
+        if router in visited:
+            continue
+        visited.add(router)
+        hops += 1
+        entry = fib.lookup(router, destination)
+        if entry is None or entry.is_drop():
+            # Dropped traffic is modelled as the special single-location path
+            # "drop" (paper Section 5.1), not as a partial path.
+            dropped = True
+            continue
+        if entry.egress:
+            router_graph.sinks.add(router)
+            if entry.next_hops:
+                # An egress that also forwards (e.g. anycast origin) keeps going.
+                pass
+            else:
+                continue
+        for next_hop in sorted(entry.next_hops):
+            if not topology.has_router(next_hop):
+                raise RoutingError(
+                    f"FIB of {router!r} points to unknown router {next_hop!r}"
+                )
+            router_graph.add_edge(router, next_hop)
+            if next_hop not in visited:
+                queue.append(next_hop)
+
+    if dropped:
+        router_graph.add_node(DROP)
+        router_graph.sources.add(DROP)
+        router_graph.sinks.add(DROP)
+
+    if options.granularity is Granularity.ROUTER:
+        return router_graph
+    if options.granularity is Granularity.GROUP:
+        mapping = {router.name: router.group for router in topology}
+        return router_graph.coarsen(mapping, Granularity.GROUP)
+    return _expand_to_interfaces(topology, router_graph)
+
+
+def _expand_to_interfaces(topology: Topology, router_graph: ForwardingGraph) -> ForwardingGraph:
+    """Expand a router-level graph to interface granularity.
+
+    Every router-level edge ``u -> v`` becomes, per parallel link member, an
+    edge from the member's ``u``-side interface to its ``v``-side interface;
+    consecutive hops are stitched inside each router (ingress interface to
+    egress interface).  Ingress routers contribute their loopback as the
+    source location and egress routers their loopback as the sink, so paths
+    always start and end at a stable per-router location.
+    """
+    graph = ForwardingGraph(granularity=Granularity.INTERFACE)
+
+    def loopback(router: str) -> str:
+        return f"{router}:lo0"
+
+    # Interfaces at which traffic can enter each router (loopback for sources).
+    entry_points: dict[str, set[str]] = {}
+    for source in router_graph.sources:
+        if source == DROP:
+            graph.add_node(DROP)
+            graph.sources.add(DROP)
+            graph.sinks.add(DROP)
+            continue
+        entry_points.setdefault(source, set()).add(loopback(source))
+        graph.sources.add(loopback(source))
+        graph.add_node(loopback(source))
+
+    # First pass: record the per-edge interface pairs.
+    edge_interfaces: dict[tuple[str, str], list[tuple[str, str]]] = {}
+    for src, dst in sorted(router_graph.edges):
+        if dst == DROP:
+            continue
+        members = topology.links_between(src, dst)
+        pairs: list[tuple[str, str]] = []
+        for link in members:
+            if link.a == src:
+                pairs.append((link.interface_a(), link.interface_b()))
+            else:
+                pairs.append((link.interface_b(), link.interface_a()))
+        if not pairs:
+            raise RoutingError(f"forwarding edge {src!r}->{dst!r} has no physical link")
+        edge_interfaces[(src, dst)] = pairs
+        for egress_iface, ingress_iface in pairs:
+            graph.add_edge(egress_iface, ingress_iface)
+            entry_points.setdefault(dst, set()).add(ingress_iface)
+
+    # Second pass: stitch entry interfaces to egress interfaces inside routers,
+    # and handle drops and sinks.
+    for src, dst in sorted(router_graph.edges):
+        if dst == DROP:
+            for entry in sorted(entry_points.get(src, {loopback(src)})):
+                graph.add_edge(entry, DROP)
+            graph.sinks.add(DROP)
+            continue
+        for entry in sorted(entry_points.get(src, {loopback(src)})):
+            for egress_iface, _ingress_iface in edge_interfaces[(src, dst)]:
+                graph.add_edge(entry, egress_iface)
+    for sink in router_graph.sinks:
+        if sink == DROP:
+            graph.add_node(DROP)
+            graph.sinks.add(DROP)
+            continue
+        sink_lo = loopback(sink)
+        graph.add_node(sink_lo)
+        for entry in sorted(entry_points.get(sink, set())):
+            if entry != sink_lo:
+                graph.add_edge(entry, sink_lo)
+        graph.sinks.add(sink_lo)
+    return graph
+
+
+class Simulator:
+    """The full control-plane + dataplane simulation pipeline."""
+
+    def __init__(self, topology: Topology, config: NetworkConfig):
+        self.topology = topology
+        self.config = config
+        self._selected: SelectedRoutes | None = None
+        self._fib: Fib | None = None
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def compute_routes(self) -> SelectedRoutes:
+        """Run the BGP computation (cached)."""
+        if self._selected is None:
+            self._selected = BGPComputation(self.topology, self.config).compute()
+        return self._selected
+
+    def fib(self) -> Fib:
+        """The FIBs derived from the routing computation (cached)."""
+        if self._fib is None:
+            self._fib = build_fibs(self.topology, self.compute_routes())
+        return self._fib
+
+    # ------------------------------------------------------------------
+    # Dataplane
+    # ------------------------------------------------------------------
+    def trace(
+        self,
+        ingress: str,
+        destination: Prefix | str,
+        *,
+        granularity: Granularity = Granularity.ROUTER,
+    ) -> ForwardingGraph:
+        """Forwarding graph of one traffic class."""
+        return trace_forwarding(
+            self.topology,
+            self.fib(),
+            ingress,
+            destination,
+            options=TraceOptions(granularity=granularity),
+        )
+
+    def snapshot(
+        self,
+        fecs: list[FlowEquivalenceClass],
+        *,
+        name: str = "snapshot",
+        granularity: Granularity = Granularity.ROUTER,
+    ) -> Snapshot:
+        """Simulate all traffic classes and assemble a snapshot."""
+        snapshot = Snapshot(name=name, granularity=granularity)
+        for fec in fecs:
+            graph = self.trace(fec.ingress, fec.dst_prefix, granularity=granularity)
+            snapshot.add(fec, graph)
+        return snapshot

@@ -1,0 +1,254 @@
+"""Network topology model: routers, router groups, regions, ASes and links.
+
+The topology is the static substrate beneath everything else: the routing
+simulator computes paths over it, the location database used by Rela ``where``
+queries is derived from it, and the synthetic backbone generator
+(:mod:`repro.workloads.backbone`) produces instances of it.
+
+The model mirrors the structure described in Section 2.1 of the paper: the
+network is divided into BGP autonomous systems; each AS spans geographic
+regions; each region contains *router groups* (circles in Figure 1) of
+functionally equivalent routers; routers are connected by (possibly many
+parallel) physical links, each with an IGP cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Iterator
+
+from repro.errors import TopologyError
+from repro.rela.locations import Location, LocationDB
+
+
+@dataclass(frozen=True, slots=True)
+class Router:
+    """A router (device)."""
+
+    name: str
+    group: str
+    region: str = ""
+    asn: int = 0
+    tier: str = ""
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Link:
+    """One physical link member between two routers.
+
+    Parallel links between the same router pair are modelled as multiple
+    :class:`Link` records with distinct ``member`` indices; this is what
+    makes interface-level analysis much heavier than router-level analysis
+    (paper Section 6.1 and Figure 7).
+    """
+
+    a: str
+    b: str
+    member: int = 0
+    cost: int = 1
+
+    def interface_a(self) -> str:
+        """Name of the interface on router ``a``."""
+        return f"{self.a}|{self.b}|{self.member}"
+
+    def interface_b(self) -> str:
+        """Name of the interface on router ``b``."""
+        return f"{self.b}|{self.a}|{self.member}"
+
+    def endpoints(self) -> tuple[str, str]:
+        return (self.a, self.b)
+
+    def __str__(self) -> str:
+        return f"{self.a}<->{self.b}#{self.member}"
+
+
+class Topology:
+    """A network topology: routers plus (parallel) links."""
+
+    def __init__(self, name: str = "network"):
+        self.name = name
+        self._routers: dict[str, Router] = {}
+        self._links: list[Link] = []
+        self._adjacency: dict[str, set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_router(
+        self,
+        name: str,
+        *,
+        group: str,
+        region: str = "",
+        asn: int = 0,
+        tier: str = "",
+    ) -> Router:
+        """Add a router; the group/region/ASN become queryable attributes."""
+        if name in self._routers:
+            raise TopologyError(f"duplicate router {name!r}")
+        router = Router(name=name, group=group, region=region, asn=asn, tier=tier)
+        self._routers[name] = router
+        self._adjacency[name] = set()
+        return router
+
+    def add_link(self, a: str, b: str, *, members: int = 1, cost: int = 1) -> list[Link]:
+        """Add ``members`` parallel links between two existing routers."""
+        if a not in self._routers or b not in self._routers:
+            raise TopologyError(f"link endpoints must be existing routers: {a!r}, {b!r}")
+        if a == b:
+            raise TopologyError(f"self-links are not allowed: {a!r}")
+        if members < 1:
+            raise TopologyError("a link bundle needs at least one member")
+        created = [Link(a=a, b=b, member=index, cost=cost) for index in range(members)]
+        self._links.extend(created)
+        self._adjacency[a].add(b)
+        self._adjacency[b].add(a)
+        return created
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_routers(self) -> int:
+        return len(self._routers)
+
+    @property
+    def num_links(self) -> int:
+        return len(self._links)
+
+    def routers(self) -> list[Router]:
+        """All routers."""
+        return list(self._routers.values())
+
+    def router(self, name: str) -> Router:
+        """Look up a router by name."""
+        try:
+            return self._routers[name]
+        except KeyError:
+            raise TopologyError(f"unknown router {name!r}") from None
+
+    def has_router(self, name: str) -> bool:
+        return name in self._routers
+
+    def links(self) -> list[Link]:
+        """All link members."""
+        return list(self._links)
+
+    def neighbors(self, name: str) -> set[str]:
+        """Routers adjacent to ``name``."""
+        if name not in self._adjacency:
+            raise TopologyError(f"unknown router {name!r}")
+        return set(self._adjacency[name])
+
+    def links_between(self, a: str, b: str) -> list[Link]:
+        """All parallel link members between two routers (either direction)."""
+        return [
+            link
+            for link in self._links
+            if (link.a == a and link.b == b) or (link.a == b and link.b == a)
+        ]
+
+    def link_cost(self, a: str, b: str) -> int:
+        """The minimum IGP cost among parallel members between two routers."""
+        members = self.links_between(a, b)
+        if not members:
+            raise TopologyError(f"no link between {a!r} and {b!r}")
+        return min(link.cost for link in members)
+
+    def routers_in_group(self, group: str) -> list[Router]:
+        """All routers belonging to a router group."""
+        return [router for router in self._routers.values() if router.group == group]
+
+    def routers_in_region(self, region: str) -> list[Router]:
+        """All routers belonging to a geographic region."""
+        return [router for router in self._routers.values() if router.region == region]
+
+    def routers_in_asn(self, asn: int) -> list[Router]:
+        """All routers belonging to a BGP autonomous system."""
+        return [router for router in self._routers.values() if router.asn == asn]
+
+    def groups(self) -> set[str]:
+        """All router group names."""
+        return {router.group for router in self._routers.values()}
+
+    def __iter__(self) -> Iterator[Router]:
+        return iter(self._routers.values())
+
+    # ------------------------------------------------------------------
+    # Derived artifacts
+    # ------------------------------------------------------------------
+    def to_location_db(self) -> LocationDB:
+        """Build the Rela location database for this topology.
+
+        One record per link interface is created (plus a loopback per router
+        so routers without links remain queryable); record attributes carry
+        the router/group/region/ASN/tier metadata used by ``where`` queries.
+        """
+        db = LocationDB()
+        seen_interfaces: set[str] = set()
+        for link in self._links:
+            for interface, owner in ((link.interface_a(), link.a), (link.interface_b(), link.b)):
+                if interface in seen_interfaces:
+                    continue
+                seen_interfaces.add(interface)
+                router = self._routers[owner]
+                db.add(
+                    Location(
+                        interface=interface,
+                        router=router.name,
+                        group=router.group,
+                        region=router.region,
+                        asn=router.asn,
+                        tier=router.tier,
+                    )
+                )
+        for router in self._routers.values():
+            loopback = f"{router.name}:lo0"
+            if loopback not in seen_interfaces:
+                db.add(
+                    Location(
+                        interface=loopback,
+                        router=router.name,
+                        group=router.group,
+                        region=router.region,
+                        asn=router.asn,
+                        tier=router.tier,
+                    )
+                )
+        return db
+
+    def validate(self) -> None:
+        """Check structural invariants (dangling links, empty groups)."""
+        for link in self._links:
+            if link.a not in self._routers or link.b not in self._routers:
+                raise TopologyError(f"link {link} references unknown routers")
+        for router in self._routers.values():
+            if not router.group:
+                raise TopologyError(f"router {router.name!r} has no group")
+
+    def subset(self, router_names: Iterable[str], *, name: str | None = None) -> "Topology":
+        """The sub-topology induced by the given routers."""
+        keep = set(router_names)
+        missing = keep - set(self._routers)
+        if missing:
+            raise TopologyError(f"unknown routers in subset: {sorted(missing)}")
+        sub = Topology(name=name or f"{self.name}-subset")
+        for router_name in keep:
+            router = self._routers[router_name]
+            sub.add_router(
+                router.name,
+                group=router.group,
+                region=router.region,
+                asn=router.asn,
+                tier=router.tier,
+            )
+        bundles: dict[tuple[str, str, int], int] = {}
+        for link in self._links:
+            if link.a in keep and link.b in keep:
+                bundles[(link.a, link.b, link.cost)] = bundles.get((link.a, link.b, link.cost), 0) + 1
+        for (a, b, cost), members in bundles.items():
+            sub.add_link(a, b, members=members, cost=cost)
+        return sub

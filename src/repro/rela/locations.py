@@ -1,0 +1,356 @@
+"""Network locations, granularity levels and the location database.
+
+Rela path expressions are regular expressions over *network locations*
+(Section 4).  A location can be viewed at three granularities:
+
+* ``INTERFACE`` — an individual router interface ("a1-r1:et-1");
+* ``ROUTER`` — a device ("a1-r1");
+* ``GROUP`` — a router group, i.e. a set of routers fulfilling the same
+  function ("A1").
+
+The paper pairs Rela with a database of all locations in the network and a
+``where`` query facility that selects locations by attribute (for example
+``where(group == "A1")``).  :class:`LocationDB` reproduces that facility: it
+stores one record per interface and can answer queries and perform
+granularity conversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from collections.abc import Callable, Iterable, Iterator
+
+from repro.automata.regex import Regex, SymSet
+from repro.errors import LocationError
+
+
+class Granularity(str, Enum):
+    """The level at which forwarding hops are identified."""
+
+    INTERFACE = "interface"
+    ROUTER = "router"
+    GROUP = "group"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Order from finest to coarsest; used to validate conversions.
+_GRANULARITY_ORDER = {
+    Granularity.INTERFACE: 0,
+    Granularity.ROUTER: 1,
+    Granularity.GROUP: 2,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Location:
+    """One interface-level location record.
+
+    Attributes mirror the kinds of metadata the paper's database exposes:
+    the owning router, the router group, the geographic region, the BGP
+    autonomous system and the device tier (role).  ``extra`` carries any
+    additional operator-defined attributes usable in ``where`` queries.
+    """
+
+    interface: str
+    router: str
+    group: str
+    region: str = ""
+    asn: int = 0
+    tier: str = ""
+    extra: dict[str, str] = field(default_factory=dict, compare=False, hash=False)
+
+    def name_at(self, granularity: Granularity) -> str:
+        """The symbol name this location contributes at ``granularity``."""
+        if granularity is Granularity.INTERFACE:
+            return self.interface
+        if granularity is Granularity.ROUTER:
+            return self.router
+        return self.group
+
+    def attribute(self, key: str) -> object:
+        """Look up an attribute by name (built-in fields first, then extras)."""
+        if key in ("interface", "router", "group", "region", "asn", "tier"):
+            return getattr(self, key)
+        if key in self.extra:
+            return self.extra[key]
+        raise LocationError(f"location {self.interface!r} has no attribute {key!r}")
+
+
+class LocationDB:
+    """The network's location database (paper Section 4).
+
+    Records are added per interface; queries can be answered at any
+    granularity.  The database also knows how to map symbol names between
+    granularities, which the verifier uses when a spec is written at a
+    coarser level than the forwarding data.
+    """
+
+    def __init__(self, locations: Iterable[Location] = ()):
+        self._by_interface: dict[str, Location] = {}
+        for location in locations:
+            self.add(location)
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def add(self, location: Location) -> None:
+        """Register a location record."""
+        if location.interface in self._by_interface:
+            raise LocationError(f"duplicate interface {location.interface!r}")
+        self._by_interface[location.interface] = location
+
+    def add_router(
+        self,
+        router: str,
+        *,
+        group: str,
+        region: str = "",
+        asn: int = 0,
+        tier: str = "",
+        interfaces: Iterable[str] = (),
+        **extra: str,
+    ) -> list[Location]:
+        """Convenience helper to register a router and its interfaces at once.
+
+        When ``interfaces`` is empty a single pseudo-interface named after the
+        router is created so the router is still queryable at interface
+        granularity.
+        """
+        names = list(interfaces) or [f"{router}:lo0"]
+        created = []
+        for name in names:
+            location = Location(
+                interface=name,
+                router=router,
+                group=group,
+                region=region,
+                asn=asn,
+                tier=tier,
+                extra=dict(extra),
+            )
+            self.add(location)
+            created.append(location)
+        return created
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._by_interface)
+
+    def __iter__(self) -> Iterator[Location]:
+        return iter(self._by_interface.values())
+
+    def locations(self) -> list[Location]:
+        """All interface-level records."""
+        return list(self._by_interface.values())
+
+    def names_at(self, granularity: Granularity) -> set[str]:
+        """All symbol names that exist at the given granularity."""
+        return {loc.name_at(granularity) for loc in self._by_interface.values()}
+
+    def routers(self) -> set[str]:
+        """All router names."""
+        return self.names_at(Granularity.ROUTER)
+
+    def groups(self) -> set[str]:
+        """All router-group names."""
+        return self.names_at(Granularity.GROUP)
+
+    def router_of_interface(self, interface: str) -> str:
+        """The router owning ``interface``."""
+        try:
+            return self._by_interface[interface].router
+        except KeyError:
+            raise LocationError(f"unknown interface {interface!r}") from None
+
+    def group_of_router(self, router: str) -> str:
+        """The group of ``router`` (routers belong to exactly one group)."""
+        for location in self._by_interface.values():
+            if location.router == router:
+                return location.group
+        raise LocationError(f"unknown router {router!r}")
+
+    def coarsen(self, name: str, source: Granularity, target: Granularity) -> str:
+        """Map a symbol name from a finer to a coarser granularity."""
+        if _GRANULARITY_ORDER[target] < _GRANULARITY_ORDER[source]:
+            raise LocationError(
+                f"cannot refine {source.value} name {name!r} to {target.value}"
+            )
+        if source is target:
+            return name
+        for location in self._by_interface.values():
+            if location.name_at(source) == name:
+                return location.name_at(target)
+        raise LocationError(f"unknown {source.value} name {name!r}")
+
+    def coarsening_map(self, source: Granularity, target: Granularity) -> dict[str, str]:
+        """Mapping of every ``source``-level name to its ``target``-level name."""
+        if _GRANULARITY_ORDER[target] < _GRANULARITY_ORDER[source]:
+            raise LocationError(f"cannot refine {source.value} to {target.value}")
+        mapping: dict[str, str] = {}
+        for location in self._by_interface.values():
+            mapping[location.name_at(source)] = location.name_at(target)
+        return mapping
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        predicate: Callable[[Location], bool],
+        *,
+        granularity: Granularity = Granularity.ROUTER,
+    ) -> set[str]:
+        """Names (at ``granularity``) of locations satisfying ``predicate``."""
+        return {
+            loc.name_at(granularity) for loc in self._by_interface.values() if predicate(loc)
+        }
+
+    def where(
+        self,
+        query: str | None = None,
+        *,
+        granularity: Granularity = Granularity.ROUTER,
+        **attrs: object,
+    ) -> Regex:
+        """The paper's ``where`` query: a one-hop path set of matching locations.
+
+        Either a query string (``'group == "A1" and region == "A"'``) or
+        keyword equality constraints (``group="A1"``) may be given.  The
+        result is a :class:`~repro.automata.regex.SymSet` regex usable
+        directly inside zone expressions.
+        """
+        if query is not None:
+            predicate = _parse_where(query)
+        else:
+            def predicate(loc: Location) -> bool:
+                return all(loc.attribute(key) == value for key, value in attrs.items())
+
+        names = self.select(predicate, granularity=granularity)
+        if not names:
+            raise LocationError(
+                f"where query matched no locations (query={query!r}, attrs={attrs!r})"
+            )
+        return SymSet(frozenset(names))
+
+
+def _parse_where(query: str) -> Callable[[Location], bool]:
+    """Parse a ``where`` query string into a predicate on locations.
+
+    Supported grammar (case-sensitive attribute names)::
+
+        expr   := term ("or" term)*
+        term   := factor ("and" factor)*
+        factor := "not" factor | "(" expr ")" | comparison
+        comparison := attr ("==" | "!=") literal | attr "in" "[" literal, ... "]"
+
+    Literals are quoted strings or integers.
+    """
+    tokens = _tokenize_where(query)
+    parser = _WhereParser(tokens, query)
+    predicate = parser.parse_expr()
+    parser.expect_end()
+    return predicate
+
+
+def _tokenize_where(query: str) -> list[str]:
+    import re
+
+    token_re = re.compile(
+        r"\s*(==|!=|\(|\)|\[|\]|,|and\b|or\b|not\b|in\b|\"[^\"]*\"|'[^']*'|[A-Za-z_][A-Za-z_0-9]*|\d+)"
+    )
+    tokens: list[str] = []
+    index = 0
+    while index < len(query):
+        match = token_re.match(query, index)
+        if match is None:
+            if query[index:].strip():
+                raise LocationError(f"cannot tokenize where query at {query[index:]!r}")
+            break
+        tokens.append(match.group(1))
+        index = match.end()
+    return tokens
+
+
+class _WhereParser:
+    def __init__(self, tokens: list[str], query: str):
+        self.tokens = tokens
+        self.query = query
+        self.pos = 0
+
+    def _peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _advance(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise LocationError(f"unexpected end of where query {self.query!r}")
+        self.pos += 1
+        return token
+
+    def expect_end(self) -> None:
+        if self._peek() is not None:
+            raise LocationError(f"trailing tokens in where query {self.query!r}")
+
+    def parse_expr(self) -> Callable[[Location], bool]:
+        terms = [self.parse_term()]
+        while self._peek() == "or":
+            self._advance()
+            terms.append(self.parse_term())
+        return lambda loc: any(term(loc) for term in terms)
+
+    def parse_term(self) -> Callable[[Location], bool]:
+        factors = [self.parse_factor()]
+        while self._peek() == "and":
+            self._advance()
+            factors.append(self.parse_factor())
+        return lambda loc: all(factor(loc) for factor in factors)
+
+    def parse_factor(self) -> Callable[[Location], bool]:
+        token = self._peek()
+        if token == "not":
+            self._advance()
+            inner = self.parse_factor()
+            return lambda loc: not inner(loc)
+        if token == "(":
+            self._advance()
+            inner = self.parse_expr()
+            if self._advance() != ")":
+                raise LocationError(f"expected ')' in where query {self.query!r}")
+            return inner
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Callable[[Location], bool]:
+        attr = self._advance()
+        operator = self._advance()
+        if operator == "in":
+            if self._advance() != "[":
+                raise LocationError(f"expected '[' after 'in' in {self.query!r}")
+            values = []
+            while True:
+                values.append(self._literal(self._advance()))
+                token = self._advance()
+                if token == "]":
+                    break
+                if token != ",":
+                    raise LocationError(f"expected ',' or ']' in {self.query!r}")
+            allowed = set(values)
+            return lambda loc: loc.attribute(attr) in allowed
+        if operator not in ("==", "!="):
+            raise LocationError(f"unsupported operator {operator!r} in {self.query!r}")
+        value = self._literal(self._advance())
+        if operator == "==":
+            return lambda loc: loc.attribute(attr) == value
+        return lambda loc: loc.attribute(attr) != value
+
+    @staticmethod
+    def _literal(token: str) -> object:
+        if token and token[0] in "\"'":
+            return token[1:-1]
+        if token.isdigit():
+            return int(token)
+        return token

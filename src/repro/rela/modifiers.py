@@ -1,0 +1,129 @@
+"""Rela path modifiers (paper Figure 2).
+
+A modifier describes how the paths inside a zone are expected to differ
+between the pre-change and post-change snapshots:
+
+* :class:`Preserve` — paths in the zone must be identical in both snapshots;
+* :class:`Add` — the given paths are added (conditionally on the zone being
+  populated in the pre-change network), everything else in the zone stays;
+* :class:`Remove` — the given paths are removed, everything else stays;
+* :class:`Replace` — paths matching the first argument are replaced by all
+  paths of the second argument; pre-existing target paths stay;
+* :class:`Drop` — traffic in the zone is dropped after the change;
+* :class:`Any` — traffic in the zone moves to *some* path of the argument
+  (a non-deterministic replacement).
+
+The actual meaning of each modifier is given by its translation to RIR
+relations (Figure 4), implemented in :mod:`repro.rela.compile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.regex import Regex
+from repro.rela.pathexpr import PathLike, as_regex
+
+
+class Modifier:
+    """Base class for Rela path modifiers."""
+
+    __slots__ = ()
+
+    #: Keyword used in the textual syntax (overridden by subclasses).
+    keyword = ""
+
+    def __str__(self) -> str:
+        return self.keyword
+
+
+@dataclass(frozen=True, slots=True)
+class Preserve(Modifier):
+    """``preserve``: the zone's paths must not change."""
+
+    keyword = "preserve"
+
+
+@dataclass(frozen=True, slots=True)
+class Add(Modifier):
+    """``add(P)``: the paths of ``P`` appear after the change."""
+
+    paths: Regex
+    keyword = "add"
+
+    def __str__(self) -> str:
+        return f"add({self.paths})"
+
+
+@dataclass(frozen=True, slots=True)
+class Remove(Modifier):
+    """``remove(P)``: the paths of ``P`` disappear after the change."""
+
+    paths: Regex
+    keyword = "remove"
+
+    def __str__(self) -> str:
+        return f"remove({self.paths})"
+
+
+@dataclass(frozen=True, slots=True)
+class Replace(Modifier):
+    """``replace(P1, P2)``: paths in ``P1`` are replaced by all paths in ``P2``."""
+
+    old: Regex
+    new: Regex
+    keyword = "replace"
+
+    def __str__(self) -> str:
+        return f"replace({self.old}, {self.new})"
+
+
+@dataclass(frozen=True, slots=True)
+class Drop(Modifier):
+    """``drop``: the zone's traffic is dropped after the change."""
+
+    keyword = "drop"
+
+
+@dataclass(frozen=True, slots=True)
+class Any(Modifier):
+    """``any(P)``: the zone's traffic moves to some path in ``P``."""
+
+    paths: Regex
+    keyword = "any"
+
+    def __str__(self) -> str:
+        return f"any({self.paths})"
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors accepting strings or Regex values
+# ----------------------------------------------------------------------
+def preserve() -> Preserve:
+    """Build a ``preserve`` modifier."""
+    return Preserve()
+
+
+def add(paths: PathLike) -> Add:
+    """Build an ``add(P)`` modifier."""
+    return Add(as_regex(paths))
+
+
+def remove(paths: PathLike) -> Remove:
+    """Build a ``remove(P)`` modifier."""
+    return Remove(as_regex(paths))
+
+
+def replace(old: PathLike, new: PathLike) -> Replace:
+    """Build a ``replace(P1, P2)`` modifier."""
+    return Replace(as_regex(old), as_regex(new))
+
+
+def drop() -> Drop:
+    """Build a ``drop`` modifier."""
+    return Drop()
+
+
+def any_of(paths: PathLike) -> Any:
+    """Build an ``any(P)`` modifier."""
+    return Any(as_regex(paths))

@@ -1,0 +1,362 @@
+"""Textual front end for Rela specifications.
+
+The embedded-in-Python API (:mod:`repro.rela.spec`) is the primary interface,
+mirroring the paper's implementation of Rela as a Python-embedded DSL.  This
+module additionally provides a small standalone text format so specs can be
+stored in change tickets and version control.  Example::
+
+    regex a1 := where(group == "A1")
+    regex d1 := where(group == "D1")
+    regex oldpath := a1 b1 b2 b3 d1
+    regex newpath := a1 a2 a3 d1
+
+    spec pathShift := { a1 .* d1 : any(newpath) ; }
+    spec e2e := { a* : preserve ; pathShift ; d* : preserve ; }
+    spec nochange := { .* : preserve ; }
+    spec change := e2e else nochange
+
+    pspec dealloc := (dstPrefix == 10.0.0.0/24) -> change
+
+Statements, one per line (blank lines and ``#`` comments are ignored):
+
+``regex NAME := EXPR``
+    Defines a named path expression.  ``EXPR`` is either a ``where(...)``
+    database query or a path regex; previously defined names can be used as
+    atoms.
+
+``spec NAME := { ITEM ; ITEM ; ... }``
+    Defines a (possibly sequential) spec.  Each ``ITEM`` is either
+    ``ZONE : MODIFIER`` or the name of a previously defined spec.
+
+``spec NAME := NAME else NAME [else NAME ...]``
+    Defines a prioritized union of previously defined specs.
+
+``pspec NAME := (PREDICATE) -> SPECNAME``
+    Defines a prefix-guarded spec.  Predicates support ``dstPrefix``,
+    ``srcPrefix`` (with ``==`` meaning "is contained in") and ``ingress in
+    [loc, ...]``, combined with ``and`` / ``or`` / ``not``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.automata.regex import Regex, parse_regex
+from repro.errors import SpecSyntaxError
+from repro.rela import modifiers as mods
+from repro.rela.locations import Granularity, LocationDB
+from repro.rela.pspec import (
+    DstPrefixWithin,
+    IngressIn,
+    PredAnd,
+    PredNot,
+    PredOr,
+    PrefixPredicate,
+    PSpec,
+    SrcPrefixWithin,
+)
+from repro.rela.spec import AtomicSpec, RelaSpec, SeqSpec, else_chain
+
+
+@dataclass(slots=True)
+class ParsedProgram:
+    """The result of parsing a Rela program text."""
+
+    regexes: dict[str, Regex] = field(default_factory=dict)
+    specs: dict[str, RelaSpec] = field(default_factory=dict)
+    pspecs: dict[str, PSpec] = field(default_factory=dict)
+
+    def spec(self, name: str) -> RelaSpec:
+        """Look up a named spec."""
+        try:
+            return self.specs[name]
+        except KeyError:
+            raise SpecSyntaxError(f"unknown spec {name!r}") from None
+
+
+_STATEMENT_RE = re.compile(
+    r"^(?P<kind>regex|spec|pspec)\s+(?P<name>[A-Za-z_][A-Za-z_0-9]*)\s*:=\s*(?P<body>.+)$"
+)
+_WHERE_RE = re.compile(r"^where\s*\((?P<query>.*)\)\s*$", re.DOTALL)
+
+
+class RelaParser:
+    """Parser for the textual Rela format."""
+
+    def __init__(
+        self,
+        db: LocationDB | None = None,
+        *,
+        granularity: Granularity = Granularity.ROUTER,
+    ):
+        self.db = db
+        self.granularity = granularity
+
+    # ------------------------------------------------------------------
+    # Program level
+    # ------------------------------------------------------------------
+    def parse_program(self, text: str) -> ParsedProgram:
+        """Parse a whole program (sequence of statements)."""
+        program = ParsedProgram()
+        for line_number, raw_line in enumerate(self._logical_lines(text), start=1):
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            match = _STATEMENT_RE.match(line)
+            if match is None:
+                raise SpecSyntaxError(f"cannot parse statement on line {line_number}: {line!r}")
+            kind = match.group("kind")
+            name = match.group("name")
+            body = match.group("body").strip()
+            if kind == "regex":
+                program.regexes[name] = self._parse_regex_body(body, program)
+            elif kind == "spec":
+                program.specs[name] = self._parse_spec_body(body, program).named(name)
+            else:
+                program.pspecs[name] = self._parse_pspec_body(body, program, name)
+        return program
+
+    @staticmethod
+    def _logical_lines(text: str) -> list[str]:
+        """Join statements that span multiple physical lines (open braces)."""
+        lines: list[str] = []
+        buffer = ""
+        depth = 0
+        for physical in text.splitlines():
+            stripped = physical.split("#", 1)[0]
+            buffer = f"{buffer} {stripped}".strip() if buffer else stripped
+            depth = buffer.count("{") - buffer.count("}") + buffer.count("(") - buffer.count(")")
+            if depth <= 0 and buffer:
+                lines.append(buffer)
+                buffer = ""
+        if buffer:
+            lines.append(buffer)
+        return lines
+
+    # ------------------------------------------------------------------
+    # regex statements
+    # ------------------------------------------------------------------
+    def _parse_regex_body(self, body: str, program: ParsedProgram) -> Regex:
+        where_match = _WHERE_RE.match(body)
+        if where_match is not None:
+            if self.db is None:
+                raise SpecSyntaxError("where(...) queries require a LocationDB")
+            return self.db.where(where_match.group("query"), granularity=self.granularity)
+        return self.parse_path_expression(body, program)
+
+    def parse_path_expression(self, text: str, program: ParsedProgram | None = None) -> Regex:
+        """Parse a path regex, resolving names defined earlier in the program."""
+        defined = program.regexes if program is not None else {}
+
+        def resolve(identifier: str) -> Regex | None:
+            return defined.get(identifier)
+
+        return parse_regex(text, resolve)
+
+    # ------------------------------------------------------------------
+    # spec statements
+    # ------------------------------------------------------------------
+    def _parse_spec_body(self, body: str, program: ParsedProgram) -> RelaSpec:
+        if body.startswith("{"):
+            if not body.endswith("}"):
+                raise SpecSyntaxError(f"unterminated spec body: {body!r}")
+            return self._parse_spec_items(body[1:-1], program)
+        # "a else b else c" over previously defined spec names.
+        names = [part.strip() for part in body.split(" else ")]
+        if len(names) < 2:
+            raise SpecSyntaxError(
+                f"spec body must be '{{ ... }}' or an else-chain of names: {body!r}"
+            )
+        branches = [program.spec(name) for name in names]
+        return else_chain(*branches)
+
+    def _parse_spec_items(self, body: str, program: ParsedProgram) -> RelaSpec:
+        items = [item.strip() for item in body.split(";")]
+        parts: list[RelaSpec] = []
+        for item in items:
+            if not item:
+                continue
+            if item in program.specs:
+                parts.append(program.specs[item])
+                continue
+            if ":" not in item:
+                raise SpecSyntaxError(
+                    f"spec item must be 'zone : modifier' or a spec name: {item!r}"
+                )
+            zone_text, modifier_text = item.split(":", 1)
+            zone = self.parse_path_expression(zone_text.strip(), program)
+            modifier = self._parse_modifier(modifier_text.strip(), program)
+            parts.append(AtomicSpec(zone, modifier))
+        if not parts:
+            raise SpecSyntaxError("spec body has no items")
+        if len(parts) == 1:
+            return parts[0]
+        return SeqSpec(tuple(parts))
+
+    def _parse_modifier(self, text: str, program: ParsedProgram) -> mods.Modifier:
+        if text == "preserve":
+            return mods.Preserve()
+        if text == "drop":
+            return mods.Drop()
+        call = re.match(r"^(?P<fn>add|remove|replace|any)\s*\((?P<args>.*)\)$", text)
+        if call is None:
+            raise SpecSyntaxError(f"unknown modifier {text!r}")
+        fn = call.group("fn")
+        args = self._split_args(call.group("args"))
+        if fn == "add" and len(args) == 1:
+            return mods.Add(self.parse_path_expression(args[0], program))
+        if fn == "remove" and len(args) == 1:
+            return mods.Remove(self.parse_path_expression(args[0], program))
+        if fn == "any" and len(args) == 1:
+            return mods.Any(self.parse_path_expression(args[0], program))
+        if fn == "replace" and len(args) == 2:
+            return mods.Replace(
+                self.parse_path_expression(args[0], program),
+                self.parse_path_expression(args[1], program),
+            )
+        raise SpecSyntaxError(f"modifier {fn!r} given {len(args)} argument(s)")
+
+    @staticmethod
+    def _split_args(text: str) -> list[str]:
+        args: list[str] = []
+        depth = 0
+        current = ""
+        for char in text:
+            if char == "," and depth == 0:
+                args.append(current.strip())
+                current = ""
+                continue
+            if char == "(":
+                depth += 1
+            elif char == ")":
+                depth -= 1
+            current += char
+        if current.strip():
+            args.append(current.strip())
+        return args
+
+    # ------------------------------------------------------------------
+    # pspec statements
+    # ------------------------------------------------------------------
+    def _parse_pspec_body(self, body: str, program: ParsedProgram, name: str) -> PSpec:
+        if "->" not in body:
+            raise SpecSyntaxError(f"pspec must have the form '(pred) -> spec': {body!r}")
+        predicate_text, spec_name = body.rsplit("->", 1)
+        predicate = self.parse_predicate(predicate_text.strip())
+        spec = program.spec(spec_name.strip())
+        return PSpec(predicate, spec, name)
+
+    def parse_predicate(self, text: str) -> PrefixPredicate:
+        """Parse a prefix predicate expression."""
+        tokens = _tokenize_predicate(text)
+        parser = _PredicateParser(tokens, text)
+        predicate = parser.parse_or()
+        parser.expect_end()
+        return predicate
+
+
+_PREDICATE_TOKEN_RE = re.compile(
+    r"\s*(==|\(|\)|\[|\]|,|and\b|or\b|not\b|in\b"
+    r"|dstPrefix\b|srcPrefix\b|ingress\b"
+    r"|[0-9]+\.[0-9]+\.[0-9]+\.[0-9]+/[0-9]+|[0-9a-fA-F:]+/[0-9]+"
+    r"|\"[^\"]*\"|'[^']*'|[A-Za-z_][A-Za-z_0-9\-.:]*)"
+)
+
+
+def _tokenize_predicate(text: str) -> list[str]:
+    tokens: list[str] = []
+    index = 0
+    while index < len(text):
+        match = _PREDICATE_TOKEN_RE.match(text, index)
+        if match is None:
+            if text[index:].strip():
+                raise SpecSyntaxError(f"cannot tokenize predicate at {text[index:]!r}")
+            break
+        tokens.append(match.group(1))
+        index = match.end()
+    return tokens
+
+
+class _PredicateParser:
+    def __init__(self, tokens: list[str], text: str):
+        self.tokens = tokens
+        self.text = text
+        self.pos = 0
+
+    def _peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _advance(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise SpecSyntaxError(f"unexpected end of predicate {self.text!r}")
+        self.pos += 1
+        return token
+
+    def expect_end(self) -> None:
+        if self._peek() is not None:
+            raise SpecSyntaxError(f"trailing tokens in predicate {self.text!r}")
+
+    def parse_or(self) -> PrefixPredicate:
+        left = self.parse_and()
+        while self._peek() == "or":
+            self._advance()
+            left = PredOr(left, self.parse_and())
+        return left
+
+    def parse_and(self) -> PrefixPredicate:
+        left = self.parse_unary()
+        while self._peek() == "and":
+            self._advance()
+            left = PredAnd(left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> PrefixPredicate:
+        token = self._peek()
+        if token == "not":
+            self._advance()
+            return PredNot(self.parse_unary())
+        if token == "(":
+            self._advance()
+            inner = self.parse_or()
+            if self._advance() != ")":
+                raise SpecSyntaxError(f"expected ')' in predicate {self.text!r}")
+            return inner
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> PrefixPredicate:
+        attr = self._advance()
+        operator = self._advance()
+        if attr == "ingress":
+            if operator != "in":
+                raise SpecSyntaxError("ingress predicates use 'ingress in [loc, ...]'")
+            if self._advance() != "[":
+                raise SpecSyntaxError("expected '[' after 'ingress in'")
+            names: list[str] = []
+            while True:
+                token = self._advance()
+                if token == "]":
+                    break
+                if token == ",":
+                    continue
+                names.append(token.strip("\"'"))
+            return IngressIn(names)
+        if operator != "==":
+            raise SpecSyntaxError(f"unsupported predicate operator {operator!r}")
+        prefix = self._advance().strip("\"'")
+        if attr == "dstPrefix":
+            return DstPrefixWithin(prefix)
+        if attr == "srcPrefix":
+            return SrcPrefixWithin(prefix)
+        raise SpecSyntaxError(f"unknown predicate attribute {attr!r}")
+
+
+def parse_program(
+    text: str,
+    db: LocationDB | None = None,
+    *,
+    granularity: Granularity = Granularity.ROUTER,
+) -> ParsedProgram:
+    """Parse a Rela program text (convenience wrapper)."""
+    return RelaParser(db, granularity=granularity).parse_program(text)

@@ -1,0 +1,107 @@
+"""Builder helpers for Rela path (zone) expressions.
+
+Zones and modifier arguments in Rela are regular expressions over network
+locations (Section 4).  Internally they are
+:class:`~repro.automata.regex.Regex` values; this module provides a small,
+readable builder vocabulary so specifications written in Python look close to
+the paper's examples::
+
+    a1 = db.where(group="A1")
+    d1 = db.where(group="D1")
+    zone = seq(a1, any_hops(), d1)            # a1 .* d1
+    old_path = seq(a1, b1, b2, b3, d1)        # a1 b1 b2 b3 d1
+    new_path = seq(a1, a2, a3, d1)            # a1 a2 a3 d1
+
+Strings are also accepted anywhere a sub-expression is expected and parsed
+with the textual regex syntax (``"A1 (B1|B2) D1"``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.automata.alphabet import DROP
+from repro.automata.regex import (
+    AnySym,
+    Empty,
+    Epsilon,
+    Regex,
+    Star,
+    Sym,
+    SymSet,
+    concat_all,
+    parse_regex,
+    union_all,
+)
+
+#: Anything accepted where a path expression is expected.
+PathLike = Regex | str
+
+
+def as_regex(value: PathLike) -> Regex:
+    """Coerce a string or Regex into a Regex."""
+    if isinstance(value, Regex):
+        return value
+    return parse_regex(value)
+
+
+def loc(name: str) -> Regex:
+    """A single specific location."""
+    return Sym(name)
+
+
+def locs(names: Iterable[str]) -> Regex:
+    """Any one location drawn from ``names`` (e.g. a router group)."""
+    names = frozenset(names)
+    if not names:
+        return Empty()
+    return SymSet(names)
+
+
+def any_hop() -> Regex:
+    """Exactly one hop at any location (the ``.`` wildcard)."""
+    return AnySym()
+
+
+def any_hops() -> Regex:
+    """Zero or more hops at any locations (the ``.*`` wildcard)."""
+    return Star(AnySym())
+
+
+def epsilon() -> Regex:
+    """The zero-length path."""
+    return Epsilon()
+
+
+def empty() -> Regex:
+    """The empty path set."""
+    return Empty()
+
+
+def drop_hop() -> Regex:
+    """The special ``drop`` location that models discarded packets."""
+    return Sym(DROP)
+
+
+def seq(*parts: PathLike) -> Regex:
+    """Concatenation of path expressions (one hop after another)."""
+    return concat_all([as_regex(part) for part in parts])
+
+
+def alt(*parts: PathLike) -> Regex:
+    """Union of path expressions."""
+    return union_all([as_regex(part) for part in parts])
+
+
+def star(part: PathLike) -> Regex:
+    """Zero or more repetitions of a path expression."""
+    return Star(as_regex(part))
+
+
+def within(part: PathLike) -> Regex:
+    """Arbitrary-length paths that never leave the given one-hop location set.
+
+    ``within(a)`` is the paper's ``a*`` idiom used for "sub-paths inside
+    region A, whatever they are".
+    """
+    return Star(as_regex(part))

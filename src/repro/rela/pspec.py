@@ -1,0 +1,201 @@
+"""Prefix-predicated specifications (paper Section 7, "Practical Extensions").
+
+Each flow equivalence class (FEC) carries the IP addresses of the traffic it
+describes.  Sometimes a change spec should apply only to specific addresses —
+for example, decommissioning ``10.0.0.0/24`` means *that* prefix must be
+dropped everywhere while everything else stays put.  Rela supports this with
+specs of the form ``prefix-predicate -> change-spec``; the predicate filters
+which FECs a spec applies to and sits outside the core path language.
+
+This module provides:
+
+* the predicate language (:class:`DstPrefixWithin`, :class:`SrcPrefixWithin`,
+  :class:`IngressIn` and boolean combinators);
+* :class:`PSpec`, a guarded spec;
+* :class:`SpecPolicy`, an ordered collection of guarded specs plus a default,
+  which the verifier consults to pick the spec for each FEC (first matching
+  guard wins).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+from repro.errors import SpecSyntaxError
+from repro.rela.spec import RelaSpec
+
+
+def _as_network(prefix: str) -> ipaddress.IPv4Network | ipaddress.IPv6Network:
+    try:
+        return ipaddress.ip_network(prefix, strict=False)
+    except ValueError as exc:
+        raise SpecSyntaxError(f"invalid IP prefix {prefix!r}: {exc}") from exc
+
+
+class PrefixPredicate:
+    """Base class for predicates over flow equivalence classes."""
+
+    __slots__ = ()
+
+    def matches(self, fec: object) -> bool:
+        """Whether this predicate selects the given FEC."""
+        raise NotImplementedError
+
+    def __and__(self, other: PrefixPredicate) -> PrefixPredicate:
+        return PredAnd(self, other)
+
+    def __or__(self, other: PrefixPredicate) -> PrefixPredicate:
+        return PredOr(self, other)
+
+    def __invert__(self) -> PrefixPredicate:
+        return PredNot(self)
+
+
+@dataclass(frozen=True, slots=True)
+class PredTrue(PrefixPredicate):
+    """Matches every FEC."""
+
+    def matches(self, fec: object) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True, slots=True)
+class DstPrefixWithin(PrefixPredicate):
+    """The FEC's destination prefix falls within the given prefix."""
+
+    prefix: str
+
+    def matches(self, fec: object) -> bool:
+        dst = getattr(fec, "dst_prefix", None)
+        if dst is None:
+            return False
+        return _as_network(str(dst)).subnet_of(_as_network(self.prefix))
+
+    def __str__(self) -> str:
+        return f'dstPrefix == {self.prefix}'
+
+
+@dataclass(frozen=True, slots=True)
+class SrcPrefixWithin(PrefixPredicate):
+    """The FEC's source prefix falls within the given prefix."""
+
+    prefix: str
+
+    def matches(self, fec: object) -> bool:
+        src = getattr(fec, "src_prefix", None)
+        if src is None:
+            return False
+        return _as_network(str(src)).subnet_of(_as_network(self.prefix))
+
+    def __str__(self) -> str:
+        return f'srcPrefix == {self.prefix}'
+
+
+@dataclass(frozen=True, slots=True)
+class IngressIn(PrefixPredicate):
+    """The FEC enters the network at one of the given locations."""
+
+    locations: frozenset[str]
+
+    def __init__(self, locations: Iterable[str]):
+        object.__setattr__(self, "locations", frozenset(locations))
+
+    def matches(self, fec: object) -> bool:
+        ingress = getattr(fec, "ingress", None)
+        return ingress in self.locations
+
+    def __str__(self) -> str:
+        return f"ingress in {sorted(self.locations)}"
+
+
+@dataclass(frozen=True, slots=True)
+class PredAnd(PrefixPredicate):
+    left: PrefixPredicate
+    right: PrefixPredicate
+
+    def matches(self, fec: object) -> bool:
+        return self.left.matches(fec) and self.right.matches(fec)
+
+    def __str__(self) -> str:
+        return f"({self.left} and {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class PredOr(PrefixPredicate):
+    left: PrefixPredicate
+    right: PrefixPredicate
+
+    def matches(self, fec: object) -> bool:
+        return self.left.matches(fec) or self.right.matches(fec)
+
+    def __str__(self) -> str:
+        return f"({self.left} or {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class PredNot(PrefixPredicate):
+    inner: PrefixPredicate
+
+    def matches(self, fec: object) -> bool:
+        return not self.inner.matches(fec)
+
+    def __str__(self) -> str:
+        return f"not ({self.inner})"
+
+
+@dataclass(frozen=True, slots=True)
+class PSpec:
+    """A guarded spec ``predicate -> spec``."""
+
+    predicate: PrefixPredicate
+    spec: RelaSpec
+    name: str | None = None
+
+    def applies_to(self, fec: object) -> bool:
+        """Whether this guarded spec governs the given FEC."""
+        return self.predicate.matches(fec)
+
+    def __str__(self) -> str:
+        body = f"({self.predicate}) -> {self.spec.name or self.spec}"
+        return f"{self.name} := {body}" if self.name else body
+
+
+class SpecPolicy:
+    """An ordered list of guarded specs plus a default spec.
+
+    The verifier asks the policy which spec governs each FEC; the first
+    guarded spec whose predicate matches wins, otherwise the default applies.
+    A bare :class:`~repro.rela.spec.RelaSpec` behaves like a policy whose
+    default is that spec and which has no guards.
+    """
+
+    def __init__(
+        self,
+        default: RelaSpec,
+        guarded: Sequence[PSpec] = (),
+    ):
+        self.default = default
+        self.guarded = list(guarded)
+
+    def spec_for(self, fec: object) -> RelaSpec:
+        """The spec governing ``fec``."""
+        for pspec in self.guarded:
+            if pspec.applies_to(fec):
+                return pspec.spec
+        return self.default
+
+    def atomic_count(self) -> int:
+        """Total spec size across the default and all guarded specs."""
+        return self.default.atomic_count() + sum(
+            pspec.spec.atomic_count() for pspec in self.guarded
+        )
+
+    def __str__(self) -> str:
+        parts = [str(pspec) for pspec in self.guarded]
+        parts.append(f"default -> {self.default.name or self.default}")
+        return "\n".join(parts)

@@ -1,0 +1,150 @@
+"""Rela change specifications (paper Figure 2, Section 4).
+
+A specification relates the forwarding paths of the pre-change and
+post-change snapshots.  The three spec forms are:
+
+* :class:`AtomicSpec` — ``zone : modifier``;
+* :class:`SeqSpec` — concatenation ``s1 s2`` (end-to-end stitching of
+  sub-path specs);
+* :class:`ElseSpec` — prioritized union ``s1 else s2`` (anything not covered
+  by ``s1``'s zone falls through to ``s2``).
+
+Specs can be named (:func:`named`), reused and composed; the number of atomic
+terms (:meth:`RelaSpec.atomic_count`) is the spec-size metric used by the
+paper's Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.regex import AnySym, Regex, Star
+from repro.rela.modifiers import Modifier, Preserve
+from repro.rela.pathexpr import PathLike, as_regex
+
+
+class RelaSpec:
+    """Base class for Rela change specifications."""
+
+    __slots__ = ()
+
+    #: Optional name used in counterexample "reason" rendering.
+    name: str | None = None
+
+    def atomic_count(self) -> int:
+        """Number of atomic ``zone : modifier`` terms (paper's spec size)."""
+        raise NotImplementedError
+
+    def then(self, other: RelaSpec) -> RelaSpec:
+        """Concatenate with another spec (``s1 s2``)."""
+        return SeqSpec((self, other))
+
+    def else_(self, other: RelaSpec) -> RelaSpec:
+        """Prioritized union with another spec (``s1 else s2``)."""
+        return ElseSpec(self, other)
+
+    def named(self, name: str) -> RelaSpec:
+        """Return a copy of this spec carrying ``name`` for diagnostics."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class AtomicSpec(RelaSpec):
+    """``zone : modifier``."""
+
+    zone: Regex
+    modifier: Modifier
+    name: str | None = None
+
+    def atomic_count(self) -> int:
+        return 1
+
+    def named(self, name: str) -> AtomicSpec:
+        return AtomicSpec(self.zone, self.modifier, name)
+
+    def __str__(self) -> str:
+        body = f"{self.zone} : {self.modifier}"
+        return f"{self.name} := {{ {body} }}" if self.name else f"{{ {body} }}"
+
+
+@dataclass(frozen=True, slots=True)
+class SeqSpec(RelaSpec):
+    """Concatenation of sub-path specs (``s1 s2 ... sn``)."""
+
+    parts: tuple[RelaSpec, ...]
+    name: str | None = None
+
+    def atomic_count(self) -> int:
+        return sum(part.atomic_count() for part in self.parts)
+
+    def named(self, name: str) -> SeqSpec:
+        return SeqSpec(self.parts, name)
+
+    def __str__(self) -> str:
+        body = " ; ".join(str(part) for part in self.parts)
+        return f"{self.name} := {{ {body} }}" if self.name else f"{{ {body} }}"
+
+
+@dataclass(frozen=True, slots=True)
+class ElseSpec(RelaSpec):
+    """Prioritized union (``s1 else s2``)."""
+
+    primary: RelaSpec
+    fallback: RelaSpec
+    name: str | None = None
+
+    def atomic_count(self) -> int:
+        return self.primary.atomic_count() + self.fallback.atomic_count()
+
+    def named(self, name: str) -> ElseSpec:
+        return ElseSpec(self.primary, self.fallback, name)
+
+    def __str__(self) -> str:
+        body = f"{self.primary} else {self.fallback}"
+        return f"{self.name} := {body}" if self.name else body
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors
+# ----------------------------------------------------------------------
+def atomic(zone: PathLike, modifier: Modifier, *, name: str | None = None) -> AtomicSpec:
+    """Build ``zone : modifier``, accepting a textual zone expression."""
+    return AtomicSpec(as_regex(zone), modifier, name)
+
+
+def seq_spec(*parts: RelaSpec, name: str | None = None) -> RelaSpec:
+    """Concatenate sub-path specs; a single part is returned unchanged."""
+    if len(parts) == 1 and name is None:
+        return parts[0]
+    if len(parts) == 1:
+        return parts[0].named(name)
+    return SeqSpec(tuple(parts), name)
+
+
+def else_chain(*parts: RelaSpec, name: str | None = None) -> RelaSpec:
+    """Right-associative chain ``s1 else (s2 else (...))``."""
+    if not parts:
+        raise ValueError("else_chain requires at least one spec")
+    result = parts[-1]
+    for part in reversed(parts[:-1]):
+        result = ElseSpec(part, result)
+    if name is not None:
+        result = result.named(name)
+    return result
+
+
+def nochange(*, name: str = "nochange") -> AtomicSpec:
+    """The ubiquitous ``.* : preserve`` spec ("nothing changes")."""
+    return AtomicSpec(Star(AnySym()), Preserve(), name)
+
+
+def flatten_else(spec: RelaSpec) -> list[RelaSpec]:
+    """Flatten a chain of ``else`` branches into priority order.
+
+    A spec without ``else`` yields a single branch.  Branch order matters:
+    earlier branches shadow later ones on overlapping zones, exactly as in
+    the prioritized-union semantics.
+    """
+    if isinstance(spec, ElseSpec):
+        return flatten_else(spec.primary) + flatten_else(spec.fallback)
+    return [spec]

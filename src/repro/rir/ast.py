@@ -1,0 +1,349 @@
+"""Abstract syntax of the Regular Intermediate Representation (RIR).
+
+The RIR (paper Section 5.2, Figure 3) has three sub-languages:
+
+* *path sets* (``PathSet``): regular sets of forwarding paths, including the
+  two snapshot symbols ``PreState`` and ``PostState`` and the image operator
+  ``P ▷ R``;
+* *relations* (``Rel``): regular (rational) binary relations between paths,
+  built from cross products, identities and the regular operations;
+* *specifications* (``Spec``): equalities/inclusions between path sets and
+  their boolean combinations.
+
+All nodes are immutable dataclasses; convenience operators (``|``, ``+``,
+``&``) build unions, concatenations and intersections so specs read close to
+the notation in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.regex import Regex
+
+
+# ----------------------------------------------------------------------
+# Path sets
+# ----------------------------------------------------------------------
+class PathSet:
+    """Base class of RIR path-set expressions."""
+
+    __slots__ = ()
+
+    def __or__(self, other: PathSet) -> PathSet:
+        return PSUnion(self, other)
+
+    def __add__(self, other: PathSet) -> PathSet:
+        return PSConcat(self, other)
+
+    def __and__(self, other: PathSet) -> PathSet:
+        return PSIntersect(self, other)
+
+    def star(self) -> PathSet:
+        return PSStar(self)
+
+    def complement(self) -> PathSet:
+        return PSComplement(self)
+
+    def difference(self, other: PathSet) -> PathSet:
+        """``self \\ other`` — used heavily by the Figure 4 translation."""
+        return PSIntersect(self, PSComplement(other))
+
+    def image(self, rel: Rel) -> PathSet:
+        """``self ▷ rel``: apply a relation to this path set."""
+        return PSImage(self, rel)
+
+
+@dataclass(frozen=True, slots=True)
+class PSSymbol(PathSet):
+    """A single one-hop path consisting of the named location."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class PSEmpty(PathSet):
+    """The empty path set (RIR ``0``)."""
+
+    def __str__(self) -> str:
+        return "0"
+
+
+@dataclass(frozen=True, slots=True)
+class PSEpsilon(PathSet):
+    """The path set containing only the zero-length path (RIR ``1``)."""
+
+    def __str__(self) -> str:
+        return "1"
+
+
+@dataclass(frozen=True, slots=True)
+class PSPreState(PathSet):
+    """All forwarding paths of the pre-change snapshot."""
+
+    def __str__(self) -> str:
+        return "PreState"
+
+
+@dataclass(frozen=True, slots=True)
+class PSPostState(PathSet):
+    """All forwarding paths of the post-change snapshot."""
+
+    def __str__(self) -> str:
+        return "PostState"
+
+
+@dataclass(frozen=True, slots=True)
+class PSRegex(PathSet):
+    """A snapshot-independent regular path set given as a regex AST.
+
+    This is the bridge from the Rela surface language: zones and modifier
+    arguments are parsed into :class:`~repro.automata.regex.Regex` values and
+    lifted into the RIR with this node.
+    """
+
+    regex: Regex
+
+    def __str__(self) -> str:
+        return str(self.regex)
+
+
+@dataclass(frozen=True, slots=True)
+class PSUnion(PathSet):
+    left: PathSet
+    right: PathSet
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class PSConcat(PathSet):
+    left: PathSet
+    right: PathSet
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class PSStar(PathSet):
+    inner: PathSet
+
+    def __str__(self) -> str:
+        return f"({self.inner})*"
+
+
+@dataclass(frozen=True, slots=True)
+class PSIntersect(PathSet):
+    left: PathSet
+    right: PathSet
+
+    def __str__(self) -> str:
+        return f"({self.left} ∩ {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class PSComplement(PathSet):
+    inner: PathSet
+
+    def __str__(self) -> str:
+        return f"¬({self.inner})"
+
+
+@dataclass(frozen=True, slots=True)
+class PSImage(PathSet):
+    """``P ▷ R``: the set of paths related by ``R`` to some path in ``P``."""
+
+    pathset: PathSet
+    rel: "Rel"
+
+    def __str__(self) -> str:
+        return f"({self.pathset} ▷ {self.rel})"
+
+
+# ----------------------------------------------------------------------
+# Relations
+# ----------------------------------------------------------------------
+class Rel:
+    """Base class of RIR relation expressions."""
+
+    __slots__ = ()
+
+    def __or__(self, other: Rel) -> Rel:
+        return RUnion(self, other)
+
+    def __add__(self, other: Rel) -> Rel:
+        return RConcat(self, other)
+
+    def star(self) -> Rel:
+        return RStar(self)
+
+    def compose(self, other: Rel) -> Rel:
+        return RCompose(self, other)
+
+
+@dataclass(frozen=True, slots=True)
+class RCross(Rel):
+    """``P1 × P2``: relate every path of ``P1`` to every path of ``P2``."""
+
+    left: PathSet
+    right: PathSet
+
+    def __str__(self) -> str:
+        return f"({self.left} × {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class RIdentity(Rel):
+    """``I(P)``: relate every path of ``P`` to itself."""
+
+    pathset: PathSet
+
+    def __str__(self) -> str:
+        return f"I({self.pathset})"
+
+
+@dataclass(frozen=True, slots=True)
+class REmpty(Rel):
+    """The empty relation (RIR relation ``0``)."""
+
+    def __str__(self) -> str:
+        return "0"
+
+
+@dataclass(frozen=True, slots=True)
+class REpsilon(Rel):
+    """The relation containing exactly the pair (ε, ε) (RIR relation ``1``)."""
+
+    def __str__(self) -> str:
+        return "1"
+
+
+@dataclass(frozen=True, slots=True)
+class RUnion(Rel):
+    left: Rel
+    right: Rel
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class RConcat(Rel):
+    left: Rel
+    right: Rel
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class RStar(Rel):
+    inner: Rel
+
+    def __str__(self) -> str:
+        return f"({self.inner})*"
+
+
+@dataclass(frozen=True, slots=True)
+class RCompose(Rel):
+    left: Rel
+    right: Rel
+
+    def __str__(self) -> str:
+        return f"({self.left} ∘ {self.right})"
+
+
+# ----------------------------------------------------------------------
+# Specifications
+# ----------------------------------------------------------------------
+class Spec:
+    """Base class of RIR specification expressions."""
+
+    __slots__ = ()
+
+    def __and__(self, other: Spec) -> Spec:
+        return SpecAnd(self, other)
+
+    def __or__(self, other: Spec) -> Spec:
+        return SpecOr(self, other)
+
+    def negate(self) -> Spec:
+        return SpecNot(self)
+
+
+@dataclass(frozen=True, slots=True)
+class SpecEqual(Spec):
+    """``P1 = P2``."""
+
+    left: PathSet
+    right: PathSet
+    #: Optional human-readable label (e.g. the originating Rela sub-spec name).
+    label: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True, slots=True)
+class SpecSubset(Spec):
+    """``P1 ⊆ P2``."""
+
+    left: PathSet
+    right: PathSet
+    label: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.left} ⊆ {self.right}"
+
+
+@dataclass(frozen=True, slots=True)
+class SpecAnd(Spec):
+    left: Spec
+    right: Spec
+
+    def __str__(self) -> str:
+        return f"({self.left}) ∧ ({self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class SpecOr(Spec):
+    left: Spec
+    right: Spec
+
+    def __str__(self) -> str:
+        return f"({self.left}) ∨ ({self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class SpecNot(Spec):
+    inner: Spec
+
+    def __str__(self) -> str:
+        return f"¬({self.inner})"
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors
+# ----------------------------------------------------------------------
+def word(symbols: list[str] | tuple[str, ...]) -> PathSet:
+    """The path set containing exactly one path with the given hops."""
+    result: PathSet = PSEpsilon()
+    for index, name in enumerate(symbols):
+        node = PSSymbol(name)
+        result = node if index == 0 else PSConcat(result, node)
+    return result
+
+
+def union_all(parts: list[PathSet]) -> PathSet:
+    """Union of arbitrarily many path sets (``0`` when the list is empty)."""
+    if not parts:
+        return PSEmpty()
+    result = parts[0]
+    for part in parts[1:]:
+        result = PSUnion(result, part)
+    return result

@@ -1,0 +1,111 @@
+"""Decision procedure for RIR specifications (paper Section 6.2).
+
+Given an :class:`~repro.rir.compiler.RIRContext` (alphabet + PreState/PostState
+automata) and a :class:`~repro.rir.ast.Spec`, :func:`check_spec` compiles both
+sides of every equality/inclusion to automata, decides the assertion with the
+language comparison routines, and aggregates witnesses so callers can render
+counterexamples (Section 6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.automata.equivalence import ComparisonResult, compare
+from repro.errors import VerificationError
+from repro.rir import ast
+from repro.rir.compiler import RIRContext, compile_pathset
+
+Word = tuple[str, ...]
+
+
+@dataclass(slots=True)
+class AssertionResult:
+    """Outcome of one atomic RIR assertion (equality or inclusion)."""
+
+    spec: ast.Spec
+    holds: bool
+    comparison: ComparisonResult
+    label: str | None = None
+
+    @property
+    def missing(self) -> list[Word]:
+        """Expected paths absent from the right-hand side."""
+        return self.comparison.missing
+
+    @property
+    def unexpected(self) -> list[Word]:
+        """Paths present on the right-hand side but not allowed."""
+        return self.comparison.unexpected
+
+
+@dataclass(slots=True)
+class SpecVerdict:
+    """Outcome of checking a full (possibly boolean-composed) RIR spec."""
+
+    holds: bool
+    assertions: list[AssertionResult] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[AssertionResult]:
+        """The atomic assertions that failed."""
+        return [result for result in self.assertions if not result.holds]
+
+    def witnesses(self) -> tuple[list[Word], list[Word]]:
+        """All (missing, unexpected) witness words across failed assertions."""
+        missing: list[Word] = []
+        unexpected: list[Word] = []
+        for result in self.violations:
+            missing.extend(result.missing)
+            unexpected.extend(result.unexpected)
+        return missing, unexpected
+
+
+def check_spec(
+    spec: ast.Spec,
+    ctx: RIRContext,
+    *,
+    max_witnesses: int = 10,
+    max_witness_length: int = 64,
+) -> SpecVerdict:
+    """Check an RIR specification against the snapshots in ``ctx``."""
+    assertions: list[AssertionResult] = []
+    holds = _check(spec, ctx, assertions, max_witnesses, max_witness_length)
+    return SpecVerdict(holds=holds, assertions=assertions)
+
+
+def _check(
+    spec: ast.Spec,
+    ctx: RIRContext,
+    assertions: list[AssertionResult],
+    max_witnesses: int,
+    max_witness_length: int,
+) -> bool:
+    if isinstance(spec, (ast.SpecEqual, ast.SpecSubset)):
+        left = compile_pathset(spec.left, ctx)
+        right = compile_pathset(spec.right, ctx)
+        comparison = compare(
+            left,
+            right,
+            max_witnesses=max_witnesses,
+            max_witness_length=max_witness_length,
+        )
+        if isinstance(spec, ast.SpecEqual):
+            holds = comparison.equal
+        else:
+            holds = comparison.left_subset_of_right
+        assertions.append(
+            AssertionResult(spec=spec, holds=holds, comparison=comparison, label=spec.label)
+        )
+        return holds
+    if isinstance(spec, ast.SpecAnd):
+        left = _check(spec.left, ctx, assertions, max_witnesses, max_witness_length)
+        right = _check(spec.right, ctx, assertions, max_witnesses, max_witness_length)
+        return left and right
+    if isinstance(spec, ast.SpecOr):
+        left = _check(spec.left, ctx, assertions, max_witnesses, max_witness_length)
+        right = _check(spec.right, ctx, assertions, max_witnesses, max_witness_length)
+        return left or right
+    if isinstance(spec, ast.SpecNot):
+        return not _check(spec.inner, ctx, assertions, max_witnesses, max_witness_length)
+    raise VerificationError(f"unknown Spec node: {spec!r}")

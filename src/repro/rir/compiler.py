@@ -1,0 +1,124 @@
+"""Compilation of RIR expressions to finite automata and transducers.
+
+This is the first half of the decision procedure of Section 6: every path-set
+expression becomes an :class:`~repro.automata.fsa.FSA` and every relation
+becomes an :class:`~repro.automata.fst.FST`.  The snapshot symbols
+``PreState`` / ``PostState`` are supplied by the caller as already-built
+automata (typically converted from forwarding DAGs by
+:mod:`repro.verifier.state_automata`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.automata.alphabet import Alphabet
+from repro.automata.fsa import FSA
+from repro.automata.fst import FST
+from repro.errors import CompilationError
+from repro.rir import ast
+
+
+@dataclass(slots=True)
+class RIRContext:
+    """Everything needed to compile RIR expressions for one verification task.
+
+    Attributes
+    ----------
+    alphabet:
+        Shared symbol alphabet.  It must already contain every network
+        location mentioned by the snapshots or the specification, because
+        complementation is relative to the alphabet at compilation time.
+    pre / post:
+        FSAs denoting the pre-change and post-change forwarding path sets.
+    cache:
+        Structural memoisation of compiled sub-expressions.  RIR trees
+        produced by the Rela front end repeat zone sub-expressions many
+        times; caching keeps compilation linear in distinct sub-terms.
+    """
+
+    alphabet: Alphabet
+    pre: FSA
+    post: FSA
+    cache: dict[ast.PathSet | ast.Rel, FSA | FST] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.pre.alphabet is not self.alphabet or self.post.alphabet is not self.alphabet:
+            raise CompilationError(
+                "PreState/PostState automata must use the context's alphabet instance"
+            )
+
+
+def compile_pathset(node: ast.PathSet, ctx: RIRContext) -> FSA:
+    """Compile a path-set expression to an FSA."""
+    cached = ctx.cache.get(node)
+    if isinstance(cached, FSA):
+        return cached
+    result = _compile_pathset(node, ctx)
+    try:
+        ctx.cache[node] = result
+    except TypeError:
+        pass  # unhashable (should not happen: all nodes are frozen dataclasses)
+    return result
+
+
+def _compile_pathset(node: ast.PathSet, ctx: RIRContext) -> FSA:
+    if isinstance(node, ast.PSSymbol):
+        return FSA.symbol(ctx.alphabet, node.name)
+    if isinstance(node, ast.PSEmpty):
+        return FSA.empty_language(ctx.alphabet)
+    if isinstance(node, ast.PSEpsilon):
+        return FSA.epsilon_language(ctx.alphabet)
+    if isinstance(node, ast.PSPreState):
+        return ctx.pre
+    if isinstance(node, ast.PSPostState):
+        return ctx.post
+    if isinstance(node, ast.PSRegex):
+        return node.regex.to_fsa(ctx.alphabet)
+    if isinstance(node, ast.PSUnion):
+        return compile_pathset(node.left, ctx).union(compile_pathset(node.right, ctx))
+    if isinstance(node, ast.PSConcat):
+        return compile_pathset(node.left, ctx).concat(compile_pathset(node.right, ctx))
+    if isinstance(node, ast.PSStar):
+        return compile_pathset(node.inner, ctx).star()
+    if isinstance(node, ast.PSIntersect):
+        return compile_pathset(node.left, ctx).intersect(compile_pathset(node.right, ctx))
+    if isinstance(node, ast.PSComplement):
+        return compile_pathset(node.inner, ctx).complement()
+    if isinstance(node, ast.PSImage):
+        relation = compile_rel(node.rel, ctx)
+        return relation.image(compile_pathset(node.pathset, ctx))
+    raise CompilationError(f"unknown PathSet node: {node!r}")
+
+
+def compile_rel(node: ast.Rel, ctx: RIRContext) -> FST:
+    """Compile a relation expression to an FST."""
+    cached = ctx.cache.get(node)
+    if isinstance(cached, FST):
+        return cached
+    result = _compile_rel(node, ctx)
+    try:
+        ctx.cache[node] = result
+    except TypeError:
+        pass
+    return result
+
+
+def _compile_rel(node: ast.Rel, ctx: RIRContext) -> FST:
+    if isinstance(node, ast.RCross):
+        return FST.cross(compile_pathset(node.left, ctx), compile_pathset(node.right, ctx))
+    if isinstance(node, ast.RIdentity):
+        return FST.identity(compile_pathset(node.pathset, ctx))
+    if isinstance(node, ast.REmpty):
+        return FST.empty_relation(ctx.alphabet)
+    if isinstance(node, ast.REpsilon):
+        return FST.epsilon_relation(ctx.alphabet)
+    if isinstance(node, ast.RUnion):
+        return compile_rel(node.left, ctx).union(compile_rel(node.right, ctx))
+    if isinstance(node, ast.RConcat):
+        return compile_rel(node.left, ctx).concat(compile_rel(node.right, ctx))
+    if isinstance(node, ast.RStar):
+        return compile_rel(node.inner, ctx).star()
+    if isinstance(node, ast.RCompose):
+        return compile_rel(node.left, ctx).compose(compile_rel(node.right, ctx))
+    raise CompilationError(f"unknown Rel node: {node!r}")

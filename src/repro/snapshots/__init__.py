@@ -1,0 +1,17 @@
+"""Forwarding state exchange: graphs, flow equivalence classes, snapshots, diffs."""
+
+from repro.snapshots.fec import FlowEquivalenceClass
+from repro.snapshots.forwarding_graph import ForwardingGraph, drop_graph
+from repro.snapshots.pathdiff import DiffEntry, PathDiff, path_diff
+from repro.snapshots.snapshot import Snapshot, build_snapshot
+
+__all__ = [
+    "FlowEquivalenceClass",
+    "ForwardingGraph",
+    "drop_graph",
+    "Snapshot",
+    "build_snapshot",
+    "PathDiff",
+    "DiffEntry",
+    "path_diff",
+]

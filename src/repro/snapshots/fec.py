@@ -1,0 +1,76 @@
+"""Flow equivalence classes (FECs).
+
+The verification workflow (paper Section 2.3) aggregates observed flows into
+*equivalence classes*: all flows with identical forwarding paths in both the
+pre-change and post-change snapshots form one class, and Rela analyses each
+class independently (and in parallel).
+
+A :class:`FlowEquivalenceClass` carries the traffic descriptors needed by the
+prefix-predicate extension of Section 7 (source/destination prefixes and the
+ingress location) plus free-form metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Mapping
+
+from repro.errors import SnapshotError
+
+
+@dataclass(frozen=True, slots=True)
+class FlowEquivalenceClass:
+    """One flow equivalence class.
+
+    Attributes
+    ----------
+    fec_id:
+        Unique identifier within a snapshot pair (e.g. ``"fec-000123"``).
+    dst_prefix:
+        Destination IP prefix of the traffic (CIDR string).
+    src_prefix:
+        Source IP prefix, when known.
+    ingress:
+        The location (at the snapshot's granularity) where the traffic enters
+        the network; the paper defines a flow as a 5-tuple that starts at a
+        particular point in the network.
+    metadata:
+        Free-form attributes (customer, service tier, measurement volume...).
+    """
+
+    fec_id: str
+    dst_prefix: str = "0.0.0.0/0"
+    src_prefix: str = "0.0.0.0/0"
+    ingress: str = ""
+    metadata: Mapping[str, str] = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if not self.fec_id:
+            raise SnapshotError("FEC id must be non-empty")
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable representation."""
+        return {
+            "fec_id": self.fec_id,
+            "dst_prefix": self.dst_prefix,
+            "src_prefix": self.src_prefix,
+            "ingress": self.ingress,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FlowEquivalenceClass":
+        """Rebuild a FEC from :meth:`to_dict` output."""
+        try:
+            return cls(
+                fec_id=data["fec_id"],
+                dst_prefix=data.get("dst_prefix", "0.0.0.0/0"),
+                src_prefix=data.get("src_prefix", "0.0.0.0/0"),
+                ingress=data.get("ingress", ""),
+                metadata=dict(data.get("metadata", {})),
+            )
+        except KeyError as exc:
+            raise SnapshotError(f"malformed FEC record: missing {exc}") from exc
+
+    def __str__(self) -> str:
+        return f"{{({self.dst_prefix}, ingress = {self.ingress})}}"

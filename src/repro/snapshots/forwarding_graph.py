@@ -1,0 +1,284 @@
+"""Forwarding graphs: the compact path-set exchange format (paper Section 6.1).
+
+A single flow equivalence class can have an enormous number of ECMP paths —
+the paper reports a flow with 10^8 interface-level paths.  Enumerating those
+paths is infeasible, so Rela defines a graph format: each vertex is a
+forwarding hop for the traffic, each directed edge a link used to forward it,
+plus metadata identifying source and sink vertices.  The whole path set is
+then the set of source→sink walks of the DAG.
+
+:class:`ForwardingGraph` implements that format, including:
+
+* path enumeration (bounded, for small graphs, diffing and display);
+* exact path counting without enumeration (to demonstrate the compaction);
+* conversion to an FSA (vertices/edges become states/transitions, an initial
+  state feeds the sources, sinks accept);
+* granularity coarsening by merging vertices that map to the same coarser
+  entity (interface → router → router group).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+
+from repro.automata.alphabet import DROP, Alphabet
+from repro.automata.fsa import EPSILON, FSA
+from repro.errors import SnapshotError
+from repro.rela.locations import Granularity
+
+Path = tuple[str, ...]
+
+
+@dataclass(slots=True)
+class ForwardingGraph:
+    """The forwarding behaviour of one traffic class in one snapshot.
+
+    Attributes
+    ----------
+    granularity:
+        The granularity of the node names (normally ``INTERFACE`` or
+        ``ROUTER`` as produced by the simulator).
+    nodes:
+        All forwarding hops.
+    edges:
+        Directed links between hops (``(from, to)`` pairs).
+    sources / sinks:
+        Entry and exit hops of the traffic; every forwarding path starts at a
+        source and ends at a sink.  The special :data:`~repro.automata.alphabet.DROP`
+        node may appear as a sink to model discarded traffic.
+    """
+
+    granularity: Granularity = Granularity.ROUTER
+    nodes: set[str] = field(default_factory=set)
+    edges: set[tuple[str, str]] = field(default_factory=set)
+    sources: set[str] = field(default_factory=set)
+    sinks: set[str] = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, name: str) -> None:
+        """Add a forwarding hop."""
+        self.nodes.add(name)
+
+    def add_edge(self, src: str, dst: str) -> None:
+        """Add a directed forwarding link, creating its endpoints as needed."""
+        self.nodes.add(src)
+        self.nodes.add(dst)
+        self.edges.add((src, dst))
+
+    def add_path(self, path: Sequence[str]) -> None:
+        """Add an explicit path (its first hop becomes a source, last a sink)."""
+        if not path:
+            raise SnapshotError("cannot add an empty forwarding path")
+        for name in path:
+            self.nodes.add(name)
+        for src, dst in zip(path, path[1:]):
+            self.edges.add((src, dst))
+        self.sources.add(path[0])
+        self.sinks.add(path[-1])
+
+    @classmethod
+    def from_paths(
+        cls, paths: Iterable[Sequence[str]], *, granularity: Granularity = Granularity.ROUTER
+    ) -> ForwardingGraph:
+        """Build a graph that contains (at least) the given paths.
+
+        Note that, as in the paper's format, the graph is a *compact*
+        encoding: if two paths share hops, their interleavings are also
+        encoded.  Use one graph per traffic class, which is how the
+        simulator emits them.
+        """
+        graph = cls(granularity=granularity)
+        for path in paths:
+            graph.add_path(path)
+        return graph
+
+    @classmethod
+    def empty(cls, *, granularity: Granularity = Granularity.ROUTER) -> ForwardingGraph:
+        """A graph with no traffic at all (used when a FEC disappears)."""
+        return cls(granularity=granularity)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def successors(self, node: str) -> list[str]:
+        """Forwarding next-hops of ``node``."""
+        return [dst for (src, dst) in self.edges if src == node]
+
+    def is_empty(self) -> bool:
+        """True when the graph encodes no paths."""
+        return not self.sources or not self.sinks
+
+    def is_acyclic(self) -> bool:
+        """True when the graph has no directed cycle (forwarding loops)."""
+        adjacency: dict[str, list[str]] = {node: [] for node in self.nodes}
+        indegree: dict[str, int] = {node: 0 for node in self.nodes}
+        for src, dst in self.edges:
+            adjacency[src].append(dst)
+            indegree[dst] += 1
+        queue = deque(node for node, degree in indegree.items() if degree == 0)
+        visited = 0
+        while queue:
+            node = queue.popleft()
+            visited += 1
+            for nxt in adjacency[node]:
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    queue.append(nxt)
+        return visited == len(self.nodes)
+
+    def count_paths(self) -> int:
+        """Exact number of source→sink paths (requires an acyclic graph).
+
+        This is the quantity the paper uses to illustrate the compaction: a
+        38-vertex DAG can encode 10^8 interface-level ECMP paths.
+        """
+        if not self.is_acyclic():
+            raise SnapshotError("cannot count paths of a cyclic forwarding graph")
+        adjacency: dict[str, list[str]] = {node: [] for node in self.nodes}
+        for src, dst in self.edges:
+            adjacency[src].append(dst)
+
+        memo: dict[str, int] = {}
+
+        def count_from(node: str) -> int:
+            if node in memo:
+                return memo[node]
+            total = 1 if node in self.sinks else 0
+            for nxt in adjacency[node]:
+                total += count_from(nxt)
+            memo[node] = total
+            return total
+
+        return sum(count_from(source) for source in self.sources)
+
+    def paths(self, *, max_paths: int = 10_000, max_length: int = 64) -> Iterator[Path]:
+        """Enumerate source→sink paths (bounded; breadth-first by length)."""
+        adjacency: dict[str, list[str]] = {node: [] for node in self.nodes}
+        for src, dst in self.edges:
+            adjacency[src].append(dst)
+        produced = 0
+        queue: deque[tuple[str, Path]] = deque(
+            (source, (source,)) for source in sorted(self.sources)
+        )
+        while queue and produced < max_paths:
+            node, path = queue.popleft()
+            if node in self.sinks:
+                yield path
+                produced += 1
+                if produced >= max_paths:
+                    return
+            if len(path) >= max_length:
+                continue
+            for nxt in sorted(adjacency[node]):
+                queue.append((nxt, path + (nxt,)))
+
+    def path_set(self, *, max_paths: int = 10_000, max_length: int = 64) -> set[Path]:
+        """The (bounded) set of forwarding paths."""
+        return set(self.paths(max_paths=max_paths, max_length=max_length))
+
+    def locations(self) -> set[str]:
+        """All hop names used by this graph."""
+        return set(self.nodes)
+
+    # ------------------------------------------------------------------
+    # Granularity conversion
+    # ------------------------------------------------------------------
+    def coarsen(self, mapping: Mapping[str, str], granularity: Granularity) -> ForwardingGraph:
+        """Merge vertices that map to the same coarser-granularity entity.
+
+        ``mapping`` maps node names at this graph's granularity to names at
+        the target granularity (e.g. interface → router).  Names missing from
+        the mapping are kept unchanged, which conveniently handles the
+        special ``drop`` node and external locations.  Self-loops created by
+        merging consecutive same-entity hops are elided, matching the paper's
+        definition of coarser-granularity paths.
+        """
+
+        def translate(name: str) -> str:
+            return mapping.get(name, name)
+
+        coarse = ForwardingGraph(granularity=granularity)
+        for node in self.nodes:
+            coarse.add_node(translate(node))
+        for src, dst in self.edges:
+            new_src, new_dst = translate(src), translate(dst)
+            if new_src != new_dst:
+                coarse.add_edge(new_src, new_dst)
+        coarse.sources = {translate(node) for node in self.sources}
+        coarse.sinks = {translate(node) for node in self.sinks}
+        return coarse
+
+    # ------------------------------------------------------------------
+    # FSA construction (paper Section 6.1)
+    # ------------------------------------------------------------------
+    def to_fsa(self, alphabet: Alphabet) -> FSA:
+        """Convert the graph to an FSA accepting exactly its path set.
+
+        Vertices become states and edges transitions; an extra initial state
+        consumes the first hop of every source, and sink states accept.
+        Symbols are registered with ``alphabet`` on the fly.
+        """
+        fsa = FSA(alphabet)
+        state_of: dict[str, int] = {}
+        for node in sorted(self.nodes):
+            state_of[node] = fsa.add_state()
+        for source in self.sources:
+            fsa.add_transition(fsa.initial, alphabet.intern(source), state_of[source])
+        for src, dst in self.edges:
+            fsa.add_transition(state_of[src], alphabet.intern(dst), state_of[dst])
+        for sink in self.sinks:
+            fsa.mark_accepting(state_of[sink])
+        return fsa
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-serializable representation (the on-disk exchange format)."""
+        return {
+            "granularity": self.granularity.value,
+            "nodes": sorted(self.nodes),
+            "edges": sorted(list(edge) for edge in self.edges),
+            "sources": sorted(self.sources),
+            "sinks": sorted(self.sinks),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> ForwardingGraph:
+        """Rebuild a graph from :meth:`to_dict` output."""
+        try:
+            graph = cls(granularity=Granularity(data["granularity"]))
+            graph.nodes = set(data["nodes"])
+            graph.edges = {(src, dst) for src, dst in data["edges"]}
+            graph.sources = set(data["sources"])
+            graph.sinks = set(data["sinks"])
+        except (KeyError, ValueError) as exc:
+            raise SnapshotError(f"malformed forwarding graph record: {exc}") from exc
+        unknown = (graph.sources | graph.sinks) - graph.nodes
+        if unknown:
+            raise SnapshotError(f"sources/sinks reference unknown nodes: {sorted(unknown)}")
+        return graph
+
+
+def drop_graph(*, granularity: Granularity = Granularity.ROUTER) -> ForwardingGraph:
+    """A forwarding graph for traffic that the network discards.
+
+    Following the paper's convention (Section 5.1), dropped traffic is
+    modelled as the special single-location path ``drop``, so the graph has
+    one node that is both source and sink.
+    """
+    graph = ForwardingGraph(granularity=granularity)
+    graph.add_path([DROP])
+    return graph

@@ -1,0 +1,161 @@
+"""Network snapshots: per-FEC forwarding graphs plus (de)serialization.
+
+A :class:`Snapshot` is the unit the Rela decision procedure consumes: for a
+given point in time (pre-change or post-change) it maps every flow
+equivalence class to the forwarding graph describing where that traffic goes.
+Snapshots are produced by the simulator (:mod:`repro.network.simulator`), by
+the synthetic workload generators, or loaded from the JSON exchange format.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path as FilePath
+from collections.abc import Iterable, Iterator
+
+from repro.errors import SnapshotError
+from repro.rela.locations import Granularity
+from repro.snapshots.fec import FlowEquivalenceClass
+from repro.snapshots.forwarding_graph import ForwardingGraph
+
+
+@dataclass(slots=True)
+class Snapshot:
+    """The forwarding state of the whole network at one point in time."""
+
+    name: str = "snapshot"
+    granularity: Granularity = Granularity.ROUTER
+    _fecs: dict[str, FlowEquivalenceClass] = field(default_factory=dict)
+    _graphs: dict[str, ForwardingGraph] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def add(self, fec: FlowEquivalenceClass, graph: ForwardingGraph) -> None:
+        """Record the forwarding graph of one traffic class."""
+        if fec.fec_id in self._fecs:
+            raise SnapshotError(f"duplicate FEC {fec.fec_id!r} in snapshot {self.name!r}")
+        self._fecs[fec.fec_id] = fec
+        self._graphs[fec.fec_id] = graph
+
+    def replace(self, fec_id: str, graph: ForwardingGraph) -> None:
+        """Overwrite the forwarding graph of an existing traffic class."""
+        if fec_id not in self._fecs:
+            raise SnapshotError(f"unknown FEC {fec_id!r} in snapshot {self.name!r}")
+        self._graphs[fec_id] = graph
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._fecs)
+
+    def __contains__(self, fec_id: str) -> bool:
+        return fec_id in self._fecs
+
+    def fecs(self) -> list[FlowEquivalenceClass]:
+        """All flow equivalence classes, in insertion order."""
+        return list(self._fecs.values())
+
+    def fec_ids(self) -> list[str]:
+        """All FEC identifiers."""
+        return list(self._fecs.keys())
+
+    def fec(self, fec_id: str) -> FlowEquivalenceClass:
+        """Look up one FEC by id."""
+        try:
+            return self._fecs[fec_id]
+        except KeyError:
+            raise SnapshotError(f"unknown FEC {fec_id!r} in snapshot {self.name!r}") from None
+
+    def graph(self, fec_id: str) -> ForwardingGraph:
+        """The forwarding graph of one FEC (empty graph if absent)."""
+        graph = self._graphs.get(fec_id)
+        if graph is None:
+            return ForwardingGraph.empty(granularity=self.granularity)
+        return graph
+
+    def items(self) -> Iterator[tuple[FlowEquivalenceClass, ForwardingGraph]]:
+        """Iterate over (FEC, forwarding graph) pairs."""
+        for fec_id, fec in self._fecs.items():
+            yield fec, self._graphs[fec_id]
+
+    def locations(self) -> set[str]:
+        """All location names appearing in any forwarding graph."""
+        names: set[str] = set()
+        for graph in self._graphs.values():
+            names |= graph.locations()
+        return names
+
+    def copy(self, *, name: str | None = None) -> "Snapshot":
+        """A deep-enough copy suitable for applying synthetic changes."""
+        clone = Snapshot(name=name or self.name, granularity=self.granularity)
+        for fec, graph in self.items():
+            clone.add(
+                fec,
+                ForwardingGraph.from_dict(graph.to_dict()),
+            )
+        return clone
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-serializable representation of the whole snapshot."""
+        return {
+            "name": self.name,
+            "granularity": self.granularity.value,
+            "classes": [
+                {"fec": fec.to_dict(), "graph": graph.to_dict()} for fec, graph in self.items()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Snapshot":
+        """Rebuild a snapshot from :meth:`to_dict` output."""
+        try:
+            snapshot = cls(name=data["name"], granularity=Granularity(data["granularity"]))
+            for record in data["classes"]:
+                snapshot.add(
+                    FlowEquivalenceClass.from_dict(record["fec"]),
+                    ForwardingGraph.from_dict(record["graph"]),
+                )
+        except (KeyError, ValueError) as exc:
+            raise SnapshotError(f"malformed snapshot record: {exc}") from exc
+        return snapshot
+
+    def to_json(self, path: str | FilePath | None = None, *, indent: int | None = None) -> str:
+        """Serialize to JSON, optionally writing to ``path``."""
+        text = json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+        if path is not None:
+            FilePath(path).write_text(text)
+        return text
+
+    @classmethod
+    def from_json(cls, source: str | FilePath) -> "Snapshot":
+        """Load a snapshot from a JSON string or file path."""
+        if isinstance(source, FilePath) or (
+            isinstance(source, str) and not source.lstrip().startswith("{")
+        ):
+            text = FilePath(source).read_text()
+        else:
+            text = str(source)
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SnapshotError(f"invalid snapshot JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+
+def build_snapshot(
+    name: str,
+    entries: Iterable[tuple[FlowEquivalenceClass, Iterable[tuple[str, ...]]]],
+    *,
+    granularity: Granularity = Granularity.ROUTER,
+) -> Snapshot:
+    """Build a snapshot from explicit per-FEC path lists (testing helper)."""
+    snapshot = Snapshot(name=name, granularity=granularity)
+    for fec, paths in entries:
+        snapshot.add(fec, ForwardingGraph.from_paths(paths, granularity=granularity))
+    return snapshot

@@ -1,0 +1,34 @@
+"""The Rela relational verification engine (paper Section 6)."""
+
+from repro.verifier.counterexample import (
+    BranchViolation,
+    Counterexample,
+    render_path,
+    render_path_set,
+    rewrite_hash,
+)
+from repro.verifier.engine import (
+    CompiledBranch,
+    CompiledSpec,
+    VerificationOptions,
+    compile_spec,
+    verify_change,
+)
+from repro.verifier.report import VerificationReport
+from repro.verifier.state_automata import StateAutomatonBuilder, build_alphabet
+
+__all__ = [
+    "verify_change",
+    "VerificationOptions",
+    "VerificationReport",
+    "CompiledSpec",
+    "CompiledBranch",
+    "compile_spec",
+    "Counterexample",
+    "BranchViolation",
+    "render_path",
+    "render_path_set",
+    "rewrite_hash",
+    "StateAutomatonBuilder",
+    "build_alphabet",
+]

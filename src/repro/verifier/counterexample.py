@@ -1,0 +1,90 @@
+"""Counterexample records and rendering (paper Section 6.3, Table 1).
+
+When a change violates its Rela spec, the verifier reports, per offending
+flow equivalence class:
+
+* the FEC descriptor;
+* its pre-change and post-change forwarding paths;
+* one *reason* per violated sub-spec: the name of the sub-spec, the path set
+  it expected and the path set observed (with the ``#`` placeholder that the
+  ``any`` translation introduces rewritten back into the user's own path
+  expression, so reasons read like the paper's Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+Path = tuple[str, ...]
+
+
+def render_path(path: Path) -> str:
+    """Human-readable rendering of a path ( ``x1-A1-A2-D1`` )."""
+    return "-".join(path) if path else "ε"
+
+
+def render_path_set(paths: list[Path] | set[Path]) -> str:
+    """Render a set of paths as ``{p1, p2, ...}``."""
+    rendered = sorted(render_path(path) for path in paths)
+    return "{" + ", ".join(rendered) + "}"
+
+
+def rewrite_hash(path: Path, expansion: str | None) -> Path:
+    """Undo the ``#`` rewriting introduced by the ``any`` modifier.
+
+    ``expansion`` is the textual form of the ``any`` target for the violated
+    sub-spec; each ``#`` hop is replaced by that text so reasons are phrased
+    in terms the spec author wrote.
+    """
+    if expansion is None:
+        return path
+    return tuple(expansion if hop == "#" else hop for hop in path)
+
+
+@dataclass(slots=True)
+class BranchViolation:
+    """One violated sub-spec for one flow equivalence class."""
+
+    #: Name of the violated sub-spec (e.g. ``"e2e"`` or ``"nochange"``).
+    branch: str
+    #: Paths the spec expected in the post-change network but that are absent.
+    expected: list[Path] = field(default_factory=list)
+    #: Paths observed in the post-change network that the spec does not allow.
+    observed: list[Path] = field(default_factory=list)
+
+    def reason(self) -> str:
+        """The Table 1 style "cause of violation" string."""
+        return f"{self.branch}: {render_path_set(self.expected)} ≠ {render_path_set(self.observed)}"
+
+
+@dataclass(slots=True)
+class Counterexample:
+    """One flow equivalence class that violates the change specification."""
+
+    fec_id: str
+    fec_description: str
+    pre_paths: list[Path]
+    post_paths: list[Path]
+    violations: list[BranchViolation] = field(default_factory=list)
+
+    @property
+    def branches(self) -> list[str]:
+        """Names of all violated sub-specs."""
+        return [violation.branch for violation in self.violations]
+
+    def reason(self) -> str:
+        """All per-branch reasons joined for display."""
+        return "; ".join(violation.reason() for violation in self.violations)
+
+    def as_row(self) -> tuple[str, str, str, str]:
+        """A row in the Table 1 layout: FEC, pre paths, post paths, reason."""
+        return (
+            self.fec_description,
+            render_path_set(self.pre_paths),
+            render_path_set(self.post_paths),
+            self.reason(),
+        )
+
+    def __str__(self) -> str:
+        fec, pre, post, reason = self.as_row()
+        return f"{fec}  pre={pre}  post={post}  cause: {reason}"

@@ -1,0 +1,357 @@
+"""The Rela verification engine (paper Section 6).
+
+The engine ties the whole pipeline together, mirroring the paper's
+implementation strategy:
+
+1. the Rela spec (or prefix-guarded spec policy) is compiled **once** into
+   pre-change and post-change relation transducers (plus one transducer pair
+   per ``else`` branch, used for counterexample attribution);
+2. each flow equivalence class is checked **independently**: its forwarding
+   graphs become ``PreState``/``PostState`` automata at the requested
+   granularity, the relations are applied via the image operation, and the
+   resulting path sets are compared;
+3. violations are reported per FEC with pre/post paths and the violated
+   sub-spec (Section 6.3); classes can be checked in parallel worker
+   processes, as the paper does for its 10^6-class backbone.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.automata.alphabet import Alphabet
+from repro.automata.equivalence import compare
+from repro.automata.fsa import FSA
+from repro.automata.fst import FST
+from repro.automata.regex import Complement, Regex, Union
+from repro.errors import VerificationError
+from repro.rela.compile import hash_expansions, post_relation, pre_relation, zone
+from repro.rela.locations import Granularity, LocationDB
+from repro.rela.modifiers import Preserve
+from repro.rela.pspec import SpecPolicy
+from repro.rela.spec import AtomicSpec, ElseSpec, RelaSpec, SeqSpec, flatten_else
+from repro.rir import RIRContext, compile_rel
+from repro.rir import ast as rir
+from repro.snapshots.forwarding_graph import ForwardingGraph
+from repro.snapshots.snapshot import Snapshot
+from repro.verifier.counterexample import BranchViolation, Counterexample, rewrite_hash
+from repro.verifier.report import VerificationReport
+from repro.verifier.state_automata import StateAutomatonBuilder, build_alphabet
+
+
+@dataclass(slots=True)
+class VerificationOptions:
+    """Tunable knobs of a verification run."""
+
+    #: Granularity at which paths are compared (paper Figure 7's sweep axis).
+    granularity: Granularity = Granularity.ROUTER
+    #: Maximum number of witness paths per violated assertion.
+    max_witnesses: int = 10
+    #: Bound on enumerated pre/post paths attached to counterexamples.
+    max_paths: int = 50
+    #: Bound on witness path length during extraction.
+    max_witness_length: int = 64
+    #: Worker processes; 1 means run serially in-process.
+    workers: int = 1
+    #: Attach full counterexample detail (set False for timing-only runs).
+    collect_counterexamples: bool = True
+    #: Skip automaton construction for preserve-only specs when the pre and
+    #: post forwarding graphs are structurally identical (sound because the
+    #: pre- and post-relations of preserve-only specs coincide).
+    fast_path_identical_graphs: bool = True
+
+
+@dataclass(slots=True)
+class CompiledBranch:
+    """One ``else`` branch compiled for counterexample attribution."""
+
+    name: str
+    pre_fst: FST
+    post_fst: FST
+    hash_expansion: str | None
+
+
+@dataclass(slots=True)
+class CompiledSpec:
+    """A Rela spec compiled to relation transducers over a fixed alphabet."""
+
+    spec: RelaSpec
+    pre_fst: FST
+    post_fst: FST
+    branches: list[CompiledBranch] = field(default_factory=list)
+    preserve_only: bool = False
+
+
+def _is_preserve_only(spec: RelaSpec) -> bool:
+    if isinstance(spec, AtomicSpec):
+        return isinstance(spec.modifier, Preserve)
+    if isinstance(spec, SeqSpec):
+        return all(_is_preserve_only(part) for part in spec.parts)
+    if isinstance(spec, ElseSpec):
+        return _is_preserve_only(spec.primary) and _is_preserve_only(spec.fallback)
+    return False
+
+
+def compile_spec(spec: RelaSpec, alphabet: Alphabet) -> CompiledSpec:
+    """Compile a Rela spec to FSTs over ``alphabet`` (done once per run)."""
+    empty = FSA.empty_language(alphabet)
+    ctx = RIRContext(alphabet, empty, empty)
+
+    pre_fst = compile_rel(pre_relation(spec), ctx)
+    post_fst = compile_rel(post_relation(spec), ctx)
+
+    branches: list[CompiledBranch] = []
+    prior_zones: list[Regex] = []
+    for index, branch in enumerate(flatten_else(spec)):
+        branch_pre = pre_relation(branch)
+        branch_post = post_relation(branch)
+        if prior_zones:
+            shadow: Regex | None = None
+            for prior in prior_zones:
+                shadow = prior if shadow is None else Union(shadow, prior)
+            outside = rir.RIdentity(rir.PSRegex(Complement(shadow)))
+            branch_pre = rir.RCompose(outside, branch_pre)
+            branch_post = rir.RCompose(outside, branch_post)
+        expansions = hash_expansions(branch)
+        branches.append(
+            CompiledBranch(
+                name=branch.name or f"branch-{index + 1}",
+                pre_fst=compile_rel(branch_pre, ctx),
+                post_fst=compile_rel(branch_post, ctx),
+                hash_expansion=str(expansions[0]) if expansions else None,
+            )
+        )
+        prior_zones.append(zone(branch))
+    return CompiledSpec(
+        spec=spec,
+        pre_fst=pre_fst,
+        post_fst=post_fst,
+        branches=branches,
+        preserve_only=_is_preserve_only(spec),
+    )
+
+
+def _as_policy(spec_or_policy: RelaSpec | SpecPolicy) -> SpecPolicy:
+    if isinstance(spec_or_policy, SpecPolicy):
+        return spec_or_policy
+    if isinstance(spec_or_policy, RelaSpec):
+        return SpecPolicy(default=spec_or_policy)
+    raise VerificationError(
+        f"expected a RelaSpec or SpecPolicy, got {type(spec_or_policy).__name__}"
+    )
+
+
+def _graphs_identical(pre: ForwardingGraph, post: ForwardingGraph) -> bool:
+    return (
+        pre.nodes == post.nodes
+        and pre.edges == post.edges
+        and pre.sources == post.sources
+        and pre.sinks == post.sinks
+    )
+
+
+def _check_one_fec(
+    compiled: CompiledSpec,
+    fec_id: str,
+    fec_description: str,
+    pre_graph: ForwardingGraph,
+    post_graph: ForwardingGraph,
+    builder: StateAutomatonBuilder,
+    options: VerificationOptions,
+) -> Counterexample | None:
+    """Check one flow equivalence class; return a counterexample on failure."""
+    pre_converted = builder.convert(pre_graph)
+    post_converted = builder.convert(post_graph)
+
+    if (
+        options.fast_path_identical_graphs
+        and compiled.preserve_only
+        and _graphs_identical(pre_converted, post_converted)
+    ):
+        return None
+
+    pre_fsa = pre_converted.to_fsa(builder.alphabet)
+    post_fsa = post_converted.to_fsa(builder.alphabet)
+
+    lhs = compiled.pre_fst.image(pre_fsa)
+    rhs = compiled.post_fst.image(post_fsa)
+    overall = compare(
+        lhs,
+        rhs,
+        max_witnesses=options.max_witnesses,
+        max_witness_length=options.max_witness_length,
+    )
+    if overall.equal:
+        return None
+
+    violations: list[BranchViolation] = []
+    if options.collect_counterexamples:
+        for branch in compiled.branches:
+            branch_lhs = branch.pre_fst.image(pre_fsa)
+            branch_rhs = branch.post_fst.image(post_fsa)
+            branch_result = compare(
+                branch_lhs,
+                branch_rhs,
+                max_witnesses=options.max_witnesses,
+                max_witness_length=options.max_witness_length,
+            )
+            if branch_result.equal:
+                continue
+            violations.append(
+                BranchViolation(
+                    branch=branch.name,
+                    expected=[
+                        rewrite_hash(path, branch.hash_expansion)
+                        for path in branch_result.missing
+                    ],
+                    observed=[
+                        rewrite_hash(path, branch.hash_expansion)
+                        for path in branch_result.unexpected
+                    ],
+                )
+            )
+        if not violations:
+            # The overall equation failed but no single branch explains it
+            # (possible for seq-composed specs without else); report the
+            # overall diff under the spec's own name.
+            violations.append(
+                BranchViolation(
+                    branch=compiled.spec.name or "spec",
+                    expected=list(overall.missing),
+                    observed=list(overall.unexpected),
+                )
+            )
+
+    if not options.collect_counterexamples:
+        return Counterexample(
+            fec_id=fec_id, fec_description=fec_description, pre_paths=[], post_paths=[]
+        )
+    return Counterexample(
+        fec_id=fec_id,
+        fec_description=fec_description,
+        pre_paths=sorted(
+            pre_converted.path_set(max_paths=options.max_paths, max_length=options.max_witness_length)
+        ),
+        post_paths=sorted(
+            post_converted.path_set(max_paths=options.max_paths, max_length=options.max_witness_length)
+        ),
+        violations=violations,
+    )
+
+
+def _check_batch(
+    batch: list[tuple[str, str, str, ForwardingGraph, ForwardingGraph]],
+    compiled_specs: dict[str, CompiledSpec],
+    builder: StateAutomatonBuilder,
+    options: VerificationOptions,
+) -> list[tuple[str, Counterexample | None]]:
+    """Worker entry point: check a batch of flow equivalence classes."""
+    results: list[tuple[str, Counterexample | None]] = []
+    for fec_id, fec_description, spec_key, pre_graph, post_graph in batch:
+        counterexample = _check_one_fec(
+            compiled_specs[spec_key],
+            fec_id,
+            fec_description,
+            pre_graph,
+            post_graph,
+            builder,
+            options,
+        )
+        results.append((fec_id, counterexample))
+    return results
+
+
+def verify_change(
+    pre: Snapshot,
+    post: Snapshot,
+    spec: RelaSpec | SpecPolicy,
+    *,
+    db: LocationDB | None = None,
+    options: VerificationOptions | None = None,
+) -> VerificationReport:
+    """Verify a change (pre/post snapshot pair) against a Rela specification.
+
+    Parameters
+    ----------
+    pre, post:
+        The pre-change and post-change snapshots.
+    spec:
+        A :class:`~repro.rela.spec.RelaSpec` applied to every flow
+        equivalence class, or a :class:`~repro.rela.pspec.SpecPolicy` that
+        picks a spec per class based on prefix predicates.
+    db:
+        Location database; required when the snapshots are finer-grained than
+        the requested analysis granularity.
+    options:
+        Engine options (granularity, witnesses, parallelism).
+
+    Returns
+    -------
+    VerificationReport
+        Overall verdict, counterexamples and per-sub-spec violation counts.
+    """
+    options = options or VerificationOptions()
+    policy = _as_policy(spec)
+
+    started = time.perf_counter()
+
+    spec_symbols: set[str] = set()
+    specs_to_compile: dict[str, RelaSpec] = {"default": policy.default}
+    for index, guarded in enumerate(policy.guarded):
+        specs_to_compile[f"guard-{index}"] = guarded.spec
+    for rela_spec in specs_to_compile.values():
+        spec_symbols |= zone(rela_spec).symbols()
+        for branch in flatten_else(rela_spec):
+            spec_symbols |= zone(branch).symbols()
+
+    alphabet = build_alphabet(
+        pre,
+        post,
+        db=db,
+        granularity=options.granularity,
+        extra_symbols=spec_symbols,
+    )
+    builder = StateAutomatonBuilder(alphabet=alphabet, granularity=options.granularity, db=db)
+    compiled_specs = {key: compile_spec(value, alphabet) for key, value in specs_to_compile.items()}
+
+    # Build the per-FEC work list.  FECs appearing in either snapshot are
+    # checked; a FEC missing from one side contributes an empty path set.
+    fec_ids = list(dict.fromkeys(pre.fec_ids() + post.fec_ids()))
+    work: list[tuple[str, str, str, ForwardingGraph, ForwardingGraph]] = []
+    for fec_id in fec_ids:
+        fec = pre.fec(fec_id) if fec_id in pre else post.fec(fec_id)
+        spec_key = "default"
+        for index, guarded in enumerate(policy.guarded):
+            if guarded.applies_to(fec):
+                spec_key = f"guard-{index}"
+                break
+        work.append((fec_id, str(fec), spec_key, pre.graph(fec_id), post.graph(fec_id)))
+
+    report = VerificationReport(granularity=options.granularity, workers=max(1, options.workers))
+
+    if options.workers <= 1 or len(work) <= 1:
+        for item in work:
+            counterexample = _check_one_fec(
+                compiled_specs[item[2]], item[0], item[1], item[3], item[4], builder, options
+            )
+            report.record(counterexample)
+    else:
+        chunk_size = max(1, len(work) // (options.workers * 4))
+        batches = [work[i : i + chunk_size] for i in range(0, len(work), chunk_size)]
+        with ProcessPoolExecutor(max_workers=options.workers) as executor:
+            futures = [
+                executor.submit(_check_batch, batch, compiled_specs, builder, options)
+                for batch in batches
+            ]
+            for future in futures:
+                for _fec_id, counterexample in future.result():
+                    report.record(counterexample)
+
+    if not options.collect_counterexamples:
+        # Timing-only runs keep the verdict and counts but drop the detail.
+        report.counterexamples = []
+
+    report.elapsed_seconds = time.perf_counter() - started
+    return report

@@ -1,0 +1,86 @@
+"""Aggregated verification reports.
+
+A report collects the per-FEC results of one verification run: the overall
+verdict, all counterexamples (Section 6.3), how many flow equivalence classes
+violate each sub-spec (the numbers quoted in the Section 8.1 case study, such
+as "17 counterexamples for nochange and 15 for e2e"), and timing statistics
+for the performance evaluation (Figures 6 and 7).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.rela.locations import Granularity
+from repro.verifier.counterexample import Counterexample
+
+
+@dataclass(slots=True)
+class VerificationReport:
+    """The outcome of verifying one change (one snapshot pair) against a spec."""
+
+    #: True when every flow equivalence class satisfies its governing spec.
+    holds: bool = True
+    #: Number of flow equivalence classes examined.
+    total_fecs: int = 0
+    #: Number of classes that violate the spec.
+    violating_fecs: int = 0
+    #: Full counterexample list (may be truncated by engine options).
+    counterexamples: list[Counterexample] = field(default_factory=list)
+    #: Violations per named sub-spec, e.g. ``{"e2e": 15, "nochange": 24}``.
+    branch_violation_counts: Counter = field(default_factory=Counter)
+    #: Wall-clock seconds spent, including automata construction.
+    elapsed_seconds: float = 0.0
+    #: Analysis granularity used for this run.
+    granularity: Granularity = Granularity.ROUTER
+    #: Number of worker processes used (1 = serial).
+    workers: int = 1
+
+    def record(self, counterexample: Counterexample | None) -> None:
+        """Fold one per-FEC result into the report."""
+        self.total_fecs += 1
+        if counterexample is None:
+            return
+        self.holds = False
+        self.violating_fecs += 1
+        self.counterexamples.append(counterexample)
+        for branch in counterexample.branches:
+            self.branch_violation_counts[branch] += 1
+
+    def violations_for(self, branch: str) -> int:
+        """Number of flow equivalence classes violating the named sub-spec."""
+        return self.branch_violation_counts.get(branch, 0)
+
+    def summary(self) -> str:
+        """One-line result summary."""
+        if self.holds:
+            return (
+                f"PASS: all {self.total_fecs} flow equivalence classes satisfy the "
+                f"specification ({self.elapsed_seconds:.2f}s, {self.granularity.value}-level)"
+            )
+        per_branch = ", ".join(
+            f"{branch}: {count}" for branch, count in sorted(self.branch_violation_counts.items())
+        )
+        return (
+            f"FAIL: {self.violating_fecs} of {self.total_fecs} flow equivalence classes "
+            f"violate the specification ({per_branch}) "
+            f"({self.elapsed_seconds:.2f}s, {self.granularity.value}-level)"
+        )
+
+    def table(self, *, max_rows: int = 20) -> str:
+        """Render counterexamples in the layout of the paper's Table 1."""
+        header = ("FEC", "Pre-change paths", "Post-change paths", "Cause of violation")
+        rows = [header]
+        for counterexample in self.counterexamples[:max_rows]:
+            rows.append(counterexample.as_row())
+        widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+        lines = []
+        for index, row in enumerate(rows):
+            lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+            if index == 0:
+                lines.append("  ".join("-" * width for width in widths))
+        omitted = len(self.counterexamples) - max_rows
+        if omitted > 0:
+            lines.append(f"... and {omitted} more counterexamples")
+        return "\n".join(lines)

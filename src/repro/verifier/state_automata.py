@@ -1,0 +1,93 @@
+"""Construction of ``PreState`` / ``PostState`` automata from forwarding graphs.
+
+This implements the snapshot half of Section 6.1: forwarding DAGs are turned
+into FSAs (vertices → states, edges → transitions, sources fed from a fresh
+initial state, sinks accepting), optionally after coarsening the graph to the
+granularity requested by the specification (interface → router → group).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.alphabet import Alphabet
+from repro.automata.fsa import FSA
+from repro.errors import VerificationError
+from repro.rela.locations import Granularity, LocationDB
+from repro.snapshots.forwarding_graph import ForwardingGraph
+
+_ORDER = {Granularity.INTERFACE: 0, Granularity.ROUTER: 1, Granularity.GROUP: 2}
+
+
+@dataclass(slots=True)
+class StateAutomatonBuilder:
+    """Builds snapshot automata at a requested analysis granularity.
+
+    Attributes
+    ----------
+    alphabet:
+        Shared alphabet for the verification run.  Every location produced by
+        granularity conversion is interned into it.
+    granularity:
+        The granularity at which the specification reasons about paths.
+    db:
+        Location database used to coarsen node names when the forwarding
+        data is finer-grained than the specification.  It may be ``None``
+        when no conversion is needed.
+    """
+
+    alphabet: Alphabet
+    granularity: Granularity = Granularity.ROUTER
+    db: LocationDB | None = None
+
+    def convert(self, graph: ForwardingGraph) -> ForwardingGraph:
+        """Coarsen ``graph`` to the builder's granularity if necessary."""
+        if graph.granularity == self.granularity:
+            return graph
+        if _ORDER[self.granularity] < _ORDER[graph.granularity]:
+            raise VerificationError(
+                f"cannot refine {graph.granularity.value}-level forwarding data to "
+                f"{self.granularity.value} granularity"
+            )
+        if self.db is None:
+            raise VerificationError(
+                "granularity conversion requires a LocationDB with the coarsening map"
+            )
+        mapping = self.db.coarsening_map(graph.granularity, self.granularity)
+        return graph.coarsen(mapping, self.granularity)
+
+    def build(self, graph: ForwardingGraph) -> FSA:
+        """Convert a forwarding graph into the snapshot FSA."""
+        return self.convert(graph).to_fsa(self.alphabet)
+
+
+def build_alphabet(
+    *snapshots,
+    db: LocationDB | None = None,
+    granularity: Granularity = Granularity.ROUTER,
+    extra_symbols: set[str] | None = None,
+) -> Alphabet:
+    """Create the shared alphabet for a verification run.
+
+    The alphabet must contain every location that either snapshot or the
+    specification can mention *before* any complement is compiled, so we
+    gather: all database names at the analysis granularity, all node names of
+    both snapshots (coarsened when needed), and any extra symbols mentioned
+    only by the specification.
+    """
+    alphabet = Alphabet()
+    if db is not None:
+        for name in sorted(db.names_at(granularity)):
+            alphabet.intern(name)
+    for snapshot in snapshots:
+        if snapshot is None:
+            continue
+        names = snapshot.locations()
+        if db is not None and snapshot.granularity != granularity:
+            mapping = db.coarsening_map(snapshot.granularity, granularity)
+            names = {mapping.get(name, name) for name in names}
+        for name in sorted(names):
+            alphabet.intern(name)
+    for name in sorted(extra_symbols or ()):
+        alphabet.intern(name)
+    return alphabet

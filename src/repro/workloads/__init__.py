@@ -1,0 +1,32 @@
+"""Synthetic workloads: backbone topology, traffic, change scenarios, Figure 1."""
+
+from repro.workloads.backbone import Backbone, BackboneParams, generate_backbone
+from repro.workloads.changes import (
+    ChangeScenario,
+    generate_change_dataset,
+    multi_shift,
+    no_change,
+    path_prune,
+    prefix_decommission,
+    traffic_shift,
+)
+from repro.workloads.figure1 import Figure1Scenario, build_scenario, build_topology
+from repro.workloads.traffic import fecs_to_region, generate_fecs
+
+__all__ = [
+    "Backbone",
+    "BackboneParams",
+    "generate_backbone",
+    "generate_fecs",
+    "fecs_to_region",
+    "ChangeScenario",
+    "no_change",
+    "traffic_shift",
+    "multi_shift",
+    "prefix_decommission",
+    "path_prune",
+    "generate_change_dataset",
+    "Figure1Scenario",
+    "build_scenario",
+    "build_topology",
+]

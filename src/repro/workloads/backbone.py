@@ -1,0 +1,163 @@
+"""Synthetic global backbone generator.
+
+The paper evaluates Rela on a confidential global WAN with on the order of
+10^3 routers, 10^4 routes per router and 10^6 traffic classes.  We cannot use
+that data, so this module generates a parametric backbone with the same
+*structure*: multiple geographic regions, two BGP autonomous systems, router
+groups per region organised in tiers (aggregation, core, border), parallel
+links between groups, and per-region customer prefixes.  The knobs let
+benchmarks scale the instance from laptop-sized to stress-sized while keeping
+the same shape.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.network.addressing import Prefix
+from repro.network.bgp import NetworkConfig
+from repro.network.simulator import Simulator
+from repro.network.topology import Topology
+from repro.rela.locations import LocationDB
+
+
+@dataclass(slots=True)
+class BackboneParams:
+    """Size and shape knobs of the synthetic backbone."""
+
+    #: Number of geographic regions (the paper's network spans many).
+    regions: int = 4
+    #: Routers per group (each group is a circle in the paper's Figure 1).
+    routers_per_group: int = 2
+    #: Parallel link members between connected routers (drives interface-level cost).
+    parallel_links: int = 2
+    #: Customer /24 prefixes originated per region.
+    prefixes_per_region: int = 4
+    #: Random seed for reproducible generation.
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.regions < 2:
+            raise WorkloadError("a backbone needs at least two regions")
+        if self.routers_per_group < 1:
+            raise WorkloadError("router groups need at least one router")
+        if self.parallel_links < 1:
+            raise WorkloadError("links need at least one member")
+        if self.prefixes_per_region < 1:
+            raise WorkloadError("each region needs at least one prefix")
+
+
+#: Tier names within each region, in traffic order (ingress → egress).
+TIERS = ("agg", "core", "border")
+
+
+@dataclass(slots=True)
+class Backbone:
+    """A generated backbone: topology, configuration and region metadata."""
+
+    params: BackboneParams
+    topology: Topology
+    config: NetworkConfig
+    #: Region name -> originated customer prefixes.
+    region_prefixes: dict[str, list[Prefix]] = field(default_factory=dict)
+
+    def location_db(self) -> LocationDB:
+        """The Rela location database for this backbone."""
+        return self.topology.to_location_db()
+
+    def simulator(self) -> Simulator:
+        """A simulator over this backbone's topology and configuration."""
+        return Simulator(self.topology, self.config)
+
+    def regions(self) -> list[str]:
+        """All region names."""
+        return sorted(self.region_prefixes)
+
+    def group_name(self, region: str, tier: str) -> str:
+        """The router-group name of a tier within a region (e.g. ``R0-CORE``)."""
+        return f"{region}-{tier.upper()}"
+
+    def routers_in(self, region: str, tier: str) -> list[str]:
+        """Router names of one group."""
+        group = self.group_name(region, tier)
+        return sorted(router.name for router in self.topology.routers_in_group(group))
+
+    def ingress_routers(self, region: str) -> list[str]:
+        """Routers where customer traffic enters a region (the agg tier)."""
+        return self.routers_in(region, "agg")
+
+
+def generate_backbone(params: BackboneParams | None = None) -> Backbone:
+    """Generate a synthetic backbone.
+
+    Layout per region ``R{i}``: an aggregation group, a core group and a
+    border group, fully meshed tier-to-tier inside the region.  Regions are
+    joined border-to-border in a ring plus random chords, and the region set
+    is split across two autonomous systems (mirroring the paper's Figure 1
+    where the change crosses an AS boundary).  Aggregation routers originate
+    their region's customer prefixes.
+    """
+    params = params or BackboneParams()
+    rng = random.Random(params.seed)
+    topology = Topology("synthetic-backbone")
+    config = NetworkConfig()
+    region_prefixes: dict[str, list[Prefix]] = {}
+
+    region_names = [f"R{index}" for index in range(params.regions)]
+    half = (params.regions + 1) // 2
+
+    for region_index, region in enumerate(region_names):
+        asn = 100 if region_index < half else 200
+        for tier in TIERS:
+            group = f"{region}-{tier.upper()}"
+            for router_index in range(params.routers_per_group):
+                topology.add_router(
+                    f"{region.lower()}-{tier}{router_index}",
+                    group=group,
+                    region=region,
+                    asn=asn,
+                    tier=tier,
+                )
+        # Full mesh between consecutive tiers inside the region.
+        for tier_a, tier_b in zip(TIERS, TIERS[1:]):
+            for a in topology.routers_in_group(f"{region}-{tier_a.upper()}"):
+                for b in topology.routers_in_group(f"{region}-{tier_b.upper()}"):
+                    topology.add_link(
+                        a.name, b.name, members=params.parallel_links, cost=10
+                    )
+
+        # Customer prefixes originate at the aggregation routers.
+        prefixes = [
+            Prefix.parse(f"10.{region_index}.{offset}.0/24")
+            for offset in range(params.prefixes_per_region)
+        ]
+        region_prefixes[region] = prefixes
+        for router in topology.routers_in_group(f"{region}-AGG"):
+            for prefix in prefixes:
+                config.router(router.name).originate(prefix)
+
+    # Inter-region ring over border groups, plus a few random chords.
+    def join_regions(region_a: str, region_b: str) -> None:
+        borders_a = topology.routers_in_group(f"{region_a}-BORDER")
+        borders_b = topology.routers_in_group(f"{region_b}-BORDER")
+        for a in borders_a:
+            for b in borders_b:
+                if not topology.links_between(a.name, b.name):
+                    topology.add_link(a.name, b.name, members=params.parallel_links, cost=100)
+
+    for index in range(params.regions):
+        join_regions(region_names[index], region_names[(index + 1) % params.regions])
+    chords = max(0, params.regions - 3)
+    for _ in range(chords):
+        region_a, region_b = rng.sample(region_names, 2)
+        join_regions(region_a, region_b)
+
+    topology.validate()
+    return Backbone(
+        params=params,
+        topology=topology,
+        config=config,
+        region_prefixes=region_prefixes,
+    )

@@ -1,0 +1,265 @@
+"""The paper's running example change (Figure 1, Sections 2.1, 4 and 8.1).
+
+A large cloud provider wants traffic bundle T1, which flows
+``A1-B1-B2-B3-D1``, to move to ``A1-A2-A3-D1`` so that it no longer traverses
+region B — without affecting any other traffic.  The engineers needed four
+implementation attempts over three weeks:
+
+* **v1** — an allow-list change on A2 that did not move T1 at all (region B
+  announced T1 prefixes with a higher local preference), but did cause a set
+  of benign side-effect path changes;
+* **v2** — local-preference changes that moved T1, but a typo in B2's import
+  policy caused collateral damage to unrelated traffic T2, and T1 actually
+  bounced back through B3 because of old link-cost misconfiguration;
+* **v3** — fixed the typo; the B3 bounce remained (missed amid the noise);
+* **final** — the intended behaviour.
+
+This module reconstructs the scenario with synthetic prefixes and
+per-iteration FIBs so that the whole case study can be replayed: the same
+traffic bundles, the same kinds of errors, and counterexample counts matching
+Section 8.1 (17 ``nochange`` + 15 ``e2e`` violations for v1; 15 ``e2e`` +
+24 ``nochange`` + 0 ``sideEffects`` for v2; a clean pass for the final
+implementation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.network.addressing import Prefix
+from repro.network.fib import Fib
+from repro.network.simulator import TraceOptions, trace_forwarding
+from repro.network.topology import Topology
+from repro.rela import (
+    LocationDB,
+    RelaSpec,
+    any_hops,
+    any_of,
+    atomic,
+    locs,
+    nochange,
+    preserve,
+    seq,
+    seq_spec,
+    within,
+)
+from repro.rela.locations import Granularity
+from repro.snapshots.fec import FlowEquivalenceClass
+from repro.snapshots.snapshot import Snapshot
+
+#: Number of flow equivalence classes in each traffic bundle; chosen to match
+#: the counterexample counts reported in Section 8.1 of the paper.
+T1_CLASSES = 15
+T2_CLASSES = 24
+SIDE_EFFECT_CLASSES = 17
+
+_REGION_A = ("x1", "A1", "A2", "A3")
+_REGION_B = ("B1", "B2", "B3")
+_REGION_C = ("x2", "C1", "C2")
+_REGION_D = ("D1", "D2", "y1", "y2")
+
+
+@dataclass(slots=True)
+class Figure1Scenario:
+    """All artifacts of the example change: topology, traffic, FIBs, specs."""
+
+    topology: Topology
+    db: LocationDB
+    t1_fecs: list[FlowEquivalenceClass]
+    t2_fecs: list[FlowEquivalenceClass]
+    side_effect_fecs: list[FlowEquivalenceClass]
+
+    # ------------------------------------------------------------------
+    # Traffic
+    # ------------------------------------------------------------------
+    def all_fecs(self) -> list[FlowEquivalenceClass]:
+        """Every flow equivalence class in the scenario."""
+        return self.t1_fecs + self.t2_fecs + self.side_effect_fecs
+
+    # ------------------------------------------------------------------
+    # Snapshots (pre-change and per-iteration post-change)
+    # ------------------------------------------------------------------
+    def pre_change(self) -> Snapshot:
+        """The forwarding state before any change."""
+        return self._snapshot(
+            "pre-change",
+            t1_path=("x1", "A1", "B1", "B2", "B3", "D1", "y1"),
+            t2_path=("x2", "C1", "B1", "B2", "B3", "D1", "y2"),
+            side_effect_path=("x1", "A1", "B1", "B2", "D2", "y1"),
+        )
+
+    def iteration_v1(self) -> Snapshot:
+        """v1 (Figure 1b): T1 unmoved; benign side-effect changes appear."""
+        return self._snapshot(
+            "post-change-v1",
+            t1_path=("x1", "A1", "B1", "B2", "B3", "D1", "y1"),
+            t2_path=("x2", "C1", "B1", "B2", "B3", "D1", "y2"),
+            side_effect_path=("x1", "A1", "A2", "D2", "y1"),
+        )
+
+    def iteration_v2(self) -> Snapshot:
+        """v2 (Figure 1c): T1 bounces through B3; T2 suffers collateral damage."""
+        return self._snapshot(
+            "post-change-v2",
+            t1_path=("x1", "A1", "A2", "A3", "B3", "D1", "y1"),
+            t2_path=("x2", "C1", "C2", "D1", "y2"),
+            side_effect_path=("x1", "A1", "A2", "D2", "y1"),
+        )
+
+    def iteration_v3(self) -> Snapshot:
+        """v3 (Figure 1d): collateral damage fixed; the B3 bounce remains."""
+        return self._snapshot(
+            "post-change-v3",
+            t1_path=("x1", "A1", "A2", "A3", "B3", "D1", "y1"),
+            t2_path=("x2", "C1", "B1", "B2", "B3", "D1", "y2"),
+            side_effect_path=("x1", "A1", "A2", "D2", "y1"),
+        )
+
+    def final_implementation(self) -> Snapshot:
+        """The correct implementation: T1 moved, nothing else affected."""
+        return self._snapshot(
+            "post-change-final",
+            t1_path=("x1", "A1", "A2", "A3", "D1", "y1"),
+            t2_path=("x2", "C1", "B1", "B2", "B3", "D1", "y2"),
+            side_effect_path=("x1", "A1", "A2", "D2", "y1"),
+        )
+
+    def iterations(self) -> dict[str, Snapshot]:
+        """All post-change snapshots keyed by iteration name."""
+        return {
+            "v1": self.iteration_v1(),
+            "v2": self.iteration_v2(),
+            "v3": self.iteration_v3(),
+            "final": self.final_implementation(),
+        }
+
+    # ------------------------------------------------------------------
+    # Specifications (Section 4 and the Section 8.1 refinement)
+    # ------------------------------------------------------------------
+    def change_spec(self) -> RelaSpec:
+        """The original spec of Section 4: ``e2e else nochange``."""
+        return self._e2e_spec().else_(nochange()).named("change")
+
+    def refined_spec(self) -> RelaSpec:
+        """The refined spec of Section 8.1: ``e2e else sideEffects else nochange``."""
+        side_effects = atomic(
+            seq(locs({"x1"}), locs({"A1"}), any_hops(), locs({"D2"}), locs({"y1"})),
+            any_of(seq(locs({"x1"}), locs({"A1"}), locs({"A2"}), locs({"D2"}), locs({"y1"}))),
+            name="sideEffects",
+        )
+        return self._e2e_spec().else_(side_effects).else_(nochange()).named("change-refined")
+
+    def _e2e_spec(self) -> RelaSpec:
+        a1 = locs({"A1"})
+        d1 = locs({"D1"})
+        new_path = seq(a1, locs({"A2"}), locs({"A3"}), d1)
+        path_shift = atomic(seq(a1, any_hops(), d1), any_of(new_path), name="pathShift")
+        return seq_spec(
+            atomic(within(locs(_REGION_A)), preserve()),
+            path_shift,
+            atomic(within(locs(_REGION_D)), preserve()),
+            name="e2e",
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _snapshot(
+        self,
+        name: str,
+        *,
+        t1_path: Sequence[str],
+        t2_path: Sequence[str],
+        side_effect_path: Sequence[str],
+    ) -> Snapshot:
+        """Build a snapshot by installing per-bundle FIB paths and tracing them."""
+        fib = Fib()
+        for fec in self.t1_fecs:
+            _install_path(fib, t1_path, fec.dst_prefix)
+        for fec in self.t2_fecs:
+            _install_path(fib, t2_path, fec.dst_prefix)
+        for fec in self.side_effect_fecs:
+            _install_path(fib, side_effect_path, fec.dst_prefix)
+
+        snapshot = Snapshot(name=name, granularity=Granularity.ROUTER)
+        options = TraceOptions(granularity=Granularity.ROUTER)
+        for fec in self.all_fecs():
+            graph = trace_forwarding(
+                self.topology, fib, fec.ingress, fec.dst_prefix, options=options
+            )
+            snapshot.add(fec, graph)
+        return snapshot
+
+
+def _install_path(fib: Fib, path: Sequence[str], prefix: Prefix | str) -> None:
+    """Install a linear forwarding chain for ``prefix`` along ``path``."""
+    for current, nxt in zip(path, path[1:]):
+        fib.set_entry(current, prefix, [nxt])
+    fib.set_entry(path[-1], prefix, [], egress=True)
+
+
+def build_topology() -> Topology:
+    """The Figure 1 topology: two ASes spanning regions A, B, C and D."""
+    topology = Topology("figure1-backbone")
+    for name in _REGION_A:
+        topology.add_router(name, group=name, region="A", asn=100, tier="backbone")
+    for name in _REGION_C:
+        topology.add_router(name, group=name, region="C", asn=100, tier="backbone")
+    for name in _REGION_B:
+        topology.add_router(name, group=name, region="B", asn=200, tier="backbone")
+    for name in _REGION_D:
+        topology.add_router(name, group=name, region="D", asn=200, tier="backbone")
+
+    links = [
+        ("x1", "A1"), ("A1", "A2"), ("A2", "A3"), ("A3", "D1"),
+        ("A1", "B1"), ("B1", "B2"), ("B2", "B3"), ("B3", "D1"),
+        ("A3", "B3"), ("B2", "D2"), ("A2", "D2"),
+        ("x2", "C1"), ("C1", "B1"), ("C1", "C2"), ("C2", "D1"),
+        ("D1", "y1"), ("D1", "y2"), ("D2", "y1"),
+    ]
+    for a, b in links:
+        topology.add_link(a, b, members=2, cost=1)
+    return topology
+
+
+def build_scenario() -> Figure1Scenario:
+    """Construct the full Figure 1 scenario (topology, traffic, FECs)."""
+    topology = build_topology()
+    t1_fecs = [
+        FlowEquivalenceClass(
+            fec_id=f"t1-{index:03d}",
+            dst_prefix=f"10.1.{index}.0/24",
+            src_prefix="172.16.0.0/16",
+            ingress="x1",
+            metadata={"bundle": "T1"},
+        )
+        for index in range(T1_CLASSES)
+    ]
+    t2_fecs = [
+        FlowEquivalenceClass(
+            fec_id=f"t2-{index:03d}",
+            dst_prefix=f"10.2.{index}.0/24",
+            src_prefix="172.17.0.0/16",
+            ingress="x2",
+            metadata={"bundle": "T2"},
+        )
+        for index in range(T2_CLASSES)
+    ]
+    side_effect_fecs = [
+        FlowEquivalenceClass(
+            fec_id=f"se-{index:03d}",
+            dst_prefix=f"10.3.{index}.0/24",
+            src_prefix="172.16.0.0/16",
+            ingress="x1",
+            metadata={"bundle": "side-effect"},
+        )
+        for index in range(SIDE_EFFECT_CLASSES)
+    ]
+    return Figure1Scenario(
+        topology=topology,
+        db=topology.to_location_db(),
+        t1_fecs=t1_fecs,
+        t2_fecs=t2_fecs,
+        side_effect_fecs=side_effect_fecs,
+    )

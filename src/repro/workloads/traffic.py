@@ -1,0 +1,68 @@
+"""Synthetic traffic: flow equivalence classes over the backbone.
+
+The operator's workflow derives traffic classes from NetFlow measurements
+(paper Section 2.3); we generate them synthetically: for a configurable
+sample of (ingress region, destination region) pairs, one flow equivalence
+class per customer prefix of the destination region, entering at an
+aggregation router of the source region.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import WorkloadError
+from repro.snapshots.fec import FlowEquivalenceClass
+from repro.workloads.backbone import Backbone
+
+
+def generate_fecs(
+    backbone: Backbone,
+    *,
+    max_classes: int | None = None,
+    seed: int = 11,
+) -> list[FlowEquivalenceClass]:
+    """Generate flow equivalence classes for every region pair.
+
+    ``max_classes`` caps the number of classes (a uniform random sample is
+    kept), which is how benchmarks scale the verification workload.
+    """
+    rng = random.Random(seed)
+    fecs: list[FlowEquivalenceClass] = []
+    regions = backbone.regions()
+    index = 0
+    for src_region in regions:
+        ingresses = backbone.ingress_routers(src_region)
+        if not ingresses:
+            raise WorkloadError(f"region {src_region} has no ingress routers")
+        for dst_region in regions:
+            if src_region == dst_region:
+                continue
+            for prefix in backbone.region_prefixes[dst_region]:
+                ingress = ingresses[index % len(ingresses)]
+                fecs.append(
+                    FlowEquivalenceClass(
+                        fec_id=f"fec-{index:06d}",
+                        dst_prefix=str(prefix),
+                        src_prefix=f"172.{16 + (index % 16)}.0.0/16",
+                        ingress=ingress,
+                        metadata={"src_region": src_region, "dst_region": dst_region},
+                    )
+                )
+                index += 1
+    if max_classes is not None and len(fecs) > max_classes:
+        fecs = rng.sample(fecs, max_classes)
+        fecs.sort(key=lambda fec: fec.fec_id)
+    return fecs
+
+
+def fecs_to_region(
+    backbone: Backbone, fecs: list[FlowEquivalenceClass], region: str
+) -> list[FlowEquivalenceClass]:
+    """The subset of classes destined to one region (by prefix membership)."""
+    prefixes = backbone.region_prefixes.get(region, [])
+    selected = []
+    for fec in fecs:
+        if any(prefix.contains(fec.dst_prefix) for prefix in prefixes):
+            selected.append(fec)
+    return selected

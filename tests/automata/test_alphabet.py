@@ -1,0 +1,79 @@
+"""Unit tests for symbol alphabets."""
+
+import pytest
+
+from repro.automata.alphabet import DROP, HASH, Alphabet, require_same_alphabet
+from repro.errors import AlphabetError
+
+
+def test_specials_registered_by_default():
+    alphabet = Alphabet()
+    assert DROP in alphabet
+    assert HASH in alphabet
+    assert alphabet.name_of(alphabet.drop_id) == DROP
+    assert alphabet.name_of(alphabet.hash_id) == HASH
+
+
+def test_specials_can_be_omitted():
+    alphabet = Alphabet(with_specials=False)
+    assert len(alphabet) == 0
+
+
+def test_intern_is_idempotent():
+    alphabet = Alphabet()
+    first = alphabet.intern("A1")
+    second = alphabet.intern("A1")
+    assert first == second
+    assert len(alphabet) == 3  # drop, #, A1
+
+
+def test_intern_all_preserves_order():
+    alphabet = Alphabet(with_specials=False)
+    ids = alphabet.intern_all(["a", "b", "c"])
+    assert ids == [0, 1, 2]
+    assert alphabet.names() == ["a", "b", "c"]
+
+
+def test_id_and_name_round_trip():
+    alphabet = Alphabet(["A1", "B1"])
+    for name in ["A1", "B1", DROP, HASH]:
+        assert alphabet.name_of(alphabet.id_of(name)) == name
+
+
+def test_unknown_symbol_raises():
+    alphabet = Alphabet()
+    with pytest.raises(AlphabetError):
+        alphabet.id_of("missing")
+    with pytest.raises(AlphabetError):
+        alphabet.name_of(999)
+
+
+def test_invalid_symbol_name_raises():
+    alphabet = Alphabet()
+    with pytest.raises(AlphabetError):
+        alphabet.intern("")
+    with pytest.raises(AlphabetError):
+        alphabet.intern(42)  # type: ignore[arg-type]
+
+
+def test_word_conversion_round_trip():
+    alphabet = Alphabet(["A1", "B1", "C1"])
+    word = ("A1", "C1", "B1")
+    assert alphabet.ids_to_word(alphabet.word_to_ids(word)) == word
+
+
+def test_iteration_and_membership():
+    alphabet = Alphabet(["A1"])
+    assert "A1" in alphabet
+    assert "Z9" not in alphabet
+    assert set(iter(alphabet)) == {DROP, HASH, "A1"}
+
+
+def test_require_same_alphabet_accepts_identical_instance():
+    alphabet = Alphabet(["A1"])
+    assert require_same_alphabet(alphabet, alphabet) is alphabet
+
+
+def test_require_same_alphabet_rejects_distinct_instances():
+    with pytest.raises(AlphabetError):
+        require_same_alphabet(Alphabet(), Alphabet())

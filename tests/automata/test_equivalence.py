@@ -1,0 +1,71 @@
+"""Unit tests for language comparison and witness extraction."""
+
+import pytest
+
+from repro.automata import Alphabet, FSA, check_equal, check_subset, compare, symmetric_difference
+
+
+@pytest.fixture()
+def ab() -> Alphabet:
+    return Alphabet(["a", "b", "c"])
+
+
+def test_compare_equal_languages(ab):
+    left = FSA.from_words(ab, [["a", "b"], ["c"]])
+    right = FSA.symbol(ab, "a").concat(FSA.symbol(ab, "b")).union(FSA.symbol(ab, "c"))
+    result = compare(left, right)
+    assert result.equal
+    assert bool(result)
+    assert result.missing == [] and result.unexpected == []
+
+
+def test_compare_reports_directional_witnesses(ab):
+    left = FSA.from_words(ab, [["a"], ["b"]])
+    right = FSA.from_words(ab, [["a"], ["c"]])
+    result = compare(left, right)
+    assert not result.equal
+    assert ("b",) in result.missing
+    assert ("c",) in result.unexpected
+    assert not result.left_subset_of_right
+    assert not result.right_subset_of_left
+
+
+def test_compare_subset_direction(ab):
+    small = FSA.from_words(ab, [["a"]])
+    big = FSA.from_words(ab, [["a"], ["b"]])
+    result = compare(small, big)
+    assert result.left_subset_of_right and not result.right_subset_of_left
+    assert result.missing == []
+    assert ("b",) in result.unexpected
+
+
+def test_compare_witness_limit(ab):
+    left = FSA.from_words(ab, [["a"], ["b"], ["c"], ["a", "a"], ["b", "b"]])
+    right = FSA.empty_language(ab)
+    result = compare(left, right, max_witnesses=2)
+    assert len(result.missing) == 2
+
+
+def test_check_equal_and_subset(ab):
+    star = FSA.symbol(ab, "a").star()
+    plus = FSA.symbol(ab, "a").plus()
+    assert not check_equal(star, plus)
+    assert check_subset(plus, star)
+    assert not check_subset(star, plus)
+    assert check_equal(plus.union(FSA.epsilon_language(ab)), star)
+
+
+def test_symmetric_difference(ab):
+    left = FSA.from_words(ab, [["a"], ["b"]])
+    right = FSA.from_words(ab, [["b"], ["c"]])
+    sym = symmetric_difference(left, right)
+    assert sym.accepts(["a"])
+    assert sym.accepts(["c"])
+    assert not sym.accepts(["b"])
+    assert symmetric_difference(left, left.copy()).is_empty()
+
+
+def test_compare_with_cyclic_languages_terminates_quickly(ab):
+    star = FSA.symbol(ab, "a").union(FSA.symbol(ab, "b")).star()
+    result = compare(star, star.copy(), max_witness_length=64)
+    assert result.equal

@@ -1,0 +1,193 @@
+"""Unit tests for the FSA substrate."""
+
+import pytest
+
+from repro.automata import Alphabet, FSA
+from repro.errors import AutomatonError
+
+
+@pytest.fixture()
+def ab() -> Alphabet:
+    return Alphabet(["a", "b", "c"])
+
+
+def test_empty_language_accepts_nothing(ab):
+    fsa = FSA.empty_language(ab)
+    assert fsa.is_empty()
+    assert not fsa.accepts([])
+    assert not fsa.accepts(["a"])
+
+
+def test_epsilon_language_accepts_only_empty_word(ab):
+    fsa = FSA.epsilon_language(ab)
+    assert fsa.accepts([])
+    assert not fsa.accepts(["a"])
+    assert not fsa.is_empty()
+
+
+def test_symbol_automaton(ab):
+    fsa = FSA.symbol(ab, "a")
+    assert fsa.accepts(["a"])
+    assert not fsa.accepts(["b"])
+    assert not fsa.accepts(["a", "a"])
+
+
+def test_from_word_and_from_words(ab):
+    single = FSA.from_word(ab, ["a", "b", "c"])
+    assert single.accepts(["a", "b", "c"])
+    assert not single.accepts(["a", "b"])
+    multi = FSA.from_words(ab, [["a"], ["b", "c"]])
+    assert multi.accepts(["a"])
+    assert multi.accepts(["b", "c"])
+    assert not multi.accepts(["c"])
+
+
+def test_union_concat_star(ab):
+    a = FSA.symbol(ab, "a")
+    b = FSA.symbol(ab, "b")
+    union = a.union(b)
+    assert union.accepts(["a"]) and union.accepts(["b"])
+    concat = a.concat(b)
+    assert concat.accepts(["a", "b"])
+    assert not concat.accepts(["b", "a"])
+    star = a.star()
+    assert star.accepts([])
+    assert star.accepts(["a", "a", "a"])
+    assert not star.accepts(["b"])
+
+
+def test_plus_and_optional(ab):
+    a = FSA.symbol(ab, "a")
+    assert not a.plus().accepts([])
+    assert a.plus().accepts(["a", "a"])
+    assert a.optional().accepts([])
+    assert a.optional().accepts(["a"])
+
+
+def test_accepts_rejects_unknown_symbols(ab):
+    fsa = FSA.symbol(ab, "a")
+    assert not fsa.accepts(["unknown-symbol"])
+
+
+def test_remove_epsilons_preserves_language(ab):
+    fsa = FSA.symbol(ab, "a").union(FSA.symbol(ab, "b")).star()
+    stripped = fsa.remove_epsilons()
+    for word in ([], ["a"], ["a", "b", "a"], ["c"]):
+        assert fsa.accepts(word) == stripped.accepts(word)
+    for row in stripped.transitions:
+        assert None not in row
+
+
+def test_determinize_is_deterministic_and_equivalent(ab):
+    fsa = FSA.from_words(ab, [["a", "b"], ["a", "c"], ["a"]])
+    dfa = fsa.determinize()
+    assert dfa.is_deterministic()
+    assert dfa.equivalent(fsa)
+
+
+def test_complete_requires_determinism(ab):
+    nfa = FSA.symbol(ab, "a").union(FSA.symbol(ab, "a"))
+    with pytest.raises(AutomatonError):
+        nfa.complete()
+
+
+def test_complement(ab):
+    a = FSA.symbol(ab, "a")
+    comp = a.complement()
+    assert not comp.accepts(["a"])
+    assert comp.accepts([])
+    assert comp.accepts(["b"])
+    assert comp.accepts(["a", "a"])
+
+
+def test_double_complement_is_identity(ab):
+    fsa = FSA.from_words(ab, [["a", "b"], ["c"]])
+    assert fsa.complement().complement().equivalent(fsa)
+
+
+def test_intersect_and_difference(ab):
+    ab_or_ac = FSA.from_words(ab, [["a", "b"], ["a", "c"]])
+    ab_or_bc = FSA.from_words(ab, [["a", "b"], ["b", "c"]])
+    inter = ab_or_ac.intersect(ab_or_bc)
+    assert inter.accepts(["a", "b"])
+    assert not inter.accepts(["a", "c"])
+    diff = ab_or_ac.difference(ab_or_bc)
+    assert diff.accepts(["a", "c"])
+    assert not diff.accepts(["a", "b"])
+
+
+def test_equivalence_and_subset(ab):
+    one = FSA.symbol(ab, "a").concat(FSA.symbol(ab, "b"))
+    two = FSA.from_word(ab, ["a", "b"])
+    assert one.equivalent(two)
+    assert one.is_subset_of(two.union(FSA.symbol(ab, "c")))
+    assert not two.union(FSA.symbol(ab, "c")).is_subset_of(one)
+
+
+def test_minimize_preserves_language_and_shrinks(ab):
+    fsa = FSA.from_words(ab, [["a", "b"], ["a", "c"], ["b", "b"], ["b", "c"]])
+    minimal = fsa.minimize()
+    assert minimal.equivalent(fsa)
+    assert minimal.num_states <= fsa.determinize().complete().num_states
+
+
+def test_shortest_accepted(ab):
+    fsa = FSA.from_words(ab, [["a", "b", "c"], ["b"]])
+    assert fsa.shortest_accepted() == ("b",)
+    assert FSA.empty_language(ab).shortest_accepted() is None
+    assert FSA.epsilon_language(ab).shortest_accepted() == ()
+
+
+def test_enumerate_words_bounded_and_sorted_by_length(ab):
+    star = FSA.symbol(ab, "a").star()
+    words = list(star.enumerate_words(max_count=4))
+    assert words == [(), ("a",), ("a", "a"), ("a", "a", "a")]
+
+
+def test_enumerate_words_empty_language_terminates(ab):
+    # The difference of equal star languages is empty but cyclic; enumeration
+    # must terminate immediately rather than exploring all bounded prefixes.
+    star = FSA.symbol(ab, "a").union(FSA.symbol(ab, "b")).star()
+    diff = star.difference(star.copy())
+    assert list(diff.enumerate_words(max_count=5, max_length=64)) == []
+
+
+def test_language_of_finite_automaton(ab):
+    fsa = FSA.from_words(ab, [["a"], ["b", "c"]])
+    assert fsa.language() == {("a",), ("b", "c")}
+
+
+def test_has_finite_language(ab):
+    assert FSA.from_words(ab, [["a", "b"]]).has_finite_language()
+    assert not FSA.symbol(ab, "a").star().has_finite_language()
+    assert FSA.empty_language(ab).has_finite_language()
+
+
+def test_trim_removes_dead_states(ab):
+    fsa = FSA(ab)
+    end = fsa.add_state()
+    dead = fsa.add_state()
+    fsa.add_transition(fsa.initial, ab.intern("a"), end)
+    fsa.add_transition(fsa.initial, ab.intern("b"), dead)
+    fsa.mark_accepting(end)
+    trimmed = fsa.trim()
+    assert trimmed.equivalent(fsa)
+    assert trimmed.num_states < fsa.num_states
+
+
+def test_add_transition_validates_states_and_symbols(ab):
+    fsa = FSA(ab)
+    with pytest.raises(AutomatonError):
+        fsa.add_transition(0, ab.intern("a"), 99)
+    with pytest.raises(AutomatonError):
+        fsa.add_transition(0, 9999, 0)
+    with pytest.raises(AutomatonError):
+        fsa.mark_accepting(57)
+
+
+def test_copy_is_independent(ab):
+    fsa = FSA.symbol(ab, "a")
+    clone = fsa.copy()
+    clone.mark_accepting(clone.initial)
+    assert clone.accepts([])
+    assert not fsa.accepts([])

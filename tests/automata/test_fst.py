@@ -1,0 +1,119 @@
+"""Unit tests for finite state transducers."""
+
+import pytest
+
+from repro.automata import Alphabet, FSA, FST
+from repro.errors import AutomatonError
+
+
+@pytest.fixture()
+def ab() -> Alphabet:
+    return Alphabet(["a", "b", "c"])
+
+
+def test_empty_and_epsilon_relations(ab):
+    assert FST.empty_relation(ab).relation() == set()
+    assert FST.epsilon_relation(ab).relation() == {((), ())}
+
+
+def test_identity_relates_paths_to_themselves(ab):
+    fsa = FSA.from_words(ab, [["a", "b"], ["c"]])
+    ident = FST.identity(fsa)
+    assert ident.relation() == {(("a", "b"), ("a", "b")), (("c",), ("c",))}
+
+
+def test_cross_product_relates_all_pairs(ab):
+    left = FSA.from_words(ab, [["a"], ["b"]])
+    right = FSA.from_words(ab, [["c"], ["a", "a"]])
+    cross = FST.cross(left, right)
+    assert cross.relation() == {
+        (("a",), ("c",)),
+        (("a",), ("a", "a")),
+        (("b",), ("c",)),
+        (("b",), ("a", "a")),
+    }
+
+
+def test_union_and_concat_of_relations(ab):
+    a_to_b = FST.cross(FSA.symbol(ab, "a"), FSA.symbol(ab, "b"))
+    c_ident = FST.identity(FSA.symbol(ab, "c"))
+    union = a_to_b.union(c_ident)
+    assert (("a",), ("b",)) in union.relation()
+    assert (("c",), ("c",)) in union.relation()
+    concat = a_to_b.concat(c_ident)
+    assert concat.relation() == {(("a", "c"), ("b", "c"))}
+
+
+def test_star_of_relation(ab):
+    a_to_b = FST.cross(FSA.symbol(ab, "a"), FSA.symbol(ab, "b"))
+    star = a_to_b.star()
+    pairs = star.relation(max_count=50, max_length=32)
+    assert ((), ()) in pairs
+    assert (("a",), ("b",)) in pairs
+    assert (("a", "a"), ("b", "b")) in pairs
+
+
+def test_inverse_swaps_tapes(ab):
+    a_to_b = FST.cross(FSA.symbol(ab, "a"), FSA.symbol(ab, "b"))
+    assert a_to_b.inverse().relation() == {(("b",), ("a",))}
+
+
+def test_compose_chains_relations(ab):
+    a_to_b = FST.cross(FSA.symbol(ab, "a"), FSA.symbol(ab, "b"))
+    b_to_c = FST.cross(FSA.symbol(ab, "b"), FSA.symbol(ab, "c"))
+    composed = a_to_b.compose(b_to_c)
+    assert composed.relation() == {(("a",), ("c",))}
+
+
+def test_compose_with_identity_is_identity_on_domain(ab):
+    fsa = FSA.from_words(ab, [["a", "b"], ["b", "c"]])
+    ident = FST.identity(fsa)
+    composed = ident.compose(ident)
+    assert composed.relation() == ident.relation()
+
+
+def test_projections(ab):
+    rel = FST.cross(FSA.from_words(ab, [["a"], ["b"]]), FSA.symbol(ab, "c"))
+    assert rel.project_input().language() == {("a",), ("b",)}
+    assert rel.project_output().language() == {("c",)}
+
+
+def test_image_and_preimage(ab):
+    rel = FST.cross(FSA.symbol(ab, "a"), FSA.symbol(ab, "b"))
+    image = rel.image(FSA.symbol(ab, "a"))
+    assert image.language() == {("b",)}
+    assert rel.image(FSA.symbol(ab, "c")).is_empty()
+    preimage = rel.preimage(FSA.symbol(ab, "b"))
+    assert preimage.language() == {("a",)}
+
+
+def test_image_distributes_over_union(ab):
+    p1 = FSA.from_words(ab, [["a", "b"]])
+    p2 = FSA.from_words(ab, [["c"]])
+    rel = FST.identity(FSA.from_words(ab, [["a", "b"], ["c"], ["b"]]))
+    union_image = rel.image(p1.union(p2))
+    separate = rel.image(p1).union(rel.image(p2))
+    assert union_image.equivalent(separate)
+
+
+def test_identity_image_restricts_to_domain(ab):
+    domain = FSA.from_words(ab, [["a", "b"], ["c"]])
+    candidates = FSA.from_words(ab, [["a", "b"], ["b"], ["c", "c"]])
+    restricted = FST.identity(domain).image(candidates)
+    assert restricted.language() == {("a", "b")}
+
+
+def test_arc_validation(ab):
+    fst = FST(ab)
+    with pytest.raises(AutomatonError):
+        fst.add_arc(0, ab.intern("a"), ab.intern("b"), 42)
+    with pytest.raises(AutomatonError):
+        fst.add_arc(0, 999, None, 0)
+    with pytest.raises(AutomatonError):
+        fst.mark_accepting(17)
+
+
+def test_enumerate_pairs_deduplicates(ab):
+    fsa = FSA.symbol(ab, "a").union(FSA.symbol(ab, "a"))
+    ident = FST.identity(fsa)
+    assert list(ident.enumerate_pairs(max_count=10)) == [(("a",), ("a",))]

@@ -1,0 +1,121 @@
+"""Property-based tests for the automata substrate (hypothesis)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata import Alphabet
+from repro.automata.regex import (
+    AnySym,
+    Concat,
+    Empty,
+    Epsilon,
+    Regex,
+    Star,
+    Sym,
+    Union,
+)
+
+SYMBOLS = ["a", "b", "c"]
+
+
+def regex_strategy(max_depth: int = 3) -> st.SearchStrategy[Regex]:
+    leaves = st.one_of(
+        st.sampled_from(SYMBOLS).map(Sym),
+        st.just(Epsilon()),
+        st.just(Empty()),
+        st.just(AnySym()),
+    )
+
+    def extend(children: st.SearchStrategy[Regex]) -> st.SearchStrategy[Regex]:
+        return st.one_of(
+            st.tuples(children, children).map(lambda pair: Union(*pair)),
+            st.tuples(children, children).map(lambda pair: Concat(*pair)),
+            children.map(Star),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=6)
+
+
+def words_strategy() -> st.SearchStrategy[list[str]]:
+    return st.lists(st.sampled_from(SYMBOLS), max_size=4)
+
+
+def fresh_alphabet() -> Alphabet:
+    return Alphabet(SYMBOLS)
+
+
+@settings(max_examples=40, deadline=None)
+@given(regex=regex_strategy(), word=words_strategy())
+def test_union_with_self_is_idempotent(regex, word):
+    ab = fresh_alphabet()
+    single = regex.to_fsa(ab)
+    doubled = Union(regex, regex).to_fsa(ab)
+    assert single.accepts(word) == doubled.accepts(word)
+
+
+@settings(max_examples=40, deadline=None)
+@given(left=regex_strategy(), right=regex_strategy(), word=words_strategy())
+def test_union_is_commutative(left, right, word):
+    ab = fresh_alphabet()
+    assert Union(left, right).to_fsa(ab).accepts(word) == Union(right, left).to_fsa(ab).accepts(word)
+
+
+@settings(max_examples=40, deadline=None)
+@given(regex=regex_strategy(), word=words_strategy())
+def test_concat_with_epsilon_is_identity(regex, word):
+    ab = fresh_alphabet()
+    assert Concat(regex, Epsilon()).to_fsa(ab).accepts(word) == regex.to_fsa(ab).accepts(word)
+    assert Concat(Epsilon(), regex).to_fsa(ab).accepts(word) == regex.to_fsa(ab).accepts(word)
+
+
+@settings(max_examples=40, deadline=None)
+@given(regex=regex_strategy(), word=words_strategy())
+def test_concat_with_empty_is_empty(regex, word):
+    ab = fresh_alphabet()
+    assert not Concat(regex, Empty()).to_fsa(ab).accepts(word)
+
+
+@settings(max_examples=30, deadline=None)
+@given(regex=regex_strategy(), word=words_strategy())
+def test_complement_flips_membership(regex, word):
+    ab = fresh_alphabet()
+    fsa = regex.to_fsa(ab)
+    comp = fsa.complement()
+    assert fsa.accepts(word) != comp.accepts(word)
+
+
+@settings(max_examples=30, deadline=None)
+@given(regex=regex_strategy())
+def test_determinize_and_minimize_preserve_language(regex):
+    ab = fresh_alphabet()
+    fsa = regex.to_fsa(ab)
+    assert fsa.determinize().equivalent(fsa)
+    assert fsa.minimize().equivalent(fsa)
+
+
+@settings(max_examples=30, deadline=None)
+@given(left=regex_strategy(), right=regex_strategy(), word=words_strategy())
+def test_de_morgan_for_languages(left, right, word):
+    ab = fresh_alphabet()
+    lhs = left.to_fsa(ab).union(right.to_fsa(ab)).complement()
+    rhs = left.to_fsa(ab).complement().intersect(right.to_fsa(ab).complement())
+    assert lhs.accepts(word) == rhs.accepts(word)
+
+
+@settings(max_examples=30, deadline=None)
+@given(regex=regex_strategy())
+def test_difference_with_self_is_empty(regex):
+    ab = fresh_alphabet()
+    fsa = regex.to_fsa(ab)
+    assert fsa.difference(fsa.copy()).is_empty()
+
+
+@settings(max_examples=30, deadline=None)
+@given(regex=regex_strategy(), word=words_strategy())
+def test_enumerated_words_are_accepted(regex, word):
+    ab = fresh_alphabet()
+    fsa = regex.to_fsa(ab)
+    for enumerated in fsa.enumerate_words(max_count=10, max_length=6):
+        assert fsa.accepts(enumerated)

@@ -1,0 +1,138 @@
+"""Unit tests for the regex AST and text parser."""
+
+import pytest
+
+from repro.automata import Alphabet
+from repro.automata.regex import (
+    AnySym,
+    Complement,
+    Concat,
+    Empty,
+    Epsilon,
+    Intersect,
+    Star,
+    Sym,
+    SymSet,
+    Union,
+    concat_all,
+    literal,
+    parse_regex,
+    union_all,
+)
+from repro.errors import RegexSyntaxError
+
+
+@pytest.fixture()
+def ab() -> Alphabet:
+    return Alphabet(["A1", "A2", "B1", "D1"])
+
+
+def test_primitive_compilation(ab):
+    assert Empty().to_fsa(ab).is_empty()
+    assert Epsilon().to_fsa(ab).accepts([])
+    assert Sym("A1").to_fsa(ab).accepts(["A1"])
+    assert SymSet(frozenset({"A1", "B1"})).to_fsa(ab).accepts(["B1"])
+    any_fsa = AnySym().to_fsa(ab)
+    assert any_fsa.accepts(["D1"]) and any_fsa.accepts(["drop"])
+
+
+def test_combinators(ab):
+    expr = Union(Concat(Sym("A1"), Sym("A2")), Sym("B1"))
+    fsa = expr.to_fsa(ab)
+    assert fsa.accepts(["A1", "A2"])
+    assert fsa.accepts(["B1"])
+    assert not fsa.accepts(["A1"])
+
+
+def test_fluent_operators(ab):
+    expr = (Sym("A1") + Sym("A2")) | Sym("B1")
+    assert expr.to_fsa(ab).accepts(["A1", "A2"])
+    inter = (Sym("A1") | Sym("B1")) & Sym("A1")
+    fsa = inter.to_fsa(ab)
+    assert fsa.accepts(["A1"]) and not fsa.accepts(["B1"])
+
+
+def test_difference_and_complement(ab):
+    diff = Sym("A1").union(Sym("B1")).difference(Sym("B1"))
+    fsa = diff.to_fsa(ab)
+    assert fsa.accepts(["A1"]) and not fsa.accepts(["B1"])
+    comp = Complement(Sym("A1")).to_fsa(ab)
+    assert not comp.accepts(["A1"])
+    assert comp.accepts(["A1", "A1"])
+
+
+def test_star_plus_optional(ab):
+    star = Star(Sym("A1")).to_fsa(ab)
+    assert star.accepts([]) and star.accepts(["A1", "A1"])
+    plus = Sym("A1").plus().to_fsa(ab)
+    assert not plus.accepts([]) and plus.accepts(["A1"])
+    opt = Sym("A1").optional().to_fsa(ab)
+    assert opt.accepts([]) and opt.accepts(["A1"])
+
+
+def test_literal_and_bulk_constructors(ab):
+    lit = literal(["A1", "A2", "D1"]).to_fsa(ab)
+    assert lit.accepts(["A1", "A2", "D1"])
+    assert union_all([]).to_fsa(ab).is_empty()
+    assert concat_all([]).to_fsa(ab).accepts([])
+    both = union_all([Sym("A1"), Sym("B1")]).to_fsa(ab)
+    assert both.accepts(["A1"]) and both.accepts(["B1"])
+
+
+def test_symbols_collection():
+    expr = Union(Concat(Sym("A1"), SymSet(frozenset({"B1", "B2"}))), Star(Sym("D1")))
+    assert expr.symbols() == {"A1", "B1", "B2", "D1"}
+    assert AnySym().symbols() == set()
+
+
+def test_parse_concatenation_and_union(ab):
+    fsa = parse_regex("A1 A2 | B1").to_fsa(ab)
+    assert fsa.accepts(["A1", "A2"])
+    assert fsa.accepts(["B1"])
+    assert not fsa.accepts(["A1"])
+
+
+def test_parse_star_dot_and_parens(ab):
+    fsa = parse_regex("A1 .* D1").to_fsa(ab)
+    assert fsa.accepts(["A1", "D1"])
+    assert fsa.accepts(["A1", "B1", "B1", "D1"])
+    assert not fsa.accepts(["A1", "B1"])
+    grouped = parse_regex("(A1 | B1) D1").to_fsa(ab)
+    assert grouped.accepts(["B1", "D1"])
+
+
+def test_parse_postfix_operators(ab):
+    assert parse_regex("A1+").to_fsa(ab).accepts(["A1", "A1"])
+    assert not parse_regex("A1+").to_fsa(ab).accepts([])
+    assert parse_regex("A1?").to_fsa(ab).accepts([])
+
+
+def test_parse_intersection_and_complement(ab):
+    fsa = parse_regex("(A1 | B1) & A1").to_fsa(ab)
+    assert fsa.accepts(["A1"]) and not fsa.accepts(["B1"])
+    neg = parse_regex("!A1").to_fsa(ab)
+    assert not neg.accepts(["A1"]) and neg.accepts(["B1"])
+
+
+def test_parse_resolver_expands_named_expressions(ab):
+    definitions = {"mid": parse_regex("A2 | B1")}
+    fsa = parse_regex("A1 mid D1", definitions.get).to_fsa(ab)
+    assert fsa.accepts(["A1", "A2", "D1"])
+    assert fsa.accepts(["A1", "B1", "D1"])
+    assert not fsa.accepts(["A1", "mid", "D1"])
+
+
+def test_parse_errors():
+    with pytest.raises(RegexSyntaxError):
+        parse_regex("(A1")
+    with pytest.raises(RegexSyntaxError):
+        parse_regex("A1 )")
+    with pytest.raises(RegexSyntaxError):
+        parse_regex("A1 %%%")
+
+
+def test_str_rendering_round_trips_names():
+    assert str(Sym("A1")) == "A1"
+    assert str(SymSet(frozenset({"A1"}))) == "A1"
+    assert "A1" in str(SymSet(frozenset({"A1", "B1"})))
+    assert str(AnySym()) == "."

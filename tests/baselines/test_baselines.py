@@ -1,0 +1,98 @@
+"""Tests for the single-snapshot and differential-analysis baselines."""
+
+from repro.baselines import (
+    NaiveChangeCheck,
+    check_isolation,
+    check_loop_freedom,
+    check_reachability,
+    check_waypoint,
+    differential_analysis,
+)
+from repro.snapshots import FlowEquivalenceClass, ForwardingGraph, build_snapshot, drop_graph
+
+
+def build_snapshot_with_paths(paths_by_fec):
+    entries = []
+    for fec_id, paths in paths_by_fec.items():
+        entries.append((FlowEquivalenceClass(fec_id, ingress="a"), paths))
+    return build_snapshot("snap", entries)
+
+
+def test_reachability_invariant():
+    snapshot = build_snapshot_with_paths({"ok": [("a", "b")], "lost": []})
+    snapshot.replace("lost", drop_graph())
+    result = check_reachability(snapshot)
+    assert not result.holds
+    assert [fec for fec, _ in result.violations] == ["lost"]
+    assert check_reachability(snapshot, fec_ids=["ok"]).holds
+
+
+def test_waypoint_invariant():
+    snapshot = build_snapshot_with_paths({"f1": [("a", "fw", "b")], "f2": [("a", "b")]})
+    result = check_waypoint(snapshot, {"fw"})
+    assert not result.holds
+    assert result.violations[0][0] == "f2"
+    assert check_waypoint(snapshot, {"fw"}, fec_ids=["f1"]).holds
+    # Dropped traffic does not need to traverse the waypoint.
+    dropped = build_snapshot_with_paths({"f3": []})
+    dropped.replace("f3", drop_graph())
+    assert check_waypoint(dropped, {"fw"}).holds
+
+
+def test_isolation_invariant():
+    snapshot = build_snapshot_with_paths({"f1": [("a", "secret", "b")], "f2": [("a", "b")]})
+    result = check_isolation(snapshot, {"secret"})
+    assert not result.holds and result.violations[0][0] == "f1"
+    assert check_isolation(snapshot, {"other"}).holds
+    assert bool(check_isolation(snapshot, {"other"}))
+
+
+def test_loop_freedom_invariant():
+    looped = ForwardingGraph()
+    looped.add_edge("a", "b")
+    looped.add_edge("b", "a")
+    looped.sources = {"a"}
+    looped.sinks = {"b"}
+    snapshot = build_snapshot_with_paths({"ok": [("a", "b")]})
+    snapshot.add(FlowEquivalenceClass("loop", ingress="a"), looped)
+    result = check_loop_freedom(snapshot)
+    assert not result.holds
+    assert result.violations[0][0] == "loop"
+
+
+def test_naive_change_check_misses_collateral_damage():
+    """The Section 2.2 argument: single-snapshot checks cannot see collateral damage."""
+    old_path = ("x1", "A1", "B1", "D1")
+    new_path = ("x1", "A1", "A2", "D1")
+    post = build_snapshot_with_paths(
+        {
+            "t1": [new_path],          # intended change happened
+            "t2": [("x2", "C9", "D1")],  # collateral damage (was x2-C1-D1 before)
+        }
+    )
+    naive = NaiveChangeCheck(old_path=old_path, new_path=new_path)
+    result = naive.check(post)
+    # The naive spec is satisfied even though t2 changed unexpectedly.
+    assert result.holds
+
+    # It does catch the obvious failures it was written for.
+    unmoved = build_snapshot_with_paths({"t1": [old_path]})
+    assert not naive.check(unmoved).holds
+    missing_new = build_snapshot_with_paths({"t1": [("x1", "A1", "A3", "D1")]})
+    assert not naive.check(missing_new).holds
+
+
+def test_differential_analysis_reports_path_and_invariant_diffs():
+    pre = build_snapshot_with_paths({"f1": [("a", "b")], "f2": [("a", "c")]})
+    post = build_snapshot_with_paths({"f1": [("a", "b")], "f2": [("a", "c")]})
+    assert differential_analysis(pre, post).audit_items == 0
+
+    changed = build_snapshot_with_paths({"f1": [("a", "z")], "f2": [("a", "c")]})
+    changed.replace("f2", drop_graph())
+    report = differential_analysis(pre, changed)
+    assert len(report.path_differences) == 2
+    assert len(report.invariant_differences) == 1
+    assert report.invariant_differences[0].fec_id == "f2"
+    assert "reachability" in str(report.invariant_differences[0])
+    assert report.audit_items == 3
+    assert "audit" in report.summary()

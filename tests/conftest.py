@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata import Alphabet
+from repro.workloads.backbone import BackboneParams, generate_backbone
+from repro.workloads.figure1 import build_scenario
+from repro.workloads.traffic import generate_fecs
+
+SYMBOLS = ["x1", "A1", "A2", "A3", "B1", "B2", "B3", "C1", "C2", "D1", "D2", "y1", "x2", "y2"]
+
+
+@pytest.fixture()
+def alphabet() -> Alphabet:
+    """A small alphabet covering the Figure 1 location names."""
+    return Alphabet(SYMBOLS)
+
+
+@pytest.fixture(scope="session")
+def figure1():
+    """The Figure 1 case-study scenario (session-scoped; it is immutable)."""
+    return build_scenario()
+
+
+@pytest.fixture(scope="session")
+def small_backbone():
+    """A small synthetic backbone with simulated forwarding state."""
+    backbone = generate_backbone(
+        BackboneParams(regions=3, routers_per_group=2, parallel_links=2, prefixes_per_region=2)
+    )
+    fecs = generate_fecs(backbone, max_classes=12)
+    snapshot = backbone.simulator().snapshot(fecs, name="pre")
+    return backbone, fecs, snapshot

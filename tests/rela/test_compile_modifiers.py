@@ -1,0 +1,194 @@
+"""Behavioral tests for the Rela → RIR translation of every modifier (Figure 4).
+
+Each test sets up small pre/post path sets and checks that the compiled
+specification accepts exactly the snapshot pairs the paper's semantics
+prescribes for that modifier.
+"""
+
+import pytest
+
+from repro.automata import Alphabet, FSA
+from repro.rela import (
+    add,
+    any_of,
+    atomic,
+    drop,
+    locs,
+    nochange,
+    preserve,
+    remove,
+    replace,
+    seq,
+    to_rir,
+    zone,
+    pre_relation,
+    post_relation,
+    hash_expansions,
+)
+from repro.rela.spec import else_chain
+from repro.rir import RIRContext, check_spec
+
+SYMBOLS = ["A", "B", "C", "D", "E"]
+
+
+def holds(spec, pre_paths, post_paths) -> bool:
+    alphabet = Alphabet(SYMBOLS)
+    ctx = RIRContext(
+        alphabet,
+        FSA.from_words(alphabet, pre_paths),
+        FSA.from_words(alphabet, post_paths),
+    )
+    return check_spec(to_rir(spec), ctx).holds
+
+
+# ----------------------------------------------------------------------
+# preserve
+# ----------------------------------------------------------------------
+def test_preserve_requires_identical_zone_paths():
+    spec = atomic("A .* D", preserve())
+    assert holds(spec, [["A", "B", "D"]], [["A", "B", "D"]])
+    assert not holds(spec, [["A", "B", "D"]], [["A", "C", "D"]])
+
+
+def test_preserve_ignores_paths_outside_zone():
+    spec = atomic("A .* D", preserve())
+    # Paths not in the zone are invisible to this atomic spec.
+    assert holds(spec, [["B", "C"]], [["C", "B"]])
+
+
+def test_nochange_spec_detects_any_difference():
+    spec = nochange()
+    assert holds(spec, [["A", "B"], ["C"]], [["C"], ["A", "B"]])
+    assert not holds(spec, [["A", "B"]], [["A", "B"], ["C"]])
+    assert not holds(spec, [["A", "B"]], [])
+
+
+# ----------------------------------------------------------------------
+# add
+# ----------------------------------------------------------------------
+def test_add_requires_new_paths_when_zone_occupied():
+    spec = atomic("A .* D", add(seq("A", "C", "D")))
+    # Zone occupied before: the added path must appear, existing ones stay.
+    assert holds(spec, [["A", "B", "D"]], [["A", "B", "D"], ["A", "C", "D"]])
+    assert not holds(spec, [["A", "B", "D"]], [["A", "B", "D"]])
+    # Pre-existing target path must be preserved too.
+    assert holds(spec, [["A", "C", "D"]], [["A", "C", "D"]])
+
+
+def test_add_removing_old_paths_is_a_violation():
+    spec = atomic("A .* D", add(seq("A", "C", "D")))
+    assert not holds(spec, [["A", "B", "D"]], [["A", "C", "D"]])
+
+
+# ----------------------------------------------------------------------
+# remove
+# ----------------------------------------------------------------------
+def test_remove_deletes_exactly_the_named_paths():
+    spec = atomic("A .* D", remove(seq("A", "B", "D")))
+    assert holds(spec, [["A", "B", "D"], ["A", "C", "D"]], [["A", "C", "D"]])
+    # Leaving the removed path in place violates the spec.
+    assert not holds(spec, [["A", "B", "D"], ["A", "C", "D"]], [["A", "B", "D"], ["A", "C", "D"]])
+    # Removing other zone paths as collateral damage is also a violation.
+    assert not holds(spec, [["A", "B", "D"], ["A", "C", "D"]], [])
+
+
+# ----------------------------------------------------------------------
+# replace
+# ----------------------------------------------------------------------
+def test_replace_swaps_old_for_new():
+    spec = atomic("A .* D", replace(seq("A", "B", "D"), seq("A", "C", "D")))
+    assert holds(spec, [["A", "B", "D"]], [["A", "C", "D"]])
+    assert not holds(spec, [["A", "B", "D"]], [["A", "B", "D"]])
+    # Other zone paths must stay.
+    assert holds(
+        spec,
+        [["A", "B", "D"], ["A", "E", "D"]],
+        [["A", "C", "D"], ["A", "E", "D"]],
+    )
+    assert not holds(
+        spec,
+        [["A", "B", "D"], ["A", "E", "D"]],
+        [["A", "C", "D"]],
+    )
+
+
+def test_replace_keeps_preexisting_new_paths():
+    spec = atomic("A .* D", replace(seq("A", "B", "D"), seq("A", "C", "D")))
+    assert holds(spec, [["A", "C", "D"]], [["A", "C", "D"]])
+
+
+# ----------------------------------------------------------------------
+# drop
+# ----------------------------------------------------------------------
+def test_drop_requires_traffic_to_be_discarded():
+    spec = atomic(".*", drop())
+    assert holds(spec, [["A", "B", "D"]], [["drop"]])
+    assert not holds(spec, [["A", "B", "D"]], [["A", "B", "D"]])
+
+
+# ----------------------------------------------------------------------
+# any
+# ----------------------------------------------------------------------
+def test_any_accepts_any_target_path():
+    spec = atomic("A .* D", any_of(seq("A", locs({"B", "C"}), "D")))
+    assert holds(spec, [["A", "E", "D"]], [["A", "B", "D"]])
+    assert holds(spec, [["A", "E", "D"]], [["A", "C", "D"]])
+    # Staying on a zone path outside the target set is a violation.
+    assert not holds(spec, [["A", "E", "D"]], [["A", "E", "D"]])
+    # Disappearing entirely is a violation too.
+    assert not holds(spec, [["A", "E", "D"]], [])
+
+
+# ----------------------------------------------------------------------
+# composition: concatenation and else
+# ----------------------------------------------------------------------
+def test_sequential_composition_stitches_subpaths():
+    spec = (
+        atomic(locs({"A"}), preserve())
+        .then(atomic(seq(locs({"B"}), locs({"C"})), any_of(seq(locs({"E"}), locs({"C"})))))
+        .then(atomic(locs({"D"}), preserve()))
+    )
+    assert holds(spec, [["A", "B", "C", "D"]], [["A", "E", "C", "D"]])
+    assert not holds(spec, [["A", "B", "C", "D"]], [["A", "B", "C", "D"]])
+
+
+def test_else_falls_through_to_default():
+    shift = atomic(seq("A", "B"), any_of(seq("A", "C")), name="shift")
+    spec = else_chain(shift, nochange())
+    # Path in the shift zone must move; others must stay.
+    assert holds(spec, [["A", "B"], ["D", "E"]], [["A", "C"], ["D", "E"]])
+    assert not holds(spec, [["A", "B"], ["D", "E"]], [["A", "C"], ["D", "D"]])
+    assert not holds(spec, [["A", "B"], ["D", "E"]], [["A", "B"], ["D", "E"]])
+
+
+def test_else_priority_shadows_later_branches():
+    # The first branch governs its zone even when a later branch overlaps.
+    specific = atomic(seq("A", "B"), any_of(seq("A", "C")), name="specific")
+    spec = else_chain(specific, nochange())
+    # nochange alone would reject this pair, but the specific branch wins.
+    assert holds(spec, [["A", "B"]], [["A", "C"]])
+
+
+# ----------------------------------------------------------------------
+# helper functions
+# ----------------------------------------------------------------------
+def test_zone_of_composed_specs():
+    alphabet = Alphabet(SYMBOLS)
+    shift = atomic(seq("A", "B"), any_of(seq("A", "C")))
+    z = zone(shift.else_(nochange())).to_fsa(alphabet)
+    assert z.accepts(["A", "B"])
+    assert z.accepts(["A", "C"])
+    assert z.accepts(["E", "E", "E"])
+
+
+def test_relations_are_snapshot_independent():
+    spec = atomic("A .* D", preserve())
+    assert pre_relation(spec) == post_relation(spec)
+
+
+def test_hash_expansions_lists_any_targets():
+    shift = atomic(seq("A", "B"), any_of(seq("A", "C")))
+    expansions = hash_expansions(shift.else_(nochange()))
+    assert len(expansions) == 1
+    assert "A" in str(expansions[0]) and "C" in str(expansions[0])
+    assert hash_expansions(nochange()) == []

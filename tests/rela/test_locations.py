@@ -1,0 +1,108 @@
+"""Tests for the location database and where queries."""
+
+import pytest
+
+from repro.automata import Alphabet
+from repro.automata.regex import SymSet
+from repro.errors import LocationError
+from repro.rela.locations import Granularity, Location, LocationDB
+
+
+@pytest.fixture()
+def db() -> LocationDB:
+    database = LocationDB()
+    database.add_router(
+        "a1-r1", group="A1", region="A", asn=100, tier="core",
+        interfaces=["a1-r1:et1", "a1-r1:et2"],
+    )
+    database.add_router("a1-r2", group="A1", region="A", asn=100, tier="core")
+    database.add_router("b1-r1", group="B1", region="B", asn=200, tier="edge")
+    return database
+
+
+def test_add_router_creates_interface_records(db):
+    assert len(db) == 4  # 2 named interfaces + 2 loopbacks
+    assert db.router_of_interface("a1-r1:et1") == "a1-r1"
+    assert db.group_of_router("b1-r1") == "B1"
+
+
+def test_duplicate_interface_rejected(db):
+    with pytest.raises(LocationError):
+        db.add(Location(interface="a1-r1:et1", router="x", group="X"))
+
+
+def test_names_at_granularities(db):
+    assert db.names_at(Granularity.ROUTER) == {"a1-r1", "a1-r2", "b1-r1"}
+    assert db.names_at(Granularity.GROUP) == {"A1", "B1"}
+    assert "a1-r1:et1" in db.names_at(Granularity.INTERFACE)
+    assert db.routers() == {"a1-r1", "a1-r2", "b1-r1"}
+    assert db.groups() == {"A1", "B1"}
+
+
+def test_coarsen_and_coarsening_map(db):
+    assert db.coarsen("a1-r1:et1", Granularity.INTERFACE, Granularity.ROUTER) == "a1-r1"
+    assert db.coarsen("a1-r2", Granularity.ROUTER, Granularity.GROUP) == "A1"
+    assert db.coarsen("a1-r2", Granularity.ROUTER, Granularity.ROUTER) == "a1-r2"
+    mapping = db.coarsening_map(Granularity.ROUTER, Granularity.GROUP)
+    assert mapping["b1-r1"] == "B1"
+    with pytest.raises(LocationError):
+        db.coarsen("A1", Granularity.GROUP, Granularity.ROUTER)
+    with pytest.raises(LocationError):
+        db.coarsen("missing", Granularity.ROUTER, Granularity.GROUP)
+
+
+def test_where_kwargs_query(db):
+    regex = db.where(group="A1")
+    assert isinstance(regex, SymSet)
+    assert regex.names == frozenset({"a1-r1", "a1-r2"})
+
+
+def test_where_query_string_with_boolean_operators(db):
+    regex = db.where('region == "A" and tier == "core"')
+    assert regex.names == frozenset({"a1-r1", "a1-r2"})
+    regex = db.where('group == "A1" or group == "B1"', granularity=Granularity.GROUP)
+    assert regex.names == frozenset({"A1", "B1"})
+    regex = db.where('not (region == "A")')
+    assert regex.names == frozenset({"b1-r1"})
+    regex = db.where("asn == 200")
+    assert regex.names == frozenset({"b1-r1"})
+    regex = db.where('tier in ["core", "edge"]')
+    assert regex.names == frozenset({"a1-r1", "a1-r2", "b1-r1"})
+
+
+def test_where_interface_granularity(db):
+    regex = db.where(group="A1", granularity=Granularity.INTERFACE)
+    assert "a1-r1:et1" in regex.names
+
+
+def test_where_no_match_raises(db):
+    with pytest.raises(LocationError):
+        db.where(group="ZZ")
+
+
+def test_where_bad_query_raises(db):
+    with pytest.raises(LocationError):
+        db.where('group ~= "A1"')
+    with pytest.raises(LocationError):
+        db.where('group == "A1" trailing')
+
+
+def test_location_attribute_lookup():
+    location = Location(
+        interface="i1", router="r1", group="G", region="R", asn=1, tier="core",
+        extra={"vendor": "acme"},
+    )
+    assert location.attribute("router") == "r1"
+    assert location.attribute("vendor") == "acme"
+    with pytest.raises(LocationError):
+        location.attribute("missing")
+    assert location.name_at(Granularity.INTERFACE) == "i1"
+    assert location.name_at(Granularity.ROUTER) == "r1"
+    assert location.name_at(Granularity.GROUP) == "G"
+
+
+def test_where_result_compiles_into_zone(db):
+    alphabet = Alphabet(db.names_at(Granularity.ROUTER))
+    fsa = db.where(group="A1").to_fsa(alphabet)
+    assert fsa.accepts(["a1-r1"])
+    assert not fsa.accepts(["b1-r1"])

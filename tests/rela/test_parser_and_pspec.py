@@ -1,0 +1,158 @@
+"""Tests for the textual Rela parser and prefix-predicated specs."""
+
+import pytest
+
+from repro.automata import Alphabet, FSA
+from repro.errors import SpecSyntaxError
+from repro.rela import (
+    DstPrefixWithin,
+    IngressIn,
+    PredTrue,
+    PSpec,
+    SpecPolicy,
+    SrcPrefixWithin,
+    nochange,
+    atomic,
+    drop,
+    to_rir,
+)
+from repro.rela.locations import Granularity, LocationDB
+from repro.rela.parser import RelaParser, parse_program
+from repro.rir import RIRContext, check_spec
+from repro.snapshots.fec import FlowEquivalenceClass
+
+PROGRAM = """
+# The Section 4 example, in the textual syntax.
+regex a1 := where(group == "A1")
+regex d1 := where(group == "D1")
+regex regionA := where(region == "A")
+regex regionD := where(region == "D")
+regex newpath := a1 A2 A3 d1
+
+spec pathShift := { a1 .* d1 : any(newpath) ; }
+spec e2e := { regionA* : preserve ; pathShift ; regionD* : preserve ; }
+spec nochange := { .* : preserve ; }
+spec change := e2e else nochange
+
+pspec dealloc := (dstPrefix == 10.9.0.0/16) -> nochange
+"""
+
+
+@pytest.fixture()
+def db() -> LocationDB:
+    database = LocationDB()
+    for name, region in [
+        ("x1", "A"), ("A1", "A"), ("A2", "A"), ("A3", "A"),
+        ("B1", "B"), ("B2", "B"), ("B3", "B"),
+        ("D1", "D"), ("y1", "D"),
+    ]:
+        database.add_router(name, group=name, region=region, asn=1)
+    return database
+
+
+def test_parse_program_defines_regexes_specs_and_pspecs(db):
+    program = parse_program(PROGRAM, db)
+    assert set(program.regexes) == {"a1", "d1", "regionA", "regionD", "newpath"}
+    assert set(program.specs) == {"pathShift", "e2e", "nochange", "change"}
+    assert set(program.pspecs) == {"dealloc"}
+    assert program.spec("change").atomic_count() == 4
+    assert program.spec("e2e").name == "e2e"
+    with pytest.raises(SpecSyntaxError):
+        program.spec("missing")
+
+
+def test_parsed_spec_verifies_the_example_change(db):
+    program = parse_program(PROGRAM, db)
+    change = program.spec("change")
+    alphabet = Alphabet(db.names_at(Granularity.ROUTER))
+    pre = FSA.from_words(alphabet, [["x1", "A1", "B1", "B2", "B3", "D1", "y1"]])
+    good = FSA.from_words(alphabet, [["x1", "A1", "A2", "A3", "D1", "y1"]])
+    bad = FSA.from_words(alphabet, [["x1", "A1", "A2", "A3", "B3", "D1", "y1"]])
+    assert check_spec(to_rir(change), RIRContext(alphabet, pre, good)).holds
+    assert not check_spec(to_rir(change), RIRContext(alphabet, pre, bad)).holds
+
+
+def test_where_requires_database():
+    with pytest.raises(SpecSyntaxError):
+        parse_program('regex a := where(group == "A1")')
+
+
+def test_parse_modifier_varieties(db):
+    text = """
+    spec s1 := { A1 : preserve ; }
+    spec s2 := { A1 .* : drop ; }
+    spec s3 := { A1 .* : add(A1 A2) ; }
+    spec s4 := { A1 .* : remove(A1 A2) ; }
+    spec s5 := { A1 .* : replace(A1 A2, A1 A3) ; }
+    spec s6 := { A1 .* : any(A1 A3) ; }
+    """
+    program = parse_program(text, db)
+    assert len(program.specs) == 6
+    assert program.spec("s5").modifier.keyword == "replace"
+
+
+def test_parse_errors_are_reported(db):
+    with pytest.raises(SpecSyntaxError):
+        parse_program("spec broken := { A1 preserve }", db)
+    with pytest.raises(SpecSyntaxError):
+        parse_program("bogus stuff", db)
+    with pytest.raises(SpecSyntaxError):
+        parse_program("spec s := { A1 : teleport(A2) ; }", db)
+    with pytest.raises(SpecSyntaxError):
+        parse_program("spec s := { A1 : replace(A2) ; }", db)
+    with pytest.raises(SpecSyntaxError):
+        parse_program("pspec p := dstPrefix == 10.0.0.0/8", db)
+
+
+def test_predicate_parser():
+    parser = RelaParser()
+    predicate = parser.parse_predicate(
+        "(dstPrefix == 10.0.0.0/8 and not srcPrefix == 192.168.0.0/16) or ingress in [x1, x2]"
+    )
+    fec_match = FlowEquivalenceClass("f1", dst_prefix="10.1.0.0/24", src_prefix="172.16.0.0/16")
+    fec_ingress = FlowEquivalenceClass("f2", dst_prefix="8.8.8.0/24", ingress="x2")
+    fec_miss = FlowEquivalenceClass("f3", dst_prefix="8.8.8.0/24", ingress="z9")
+    assert predicate.matches(fec_match)
+    assert predicate.matches(fec_ingress)
+    assert not predicate.matches(fec_miss)
+    with pytest.raises(SpecSyntaxError):
+        parser.parse_predicate("dstPrefix != 10.0.0.0/8")
+    with pytest.raises(SpecSyntaxError):
+        parser.parse_predicate("unknownAttr == 10.0.0.0/8")
+
+
+def test_prefix_predicates():
+    fec = FlowEquivalenceClass("f", dst_prefix="10.1.2.0/24", src_prefix="172.16.5.0/24", ingress="a")
+    assert DstPrefixWithin("10.0.0.0/8").matches(fec)
+    assert not DstPrefixWithin("10.2.0.0/16").matches(fec)
+    assert SrcPrefixWithin("172.16.0.0/12").matches(fec)
+    assert IngressIn(["a", "b"]).matches(fec)
+    assert not IngressIn(["b"]).matches(fec)
+    assert PredTrue().matches(fec)
+    combined = DstPrefixWithin("10.0.0.0/8") & ~IngressIn(["z"])
+    assert combined.matches(fec)
+    either = DstPrefixWithin("99.0.0.0/8") | SrcPrefixWithin("172.16.0.0/12")
+    assert either.matches(fec)
+
+
+def test_invalid_prefix_rejected():
+    fec = FlowEquivalenceClass("f", dst_prefix="10.0.0.0/24")
+    with pytest.raises(SpecSyntaxError):
+        DstPrefixWithin("not-a-prefix").matches(fec)
+
+
+def test_spec_policy_selects_first_matching_guard():
+    dealloc = atomic(".*", drop(), name="dealloc")
+    policy = SpecPolicy(
+        default=nochange(),
+        guarded=[
+            PSpec(DstPrefixWithin("10.0.0.0/8"), dealloc, name="deallocP"),
+            PSpec(PredTrue(), nochange(), name="fallback"),
+        ],
+    )
+    inside = FlowEquivalenceClass("f1", dst_prefix="10.1.0.0/24")
+    outside = FlowEquivalenceClass("f2", dst_prefix="8.8.8.0/24")
+    assert policy.spec_for(inside).name == "dealloc"
+    assert policy.spec_for(outside).name == "nochange"
+    assert policy.atomic_count() == 3
+    assert "deallocP" in str(policy)

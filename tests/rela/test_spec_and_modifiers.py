@@ -1,0 +1,126 @@
+"""Tests for Rela specs, modifiers and the path-expression builders."""
+
+import pytest
+
+from repro.rela import (
+    AtomicSpec,
+    ElseSpec,
+    SeqSpec,
+    add,
+    alt,
+    any_hop,
+    any_hops,
+    any_of,
+    as_regex,
+    atomic,
+    drop,
+    drop_hop,
+    else_chain,
+    empty,
+    epsilon,
+    flatten_else,
+    loc,
+    locs,
+    nochange,
+    preserve,
+    remove,
+    replace,
+    seq,
+    seq_spec,
+    star,
+    within,
+)
+from repro.automata import Alphabet
+
+
+@pytest.fixture()
+def ab() -> Alphabet:
+    return Alphabet(["A1", "A2", "B1", "D1"])
+
+
+def test_pathexpr_builders_compile(ab):
+    assert seq("A1", "A2").to_fsa(ab).accepts(["A1", "A2"])
+    assert alt("A1", "B1").to_fsa(ab).accepts(["B1"])
+    assert star("A1").to_fsa(ab).accepts(["A1", "A1"])
+    assert within(locs({"A1", "A2"})).to_fsa(ab).accepts(["A2", "A1"])
+    assert any_hop().to_fsa(ab).accepts(["D1"])
+    assert any_hops().to_fsa(ab).accepts([])
+    assert epsilon().to_fsa(ab).accepts([])
+    assert empty().to_fsa(ab).is_empty()
+    assert drop_hop().to_fsa(ab).accepts(["drop"])
+    assert loc("A1").to_fsa(ab).accepts(["A1"])
+    assert locs(set()).to_fsa(ab).is_empty()
+
+
+def test_as_regex_accepts_strings_and_regexes(ab):
+    assert as_regex("A1 A2").to_fsa(ab).accepts(["A1", "A2"])
+    regex = loc("A1")
+    assert as_regex(regex) is regex
+
+
+def test_modifier_constructors_and_rendering():
+    assert str(preserve()) == "preserve"
+    assert str(drop()) == "drop"
+    assert str(add("A1 A2")).startswith("add(")
+    assert str(remove("A1")).startswith("remove(")
+    assert str(replace("A1", "A2")).startswith("replace(")
+    assert str(any_of("A1 A2")).startswith("any(")
+
+
+def test_atomic_spec_counts_and_naming():
+    spec = atomic("A1 .* D1", any_of("A1 A2 D1"), name="shift")
+    assert spec.atomic_count() == 1
+    assert spec.name == "shift"
+    renamed = spec.named("other")
+    assert renamed.name == "other"
+    assert isinstance(renamed, AtomicSpec)
+
+
+def test_seq_spec_composition():
+    first = atomic("A1", preserve())
+    second = atomic("D1", preserve())
+    combined = seq_spec(first, second, name="both")
+    assert isinstance(combined, SeqSpec)
+    assert combined.atomic_count() == 2
+    assert combined.name == "both"
+    assert seq_spec(first) is first
+    assert seq_spec(first, name="solo").name == "solo"
+
+
+def test_else_spec_and_flattening():
+    a = atomic("A1", preserve(), name="a")
+    b = atomic("B1", preserve(), name="b")
+    c = nochange()
+    chained = else_chain(a, b, c, name="all")
+    assert isinstance(chained, ElseSpec)
+    assert chained.atomic_count() == 3
+    branches = flatten_else(chained)
+    assert [branch.name for branch in branches] == ["a", "b", "nochange"]
+    assert flatten_else(a) == [a]
+    with pytest.raises(ValueError):
+        else_chain()
+
+
+def test_fluent_composition_helpers():
+    a = atomic("A1", preserve())
+    b = atomic("B1", preserve())
+    assert isinstance(a.then(b), SeqSpec)
+    assert isinstance(a.else_(b), ElseSpec)
+    assert a.then(b).atomic_count() == 2
+
+
+def test_nochange_is_single_preserve():
+    spec = nochange()
+    assert spec.atomic_count() == 1
+    assert spec.name == "nochange"
+    assert str(spec.modifier) == "preserve"
+
+
+def test_spec_string_rendering():
+    spec = atomic("A1 .* D1", any_of("A1 A2 D1"), name="pathShift")
+    assert "pathShift" in str(spec)
+    assert "any(" in str(spec)
+    combined = seq_spec(spec, nochange(), name="e2e")
+    assert "e2e" in str(combined)
+    chained = spec.else_(nochange())
+    assert "else" in str(chained)

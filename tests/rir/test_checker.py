@@ -1,0 +1,112 @@
+"""Tests for the RIR decision procedure (checker)."""
+
+import pytest
+
+from repro.automata import Alphabet, FSA
+from repro.errors import VerificationError
+from repro.rir import (
+    PSImage,
+    PSPostState,
+    PSPreState,
+    PSSymbol,
+    PSUnion,
+    RIdentity,
+    RIRContext,
+    SpecAnd,
+    SpecEqual,
+    SpecNot,
+    SpecOr,
+    SpecSubset,
+    check_spec,
+)
+
+
+def make_context(pre, post):
+    alphabet = Alphabet(["a", "b", "c"])
+    return RIRContext(
+        alphabet,
+        FSA.from_words(alphabet, pre),
+        FSA.from_words(alphabet, post),
+    )
+
+
+def test_equal_spec_holds():
+    ctx = make_context([["a"], ["b"]], [["b"], ["a"]])
+    verdict = check_spec(SpecEqual(PSPreState(), PSPostState()), ctx)
+    assert verdict.holds
+    assert verdict.violations == []
+    assert verdict.witnesses() == ([], [])
+
+
+def test_equal_spec_fails_with_witnesses():
+    ctx = make_context([["a"], ["b"]], [["a"], ["c"]])
+    verdict = check_spec(SpecEqual(PSPreState(), PSPostState(), label="demo"), ctx)
+    assert not verdict.holds
+    assert len(verdict.assertions) == 1
+    violation = verdict.violations[0]
+    assert violation.label == "demo"
+    assert ("b",) in violation.missing
+    assert ("c",) in violation.unexpected
+
+
+def test_subset_spec():
+    ctx = make_context([["a"]], [["a"], ["b"]])
+    assert check_spec(SpecSubset(PSPreState(), PSPostState()), ctx).holds
+    assert not check_spec(SpecSubset(PSPostState(), PSPreState()), ctx).holds
+
+
+def test_boolean_combinations():
+    ctx = make_context([["a"]], [["b"]])
+    eq = SpecEqual(PSPreState(), PSPostState())
+    sub = SpecSubset(PSSymbol("a"), PSUnion(PSSymbol("a"), PSSymbol("b")))
+    assert not check_spec(SpecAnd(eq, sub), ctx).holds
+    assert check_spec(SpecOr(eq, sub), ctx).holds
+    assert check_spec(SpecNot(eq), ctx).holds
+    assert not check_spec(SpecNot(sub), ctx).holds
+
+
+def test_and_collects_all_assertions():
+    ctx = make_context([["a"]], [["b"]])
+    eq = SpecEqual(PSPreState(), PSPostState())
+    verdict = check_spec(SpecAnd(eq, eq), ctx)
+    assert len(verdict.assertions) == 2
+    assert len(verdict.violations) == 2
+
+
+def test_image_based_preserve_equation():
+    # The canonical translation idiom: PreState ▷ I(D) = PostState ▷ I(D).
+    ctx = make_context([["a"], ["c"]], [["a"], ["b"]])
+    zone = PSSymbol("a")
+    spec = SpecEqual(
+        PSImage(PSPreState(), RIdentity(zone)),
+        PSImage(PSPostState(), RIdentity(zone)),
+    )
+    assert check_spec(spec, ctx).holds
+    wide_zone = PSUnion(PSSymbol("a"), PSUnion(PSSymbol("b"), PSSymbol("c")))
+    wide_spec = SpecEqual(
+        PSImage(PSPreState(), RIdentity(wide_zone)),
+        PSImage(PSPostState(), RIdentity(wide_zone)),
+    )
+    verdict = check_spec(wide_spec, ctx)
+    assert not verdict.holds
+    missing, unexpected = verdict.witnesses()
+    assert ("c",) in missing
+    assert ("b",) in unexpected
+
+
+def test_witness_limit_respected():
+    ctx = make_context([["a"], ["b"], ["c"]], [])
+    verdict = check_spec(
+        SpecEqual(PSPreState(), PSPostState()), ctx, max_witnesses=2
+    )
+    assert len(verdict.violations[0].missing) == 2
+
+
+def test_unknown_spec_node_raises():
+    ctx = make_context([], [])
+
+    class Bogus(SpecEqual.__mro__[1]):
+        __slots__ = ()
+
+    with pytest.raises(VerificationError):
+        check_spec(Bogus(), ctx)

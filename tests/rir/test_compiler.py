@@ -1,0 +1,147 @@
+"""Tests for RIR compilation to automata, including differential testing
+against the set-based reference semantics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata import Alphabet, FSA
+from repro.errors import CompilationError
+from repro.rir import (
+    PSComplement,
+    PSConcat,
+    PSEmpty,
+    PSEpsilon,
+    PSImage,
+    PSIntersect,
+    PSPostState,
+    PSPreState,
+    PSStar,
+    PSSymbol,
+    PSUnion,
+    RCompose,
+    RConcat,
+    RCross,
+    REmpty,
+    REpsilon,
+    RIdentity,
+    RUnion,
+    RIRContext,
+    RIRModel,
+    compile_pathset,
+    compile_rel,
+    eval_pathset,
+)
+
+SIGMA = ("a", "b", "c")
+
+
+def make_context(pre: set[tuple[str, ...]], post: set[tuple[str, ...]]) -> RIRContext:
+    alphabet = Alphabet(SIGMA)
+    pre_fsa = FSA.from_words(alphabet, [list(p) for p in pre])
+    post_fsa = FSA.from_words(alphabet, [list(p) for p in post])
+    return RIRContext(alphabet, pre_fsa, post_fsa)
+
+
+def test_compile_primitives():
+    ctx = make_context({("a",)}, {("b",)})
+    assert compile_pathset(PSEmpty(), ctx).is_empty()
+    assert compile_pathset(PSEpsilon(), ctx).accepts([])
+    assert compile_pathset(PSSymbol("a"), ctx).accepts(["a"])
+    assert compile_pathset(PSPreState(), ctx).accepts(["a"])
+    assert compile_pathset(PSPostState(), ctx).accepts(["b"])
+
+
+def test_compile_image():
+    ctx = make_context({("a", "b")}, set())
+    rel = RCross(PSConcat(PSSymbol("a"), PSSymbol("b")), PSSymbol("c"))
+    image = compile_pathset(PSImage(PSPreState(), rel), ctx)
+    assert image.language() == {("c",)}
+
+
+def test_compile_relation_operations():
+    ctx = make_context(set(), set())
+    assert compile_rel(REmpty(), ctx).relation() == set()
+    assert compile_rel(REpsilon(), ctx).relation() == {((), ())}
+    rel = RUnion(
+        RCross(PSSymbol("a"), PSSymbol("b")),
+        RIdentity(PSSymbol("c")),
+    )
+    assert compile_rel(rel, ctx).relation() == {(("a",), ("b",)), (("c",), ("c",))}
+    composed = RCompose(
+        RCross(PSSymbol("a"), PSSymbol("b")), RCross(PSSymbol("b"), PSSymbol("c"))
+    )
+    assert compile_rel(composed, ctx).relation() == {(("a",), ("c",))}
+    chained = RConcat(RIdentity(PSSymbol("a")), RCross(PSSymbol("b"), PSSymbol("c")))
+    assert compile_rel(chained, ctx).relation() == {(("a", "b"), ("a", "c"))}
+
+
+def test_compilation_cache_reuses_results():
+    ctx = make_context({("a",)}, set())
+    node = PSUnion(PSSymbol("a"), PSSymbol("b"))
+    first = compile_pathset(node, ctx)
+    second = compile_pathset(node, ctx)
+    assert first is second
+
+
+def test_unknown_node_raises():
+    ctx = make_context(set(), set())
+
+    class Bogus(PSSymbol.__mro__[1]):  # a PathSet subclass the compiler ignores
+        __slots__ = ()
+
+    with pytest.raises(CompilationError):
+        compile_pathset(Bogus(), ctx)
+
+
+# ----------------------------------------------------------------------
+# Differential testing: compiled automata vs. reference semantics
+# ----------------------------------------------------------------------
+def pathset_strategy(max_depth: int = 3) -> st.SearchStrategy:
+    leaves = st.one_of(
+        st.sampled_from(SIGMA).map(PSSymbol),
+        st.just(PSEpsilon()),
+        st.just(PSEmpty()),
+        st.just(PSPreState()),
+        st.just(PSPostState()),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda pair: PSUnion(*pair)),
+            st.tuples(children, children).map(lambda pair: PSConcat(*pair)),
+            st.tuples(children, children).map(lambda pair: PSIntersect(*pair)),
+            children.map(PSStar),
+            children.map(PSComplement),
+            st.tuples(children, children).map(lambda pair: PSImage(pair[0], RIdentity(pair[1]))),
+            st.tuples(children, children).map(lambda pair: PSImage(pair[0], RCross(pair[0], pair[1]))),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=5)
+
+
+def snapshot_strategy() -> st.SearchStrategy[set[tuple[str, ...]]]:
+    path = st.lists(st.sampled_from(SIGMA), min_size=1, max_size=3).map(tuple)
+    return st.sets(path, max_size=3)
+
+
+@settings(max_examples=40, deadline=None)
+@given(node=pathset_strategy(), pre=snapshot_strategy(), post=snapshot_strategy())
+def test_compiler_agrees_with_reference_semantics(node, pre, post):
+    """The automata compiler and Appendix A semantics agree on bounded words."""
+    bound = 4
+    model = RIRModel(pre=pre, post=post, sigma=SIGMA, max_length=bound)
+    reference = eval_pathset(node, model)
+
+    ctx = make_context(pre, post)
+    compiled = compile_pathset(node, ctx)
+    # Restrict comparison to words within the reference bound: the automata
+    # semantics is exact (unbounded), the reference semantics is bounded.
+    compiled_words = {
+        w
+        for w in compiled.enumerate_words(max_count=5000, max_length=bound)
+        if all(symbol in SIGMA for symbol in w)
+    }
+    reference_words = {w for w in reference if len(w) <= bound}
+    assert compiled_words == reference_words

@@ -1,0 +1,142 @@
+"""Tests for the RIR reference semantics (paper Appendix A)."""
+
+import pytest
+
+from repro.rir import (
+    PSComplement,
+    PSConcat,
+    PSEmpty,
+    PSEpsilon,
+    PSImage,
+    PSIntersect,
+    PSPostState,
+    PSPreState,
+    PSStar,
+    PSSymbol,
+    PSUnion,
+    RCompose,
+    RConcat,
+    RCross,
+    REmpty,
+    REpsilon,
+    RIdentity,
+    RStar,
+    RUnion,
+    RIRModel,
+    SpecAnd,
+    SpecEqual,
+    SpecNot,
+    SpecOr,
+    SpecSubset,
+    eval_pathset,
+    eval_rel,
+    holds,
+    word,
+)
+
+
+@pytest.fixture()
+def model() -> RIRModel:
+    return RIRModel(
+        pre={("a", "b"), ("c",)},
+        post={("a", "d"), ("c",)},
+        sigma=("a", "b", "c", "d"),
+        max_length=4,
+    )
+
+
+def test_primitive_path_sets(model):
+    assert eval_pathset(PSSymbol("a"), model) == {("a",)}
+    assert eval_pathset(PSEmpty(), model) == set()
+    assert eval_pathset(PSEpsilon(), model) == {()}
+    assert eval_pathset(PSPreState(), model) == model.pre
+    assert eval_pathset(PSPostState(), model) == model.post
+
+
+def test_union_concat_intersect(model):
+    union = PSUnion(PSSymbol("a"), PSSymbol("b"))
+    assert eval_pathset(union, model) == {("a",), ("b",)}
+    concat = PSConcat(PSSymbol("a"), PSSymbol("b"))
+    assert eval_pathset(concat, model) == {("a", "b")}
+    inter = PSIntersect(PSPreState(), PSPostState())
+    assert eval_pathset(inter, model) == {("c",)}
+
+
+def test_star_is_bounded(model):
+    star = PSStar(PSSymbol("a"))
+    result = eval_pathset(star, model)
+    assert () in result
+    assert ("a",) * model.max_length in result
+    assert all(len(path) <= model.max_length for path in result)
+
+
+def test_complement_is_relative_to_bounded_universe(model):
+    comp = eval_pathset(PSComplement(PSPreState()), model)
+    assert ("a", "b") not in comp
+    assert ("a", "d") in comp
+    assert all(len(path) <= model.max_length for path in comp)
+
+
+def test_image_applies_relation(model):
+    rel = RCross(PSSymbol("c"), PSSymbol("d"))
+    image = PSImage(PSPreState(), rel)
+    assert eval_pathset(image, model) == {("d",)}
+
+
+def test_relation_primitives(model):
+    assert eval_rel(REmpty(), model) == set()
+    assert eval_rel(REpsilon(), model) == {((), ())}
+    ident = eval_rel(RIdentity(PSPreState()), model)
+    assert ident == {(path, path) for path in model.pre}
+    cross = eval_rel(RCross(PSSymbol("a"), PSSymbol("b")), model)
+    assert cross == {(("a",), ("b",))}
+
+
+def test_relation_union_concat_star(model):
+    a_to_b = RCross(PSSymbol("a"), PSSymbol("b"))
+    c_ident = RIdentity(PSSymbol("c"))
+    union = eval_rel(RUnion(a_to_b, c_ident), model)
+    assert (("a",), ("b",)) in union and (("c",), ("c",)) in union
+    concat = eval_rel(RConcat(a_to_b, c_ident), model)
+    assert concat == {(("a", "c"), ("b", "c"))}
+    star = eval_rel(RStar(a_to_b), model)
+    assert ((), ()) in star and (("a", "a"), ("b", "b")) in star
+
+
+def test_relation_compose(model):
+    a_to_b = RCross(PSSymbol("a"), PSSymbol("b"))
+    b_to_c = RCross(PSSymbol("b"), PSSymbol("c"))
+    assert eval_rel(RCompose(a_to_b, b_to_c), model) == {(("a",), ("c",))}
+
+
+def test_spec_satisfaction(model):
+    same = SpecEqual(PSPreState(), PSPreState())
+    assert holds(same, model)
+    different = SpecEqual(PSPreState(), PSPostState())
+    assert not holds(different, model)
+    subset = SpecSubset(PSIntersect(PSPreState(), PSPostState()), PSPreState())
+    assert holds(subset, model)
+    assert holds(SpecOr(different, same), model)
+    assert not holds(SpecAnd(different, same), model)
+    assert holds(SpecNot(different), model)
+
+
+def test_word_helper(model):
+    assert eval_pathset(word(["a", "b"]), model) == {("a", "b")}
+    assert eval_pathset(word([]), model) == {()}
+
+
+def test_preserve_idiom_from_paper(model):
+    # PreState ▷ I(D) = PostState ▷ I(D)  iff  pre ∩ D == post ∩ D.
+    zone = PSUnion(PSSymbol("c"), PSConcat(PSSymbol("a"), PSSymbol("b")))
+    spec = SpecEqual(
+        PSImage(PSPreState(), RIdentity(zone)),
+        PSImage(PSPostState(), RIdentity(zone)),
+    )
+    assert not holds(spec, model)  # pre has (a,b) in the zone, post does not
+    narrow_zone = PSSymbol("c")
+    spec_narrow = SpecEqual(
+        PSImage(PSPreState(), RIdentity(narrow_zone)),
+        PSImage(PSPostState(), RIdentity(narrow_zone)),
+    )
+    assert holds(spec_narrow, model)

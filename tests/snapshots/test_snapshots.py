@@ -1,0 +1,212 @@
+"""Tests for forwarding graphs, FECs, snapshots and the path-diff baseline."""
+
+import pytest
+
+from repro.automata import Alphabet
+from repro.automata.alphabet import DROP
+from repro.errors import SnapshotError
+from repro.rela.locations import Granularity
+from repro.snapshots import (
+    FlowEquivalenceClass,
+    ForwardingGraph,
+    Snapshot,
+    build_snapshot,
+    drop_graph,
+    path_diff,
+)
+
+
+# ----------------------------------------------------------------------
+# Forwarding graphs
+# ----------------------------------------------------------------------
+def test_graph_from_paths_and_enumeration():
+    graph = ForwardingGraph.from_paths([("a", "b", "d"), ("a", "c", "d")])
+    assert graph.num_nodes == 4
+    assert graph.num_edges == 4
+    assert graph.sources == {"a"} and graph.sinks == {"d"}
+    assert graph.path_set() == {("a", "b", "d"), ("a", "c", "d")}
+    assert graph.count_paths() == 2
+    assert graph.is_acyclic()
+    assert not graph.is_empty()
+    assert graph.successors("a") == ["b", "c"] or set(graph.successors("a")) == {"b", "c"}
+
+
+def test_empty_graph():
+    graph = ForwardingGraph.empty()
+    assert graph.is_empty()
+    assert graph.path_set() == set()
+    assert graph.count_paths() == 0
+
+
+def test_add_path_rejects_empty():
+    with pytest.raises(SnapshotError):
+        ForwardingGraph().add_path([])
+
+
+def test_count_paths_matches_ecmp_fanout():
+    # A k-stage DAG with 2 parallel hops per stage has 2^k paths; the graph
+    # encodes them with 2k+2 nodes (the paper's compaction argument).
+    graph = ForwardingGraph()
+    stages = 10
+    previous = ["start"]
+    for stage in range(stages):
+        current = [f"s{stage}a", f"s{stage}b"]
+        for src in previous:
+            for dst in current:
+                graph.add_edge(src, dst)
+        previous = current
+    for src in previous:
+        graph.add_edge(src, "end")
+    graph.sources = {"start"}
+    graph.sinks = {"end"}
+    assert graph.count_paths() == 2**stages
+    assert graph.num_nodes == 2 * stages + 2
+
+
+def test_count_paths_rejects_cycles():
+    graph = ForwardingGraph()
+    graph.add_edge("a", "b")
+    graph.add_edge("b", "a")
+    graph.sources = {"a"}
+    graph.sinks = {"b"}
+    assert not graph.is_acyclic()
+    with pytest.raises(SnapshotError):
+        graph.count_paths()
+
+
+def test_coarsen_merges_and_elides_self_loops():
+    graph = ForwardingGraph.from_paths(
+        [("a1:if1", "a2:if1", "b1:if1")], granularity=Granularity.INTERFACE
+    )
+    mapping = {"a1:if1": "A", "a2:if1": "A", "b1:if1": "B"}
+    coarse = graph.coarsen(mapping, Granularity.ROUTER)
+    assert coarse.path_set() == {("A", "B")}
+    assert ("A", "A") not in coarse.edges
+
+
+def test_coarsen_keeps_unmapped_names():
+    graph = ForwardingGraph.from_paths([("a", DROP)])
+    coarse = graph.coarsen({"a": "GROUP-A"}, Granularity.GROUP)
+    assert coarse.path_set() == {("GROUP-A", DROP)}
+
+
+def test_to_fsa_accepts_exactly_graph_paths():
+    graph = ForwardingGraph.from_paths([("a", "b", "d"), ("a", "c", "d")])
+    alphabet = Alphabet()
+    fsa = graph.to_fsa(alphabet)
+    assert fsa.accepts(["a", "b", "d"])
+    assert fsa.accepts(["a", "c", "d"])
+    assert not fsa.accepts(["a", "b", "c", "d"])
+    assert not fsa.accepts(["b", "d"])
+
+
+def test_graph_serialization_round_trip():
+    graph = ForwardingGraph.from_paths([("a", "b")], granularity=Granularity.GROUP)
+    clone = ForwardingGraph.from_dict(graph.to_dict())
+    assert clone.path_set() == graph.path_set()
+    assert clone.granularity is Granularity.GROUP
+    with pytest.raises(SnapshotError):
+        ForwardingGraph.from_dict({"granularity": "router", "nodes": [], "edges": [],
+                                   "sources": ["ghost"], "sinks": []})
+    with pytest.raises(SnapshotError):
+        ForwardingGraph.from_dict({"granularity": "bogus"})
+
+
+def test_drop_graph_is_single_drop_path():
+    graph = drop_graph()
+    assert graph.path_set() == {(DROP,)}
+
+
+# ----------------------------------------------------------------------
+# FECs
+# ----------------------------------------------------------------------
+def test_fec_round_trip_and_rendering():
+    fec = FlowEquivalenceClass(
+        "fec-1", dst_prefix="10.0.0.0/24", src_prefix="172.16.0.0/16",
+        ingress="a1", metadata={"bundle": "T1"},
+    )
+    clone = FlowEquivalenceClass.from_dict(fec.to_dict())
+    assert clone == fec
+    assert "10.0.0.0/24" in str(fec)
+    with pytest.raises(SnapshotError):
+        FlowEquivalenceClass("")
+
+
+# ----------------------------------------------------------------------
+# Snapshots
+# ----------------------------------------------------------------------
+def build_pair() -> tuple[Snapshot, Snapshot]:
+    fec1 = FlowEquivalenceClass("f1", dst_prefix="10.0.1.0/24", ingress="a")
+    fec2 = FlowEquivalenceClass("f2", dst_prefix="10.0.2.0/24", ingress="a")
+    pre = build_snapshot("pre", [(fec1, [("a", "b", "c")]), (fec2, [("a", "d")])])
+    post = build_snapshot("post", [(fec1, [("a", "b", "c")]), (fec2, [("a", "e")])])
+    return pre, post
+
+
+def test_snapshot_access_and_errors():
+    pre, _post = build_pair()
+    assert len(pre) == 2
+    assert "f1" in pre and "zz" not in pre
+    assert pre.fec("f1").ingress == "a"
+    assert pre.graph("f1").path_set() == {("a", "b", "c")}
+    assert pre.graph("missing").is_empty()
+    assert pre.locations() == {"a", "b", "c", "d"}
+    with pytest.raises(SnapshotError):
+        pre.fec("missing")
+    with pytest.raises(SnapshotError):
+        pre.add(pre.fec("f1"), ForwardingGraph.empty())
+    with pytest.raises(SnapshotError):
+        pre.replace("missing", ForwardingGraph.empty())
+
+
+def test_snapshot_copy_is_independent():
+    pre, _post = build_pair()
+    clone = pre.copy(name="clone")
+    clone.replace("f1", ForwardingGraph.from_paths([("x", "y")]))
+    assert pre.graph("f1").path_set() == {("a", "b", "c")}
+    assert clone.graph("f1").path_set() == {("x", "y")}
+
+
+def test_snapshot_json_round_trip(tmp_path):
+    pre, _post = build_pair()
+    path = tmp_path / "snapshot.json"
+    pre.to_json(path, indent=2)
+    loaded = Snapshot.from_json(path)
+    assert loaded.name == "pre"
+    assert loaded.graph("f2").path_set() == {("a", "d")}
+    inline = Snapshot.from_json(pre.to_json())
+    assert inline.fec_ids() == pre.fec_ids()
+    with pytest.raises(SnapshotError):
+        Snapshot.from_json('{"name": "broken"}')
+
+
+# ----------------------------------------------------------------------
+# Path diff (manual inspection baseline)
+# ----------------------------------------------------------------------
+def test_path_diff_reports_only_changed_classes():
+    pre, post = build_pair()
+    diff = path_diff(pre, post)
+    assert len(diff) == 1
+    assert diff.total_classes == 2
+    assert diff.changed_fec_ids() == {"f2"}
+    entry = diff.entries[0]
+    assert entry.removed_paths == {("a", "d")}
+    assert entry.added_paths == {("a", "e")}
+    assert "f2" not in diff.summary() or diff.summary()
+    assert "removed" in str(entry)
+
+
+def test_path_diff_handles_missing_classes():
+    pre, post = build_pair()
+    extra_fec = FlowEquivalenceClass("f3", dst_prefix="10.0.3.0/24", ingress="a")
+    post.add(extra_fec, ForwardingGraph.from_paths([("a", "z")]))
+    diff = path_diff(pre, post)
+    assert diff.changed_fec_ids() == {"f2", "f3"}
+    assert diff.total_classes == 3
+
+
+def test_path_diff_identical_snapshots_is_empty():
+    pre, _post = build_pair()
+    diff = path_diff(pre, pre.copy())
+    assert len(diff) == 0
+    assert list(iter(diff)) == []
