@@ -5,6 +5,35 @@ the paper).  It provides finite state automata (:class:`~repro.automata.fsa.FSA`
 finite state transducers (:class:`~repro.automata.fst.FST`), a regular
 expression AST and parser, and the comparison routines the Rela decision
 procedure is built on.
+
+Performance architecture
+------------------------
+The verification hot path (``_check_one_fec`` → ``FST.image`` →
+``compare``) runs once per flow equivalence class, over alphabets with
+hundreds of network locations, so it avoids every construction whose cost
+scales with ``|Sigma|``:
+
+* **Lazy product decision procedures** (:mod:`repro.automata.lazy`): subset,
+  equality and difference questions are decided by exploring the product of
+  one automaton with the implicitly-completed, implicitly-complemented
+  subset construction of the other, on the fly.  Missing moves are an
+  implicit sink (the empty subset), the boolean procedures exit on the first
+  accepting product state, shortest witnesses come straight off the product
+  BFS tree, and the "languages agree" verdict — the common case in change
+  validation — costs a single joint pass.  Per-product-state work is bounded
+  by the automata's local out-degree, never by ``|Sigma|``.
+* **Fused image** (:meth:`~repro.automata.fst.FST.image`): ``P ▷ R`` walks
+  ``(acceptor, transducer)`` state pairs directly, driven by the acceptor's
+  (small) transition rows against a cached by-input-label arc index on the
+  transducer, instead of materializing ``identity(P)``, a full composition,
+  and a projection per class per spec branch.
+* **Eager oracle retained**: the textbook constructions
+  (:meth:`FSA.complete`, :meth:`FSA.complement`, :meth:`FSA.difference`,
+  :meth:`FSA.equivalent`, :meth:`FST.image_via_compose`) are kept unchanged
+  and serve as the reference oracle — spec *compilation* still uses eager
+  complements (it runs once per verification run, not per class), and the
+  property tests in ``tests/automata/test_properties.py`` assert the lazy
+  engine agrees with the oracle on randomized NFAs, including witness sets.
 """
 
 from repro.automata.alphabet import DROP, HASH, Alphabet
@@ -17,6 +46,12 @@ from repro.automata.equivalence import (
 )
 from repro.automata.fsa import EPSILON, FSA
 from repro.automata.fst import FST
+from repro.automata.lazy import (
+    difference_dfa,
+    is_equivalent,
+    is_subset,
+    shortest_witness,
+)
 from repro.automata.regex import (
     AnySym,
     Complement,
@@ -62,4 +97,8 @@ __all__ = [
     "check_equal",
     "check_subset",
     "symmetric_difference",
+    "difference_dfa",
+    "is_subset",
+    "is_equivalent",
+    "shortest_witness",
 ]

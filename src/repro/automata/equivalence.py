@@ -9,6 +9,12 @@ comparisons used by the verifier:
   *unexpectedly* contains);
 * :func:`check_equal`, :func:`check_subset` — boolean decision procedures;
 * :func:`symmetric_difference` — the automaton of all disagreement words.
+
+All of them are backed by the lazy product engine in
+:mod:`repro.automata.lazy`: differences are explored on the fly with an
+implicit sink instead of materializing completed/complemented DFAs over the
+full alphabet.  The eager constructions on :class:`FSA` remain available as
+the reference oracle (see the property tests).
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.automata.alphabet import require_same_alphabet
 from repro.automata.fsa import FSA, Word
+from repro.automata.lazy import difference_dfa, is_equivalent, is_subset
 
 
 @dataclass(slots=True)
@@ -51,16 +58,16 @@ class ComparisonResult:
 def symmetric_difference(left: FSA, right: FSA) -> FSA:
     """Automaton accepting every word on which the two languages disagree."""
     require_same_alphabet(left.alphabet, right.alphabet)
-    return left.difference(right).union(right.difference(left))
+    return difference_dfa(left, right).union(difference_dfa(right, left))
 
 
 def check_equal(left: FSA, right: FSA) -> bool:
-    """Decide language equality."""
-    return left.equivalent(right)
+    """Decide language equality (lazy, early-exit on the first disagreement)."""
+    return is_equivalent(left, right)
 
 def check_subset(left: FSA, right: FSA) -> bool:
-    """Decide language inclusion ``left ⊆ right``."""
-    return left.is_subset_of(right)
+    """Decide language inclusion ``left ⊆ right`` (lazy, early-exit)."""
+    return is_subset(left, right)
 
 
 def compare(
@@ -74,23 +81,35 @@ def compare(
 
     Witness enumeration is breadth-first, so the shortest disagreeing paths
     are reported first; at most ``max_witnesses`` per direction are produced.
+    Both difference automata are built by the lazy product construction, so
+    the common "languages agree" case never materializes a completed DFA.
     """
     require_same_alphabet(left.alphabet, right.alphabet)
-    left_minus_right = left.difference(right)
-    right_minus_left = right.difference(left)
+    # The common "languages agree" case is decided by a single joint product
+    # pass; only a disagreement falls through to the per-direction products,
+    # each explored exactly once (the materialized difference doubles as the
+    # inclusion verdict and the witness source).
+    if is_equivalent(left, right):
+        return ComparisonResult(equal=True, left_subset_of_right=True, right_subset_of_left=True)
+    left_minus_right = difference_dfa(left, right)
+    right_minus_left = difference_dfa(right, left)
+    left_in_right = left_minus_right.is_empty()
+    right_in_left = right_minus_left.is_empty()
 
-    missing = list(
-        left_minus_right.enumerate_words(
-            max_count=max_witnesses, max_length=max_witness_length
+    missing: list[Word] = []
+    unexpected: list[Word] = []
+    if not left_in_right:
+        missing = list(
+            left_minus_right.enumerate_words(
+                max_count=max_witnesses, max_length=max_witness_length
+            )
         )
-    )
-    unexpected = list(
-        right_minus_left.enumerate_words(
-            max_count=max_witnesses, max_length=max_witness_length
+    if not right_in_left:
+        unexpected = list(
+            right_minus_left.enumerate_words(
+                max_count=max_witnesses, max_length=max_witness_length
+            )
         )
-    )
-    left_in_right = not missing and left_minus_right.is_empty()
-    right_in_left = not unexpected and right_minus_left.is_empty()
     return ComparisonResult(
         equal=left_in_right and right_in_left,
         left_subset_of_right=left_in_right,

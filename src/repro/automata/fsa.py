@@ -341,12 +341,28 @@ class FSA:
         accepting = set(dfa.accepting)
         non_accepting = set(range(n)) - accepting
         partition: list[set[int]] = [block for block in (accepting, non_accepting) if block]
-        worklist: list[tuple[int, int]] = [
-            (index, symbol) for index in range(len(partition)) for symbol in symbols
-        ]
+
+        # Hopcroft worklist with the smaller-half rule: when a block splits,
+        # only the smaller half needs to become a new splitter (unless the
+        # block was already pending, in which case both halves stay pending).
+        # Pushing both halves for every symbol — the textbook shortcut —
+        # makes refinement quadratic in the partition count.
+        worklist: deque[tuple[int, int]] = deque()
+        pending: set[tuple[int, int]] = set()
+
+        def push(index: int, symbol: int) -> None:
+            key = (index, symbol)
+            if key not in pending:
+                pending.add(key)
+                worklist.append(key)
+
+        seed = min(range(len(partition)), key=lambda index: len(partition[index]))
+        for symbol in symbols:
+            push(seed, symbol)
 
         while worklist:
-            block_index, symbol = worklist.pop()
+            block_index, symbol = worklist.popleft()
+            pending.discard((block_index, symbol))
             splitter = partition[block_index]
             predecessors: set[int] = set()
             for state in splitter:
@@ -362,9 +378,14 @@ class FSA:
                 partition[index] = inside
                 partition.append(outside)
                 new_index = len(partition) - 1
+                smaller = new_index if len(outside) <= len(inside) else index
                 for sym in symbols:
-                    worklist.append((new_index, sym))
-                    worklist.append((index, sym))
+                    if (index, sym) in pending:
+                        # The pending entry now refers to ``inside``; keep it
+                        # and add the other half so both remain splitters.
+                        push(new_index, sym)
+                    else:
+                        push(smaller, sym)
 
         block_of = {}
         for index, block in enumerate(partition):
@@ -473,7 +494,13 @@ class FSA:
         return result
 
     def difference(self, other: FSA) -> FSA:
-        """Words accepted by ``self`` but not by ``other``."""
+        """Words accepted by ``self`` but not by ``other``.
+
+        This is the *eager* construction (complete complement + product),
+        kept as the reference oracle.  The verification hot path uses
+        :func:`repro.automata.lazy.difference_dfa` instead, which never
+        materializes a completed DFA over the full alphabet.
+        """
         return self.intersect(other.complement())
 
     # ------------------------------------------------------------------
@@ -611,12 +638,13 @@ class FSA:
     # Comparisons
     # ------------------------------------------------------------------
     def equivalent(self, other: FSA) -> bool:
-        """Language equality."""
+        """Language equality (eager reference oracle; hot path uses
+        :func:`repro.automata.equivalence.check_equal`)."""
         require_same_alphabet(self.alphabet, other.alphabet)
         return self.difference(other).is_empty() and other.difference(self).is_empty()
 
     def is_subset_of(self, other: FSA) -> bool:
-        """Language inclusion (``self`` ⊆ ``other``)."""
+        """Language inclusion ``self ⊆ other`` (eager reference oracle)."""
         require_same_alphabet(self.alphabet, other.alphabet)
         return self.difference(other).is_empty()
 

@@ -36,12 +36,15 @@ Arc = tuple[Label, Label, int]
 class FST:
     """A finite state transducer over a shared :class:`Alphabet`."""
 
-    __slots__ = ("alphabet", "arcs", "initial", "accepting")
+    __slots__ = ("alphabet", "arcs", "initial", "accepting", "_input_index")
 
     def __init__(self, alphabet: Alphabet):
         self.alphabet = alphabet
         #: ``arcs[state]`` is a list of ``(input_label, output_label, dst)``.
         self.arcs: list[list[Arc]] = []
+        #: Lazily built per-state index of arcs by input label (see
+        #: :meth:`_arcs_by_input`); invalidated by :meth:`add_arc`.
+        self._input_index: list[tuple[list[tuple[Label, int]], dict[int, list[tuple[Label, int]]]]] | None = None
         self.initial: int = self.add_state()
         self.accepting: set[int] = set()
 
@@ -61,6 +64,34 @@ class FST:
             if label is not EPSILON and not (0 <= label < len(self.alphabet)):
                 raise AutomatonError(f"arc uses unknown symbol id {label!r}")
         self.arcs[src].append((in_label, out_label, dst))
+        self._input_index = None
+
+    def _arcs_by_input(
+        self,
+    ) -> list[tuple[list[tuple[Label, int]], dict[int, list[tuple[Label, int]]]]]:
+        """Per-state arcs grouped by input label: ``(eps_arcs, by_symbol)``.
+
+        Built once and cached, so a spec transducer compiled at the start of
+        a verification run amortizes the grouping over every flow
+        equivalence class it is applied to.  This is what keeps
+        :meth:`image` proportional to the acceptor's local out-degree rather
+        than the transducer's arc count (which is ``O(|Sigma|)`` per state
+        for spec relations like ``preserve``).
+        """
+        index = self._input_index
+        if index is None:
+            index = []
+            for row in self.arcs:
+                eps_arcs: list[tuple[Label, int]] = []
+                by_symbol: dict[int, list[tuple[Label, int]]] = {}
+                for in_label, out_label, dst in row:
+                    if in_label is EPSILON:
+                        eps_arcs.append((out_label, dst))
+                    else:
+                        by_symbol.setdefault(in_label, []).append((out_label, dst))
+                index.append((eps_arcs, by_symbol))
+            self._input_index = index
+        return index
 
     def mark_accepting(self, state: int) -> None:
         """Mark ``state`` as accepting."""
@@ -82,6 +113,7 @@ class FST:
         offset = len(self.arcs)
         for row in other.arcs:
             self.arcs.append([(i, o, dst + offset) for (i, o, dst) in row])
+        self._input_index = None
         return offset
 
     # ------------------------------------------------------------------
@@ -202,6 +234,49 @@ class FST:
         result.accepting = set(self.accepting)
         return result
 
+    def trim(self) -> FST:
+        """Drop states not on any initial→accepting path (same relation).
+
+        Chained compositions multiply dead product states; trimming between
+        stages keeps long ``RCompose`` chains (e.g. branch shadowing in
+        multi-branch specs) from accumulating them multiplicatively.
+        """
+        reachable = {self.initial}
+        stack = [self.initial]
+        while stack:
+            state = stack.pop()
+            for _, _, dst in self.arcs[state]:
+                if dst not in reachable:
+                    reachable.add(dst)
+                    stack.append(dst)
+        predecessors: list[list[int]] = [[] for _ in range(self.num_states)]
+        for src, row in enumerate(self.arcs):
+            for _, _, dst in row:
+                predecessors[dst].append(src)
+        coreachable = set(self.accepting)
+        stack = list(coreachable)
+        while stack:
+            state = stack.pop()
+            for pred in predecessors[state]:
+                if pred not in coreachable:
+                    coreachable.add(pred)
+                    stack.append(pred)
+        useful = reachable & coreachable
+        useful.add(self.initial)
+        order = sorted(useful)
+        remap = {old: new for new, old in enumerate(order)}
+        result = FST(self.alphabet)
+        while result.num_states < len(order):
+            result.add_state()
+        result.initial = remap[self.initial]
+        for old in order:
+            row = result.arcs[remap[old]]
+            for in_label, out_label, dst in self.arcs[old]:
+                if dst in remap:
+                    row.append((in_label, out_label, remap[dst]))
+        result.accepting = {remap[state] for state in self.accepting if state in remap}
+        return result
+
     def compose(self, other: FST) -> FST:
         """Relation composition ``self ∘ other``.
 
@@ -230,25 +305,24 @@ class FST:
                 queue.append(key)
             return pair_ids[key]
 
+        index_b = other._arcs_by_input()
+        rows = result.arcs
         while queue:
             a, b = queue.popleft()
-            src = pair_ids[(a, b)]
-            arcs_a = self.arcs[a]
-            arcs_b = other.arcs[b]
-            for in_a, out_a, dst_a in arcs_a:
+            row = rows[pair_ids[(a, b)]]
+            eps_b, by_in_b = index_b[b]
+            for in_a, out_a, dst_a in self.arcs[a]:
                 if out_a is EPSILON:
                     # self advances alone, producing nothing for other to read.
-                    result.add_arc(src, in_a, EPSILON, state_for(dst_a, b))
+                    row.append((in_a, EPSILON, state_for(dst_a, b)))
                 else:
-                    for in_b, out_b, dst_b in arcs_b:
-                        if in_b is EPSILON:
-                            continue
-                        if in_b == out_a:
-                            result.add_arc(src, in_a, out_b, state_for(dst_a, dst_b))
-            for in_b, out_b, dst_b in arcs_b:
-                if in_b is EPSILON:
-                    # other advances alone, reading nothing from self.
-                    result.add_arc(src, EPSILON, out_b, state_for(a, dst_b))
+                    # Match other's arcs by input label via the cached index
+                    # instead of scanning its whole arc row.
+                    for out_b, dst_b in by_in_b.get(out_a, ()):
+                        row.append((in_a, out_b, state_for(dst_a, dst_b)))
+            for out_b, dst_b in eps_b:
+                # other advances alone, reading nothing from self.
+                row.append((EPSILON, out_b, state_for(a, dst_b)))
         return result
 
     # ------------------------------------------------------------------
@@ -276,12 +350,80 @@ class FST:
         return fsa
 
     def image(self, fsa: FSA) -> FSA:
-        """``P ▷ R``: the set of paths related to some path accepted by ``fsa``."""
+        """``P ▷ R``: the set of paths related to some path accepted by ``fsa``.
+
+        Computed as a single fused product walk over ``(fsa_state, fst_state)``
+        pairs: the acceptor consumes the relation's input tape directly while
+        the relation's output tape becomes the result's transitions.  This is
+        language-equivalent to ``identity(fsa).compose(self).project_output()``
+        (kept as :meth:`image_via_compose`, the reference oracle) but never
+        materializes the identity transducer or the intermediate composition —
+        one FST construction and one epsilon-handling pass fewer per flow
+        equivalence class per spec branch.
+        """
+        require_same_alphabet(self.alphabet, fsa.alphabet)
+        result = FSA(self.alphabet)
+        start = (fsa.initial, self.initial)
+        pair_ids: dict[tuple[int, int], int] = {start: result.initial}
+        if fsa.initial in fsa.accepting and self.initial in self.accepting:
+            result.mark_accepting(result.initial)
+        queue: deque[tuple[int, int]] = deque([start])
+
+        def state_for(p: int, t: int) -> int:
+            key = (p, t)
+            state = pair_ids.get(key)
+            if state is None:
+                state = result.add_state()
+                pair_ids[key] = state
+                if p in fsa.accepting and t in self.accepting:
+                    result.mark_accepting(state)
+                queue.append(key)
+            return state
+
+        rows = result.transitions
+        index = self._arcs_by_input()
+
+        def link(src_row: dict, label: Label, dst: int) -> None:
+            bucket = src_row.get(label)
+            if bucket is None:
+                src_row[label] = {dst}
+            else:
+                bucket.add(dst)
+
+        while queue:
+            p, t = queue.popleft()
+            src_row = rows[pair_ids[(p, t)]]
+            eps_arcs, by_symbol = index[t]
+            # The transducer advances alone, emitting its output label.
+            for out_label, dst_t in eps_arcs:
+                link(src_row, out_label, state_for(p, dst_t))
+            # Drive the synchronized moves off the acceptor's (small) row,
+            # not the transducer's (Sigma-sized, for spec relations) arcs.
+            for symbol, p_dsts in fsa.transitions[p].items():
+                if symbol is EPSILON:
+                    # The acceptor advances alone on its epsilon moves.
+                    for dst_p in p_dsts:
+                        link(src_row, EPSILON, state_for(dst_p, t))
+                    continue
+                matches = by_symbol.get(symbol)
+                if not matches:
+                    continue
+                for out_label, dst_t in matches:
+                    for dst_p in p_dsts:
+                        link(src_row, out_label, state_for(dst_p, dst_t))
+        return result
+
+    def image_via_compose(self, fsa: FSA) -> FSA:
+        """Eager reference implementation of :meth:`image` (the oracle)."""
         return FST.identity(fsa).compose(self).project_output()
 
     def preimage(self, fsa: FSA) -> FSA:
-        """The set of paths that map (via this relation) into ``fsa``."""
-        return self.compose(FST.identity(fsa)).project_input()
+        """The set of paths that map (via this relation) into ``fsa``.
+
+        The preimage under ``R`` is the image under the converse relation, so
+        this reuses the fused product walk of :meth:`image`.
+        """
+        return self.inverse().image(fsa)
 
     # ------------------------------------------------------------------
     # Enumeration (used by tests and counterexample rendering)

@@ -221,7 +221,11 @@ class Complement(Regex):
     inner: Regex
 
     def to_fsa(self, alphabet: Alphabet) -> FSA:
-        return self.inner.to_fsa(alphabet).complement()
+        # Minimize before handing the complement to downstream identity /
+        # composition constructions: the subset construction behind
+        # complement() can be far from minimal for unions of zone regexes,
+        # and every extra state multiplies through relation products.
+        return self.inner.to_fsa(alphabet).complement().minimize()
 
     def symbols(self) -> set[str]:
         return self.inner.symbols()

@@ -14,7 +14,7 @@ parallel) physical links, each with an IGP cost.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from collections.abc import Iterable, Iterator
 
 from repro.errors import TopologyError

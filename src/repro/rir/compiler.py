@@ -84,7 +84,11 @@ def _compile_pathset(node: ast.PathSet, ctx: RIRContext) -> FSA:
     if isinstance(node, ast.PSIntersect):
         return compile_pathset(node.left, ctx).intersect(compile_pathset(node.right, ctx))
     if isinstance(node, ast.PSComplement):
-        return compile_pathset(node.inner, ctx).complement()
+        # Minimize before the automaton is embedded into identities and
+        # compositions: the subset construction behind complement() is often
+        # far from minimal, and every extra state multiplies through
+        # relation products (mirrors regex.Complement.to_fsa).
+        return compile_pathset(node.inner, ctx).complement().minimize()
     if isinstance(node, ast.PSImage):
         relation = compile_rel(node.rel, ctx)
         return relation.image(compile_pathset(node.pathset, ctx))
@@ -120,5 +124,8 @@ def _compile_rel(node: ast.Rel, ctx: RIRContext) -> FST:
     if isinstance(node, ast.RStar):
         return compile_rel(node.inner, ctx).star()
     if isinstance(node, ast.RCompose):
-        return compile_rel(node.left, ctx).compose(compile_rel(node.right, ctx))
+        # Trim between composition stages so chained RCompose trees (branch
+        # shadowing composes one relation per preceding branch) do not
+        # accumulate dead product states multiplicatively.
+        return compile_rel(node.left, ctx).compose(compile_rel(node.right, ctx)).trim()
     raise CompilationError(f"unknown Rel node: {node!r}")

@@ -19,12 +19,13 @@ then the set of source→sink walks of the DAG.
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
 from dataclasses import dataclass, field
 from collections.abc import Iterable, Iterator, Mapping, Sequence
 
 from repro.automata.alphabet import DROP, Alphabet
-from repro.automata.fsa import EPSILON, FSA
+from repro.automata.fsa import FSA
 from repro.errors import SnapshotError
 from repro.rela.locations import Granularity
 
@@ -55,6 +56,35 @@ class ForwardingGraph:
     edges: set[tuple[str, str]] = field(default_factory=set)
     sources: set[str] = field(default_factory=set)
     sinks: set[str] = field(default_factory=set)
+    #: Cached :meth:`fingerprint` with the content token it was computed at;
+    #: invalidated by the mutator methods and revalidated against the token
+    #: so direct set mutation (``graph.sources.add(...)``) is caught.
+    _fingerprint: (
+        tuple[tuple[frozenset, frozenset, frozenset, frozenset], str] | None
+    ) = field(default=None, repr=False, compare=False)
+
+    def __getstate__(self):
+        # The fingerprint cache (with its frozenset token copies) is local
+        # derived state; dropping it keeps worker-batch pickles lean.
+        return (self.granularity, self.nodes, self.edges, self.sources, self.sinks)
+
+    def __setstate__(self, state) -> None:
+        self.granularity, self.nodes, self.edges, self.sources, self.sinks = state
+        self._fingerprint = None
+
+    def _content_token(self) -> tuple[frozenset, frozenset, frozenset, frozenset]:
+        """Frozen copies of the component sets for exact cache revalidation.
+
+        Far cheaper than the canonical digest (no sorting or encoding) yet
+        exact under any content change, including same-size swaps via
+        direct set mutation that the mutator methods never see.
+        """
+        return (
+            frozenset(self.nodes),
+            frozenset(self.edges),
+            frozenset(self.sources),
+            frozenset(self.sinks),
+        )
 
     # ------------------------------------------------------------------
     # Construction
@@ -62,12 +92,14 @@ class ForwardingGraph:
     def add_node(self, name: str) -> None:
         """Add a forwarding hop."""
         self.nodes.add(name)
+        self._fingerprint = None
 
     def add_edge(self, src: str, dst: str) -> None:
         """Add a directed forwarding link, creating its endpoints as needed."""
         self.nodes.add(src)
         self.nodes.add(dst)
         self.edges.add((src, dst))
+        self._fingerprint = None
 
     def add_path(self, path: Sequence[str]) -> None:
         """Add an explicit path (its first hop becomes a source, last a sink)."""
@@ -79,6 +111,7 @@ class ForwardingGraph:
             self.edges.add((src, dst))
         self.sources.add(path[0])
         self.sinks.add(path[-1])
+        self._fingerprint = None
 
     @classmethod
     def from_paths(
@@ -191,6 +224,42 @@ class ForwardingGraph:
     def locations(self) -> set[str]:
         """All hop names used by this graph."""
         return set(self.nodes)
+
+    def fingerprint(self) -> str:
+        """A cheap canonical fingerprint of the forwarding behaviour.
+
+        Two graphs with the same fingerprint encode the same path set at the
+        same granularity, so a verification verdict computed for one applies
+        to the other.  The digest is order-independent (all components are
+        sorted) and stable across processes, which lets the verifier memoize
+        per-FEC checks across the thousands of identical or unchanged graphs
+        a backbone change produces.
+
+        The digest is cached; the mutator methods (:meth:`add_node`,
+        :meth:`add_edge`, :meth:`add_path`) invalidate it, and the cache is
+        additionally revalidated against order-independent content hashes of
+        the component sets, so direct set mutation after a fingerprint
+        (``graph.sources.add(...)``, same-size edge swaps, ...) also forces
+        a recompute instead of returning a stale digest.
+        """
+        token = self._content_token()
+        if self._fingerprint is not None and self._fingerprint[0] == token:
+            return self._fingerprint[1]
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(self.granularity.value.encode())
+        for section in (
+            sorted(self.nodes),
+            [f"{src}\x01{dst}" for src, dst in sorted(self.edges)],
+            sorted(self.sources),
+            sorted(self.sinks),
+        ):
+            digest.update(b"\x00\x00")
+            for item in section:
+                digest.update(item.encode())
+                digest.update(b"\x00")
+        hexdigest = digest.hexdigest()
+        self._fingerprint = (token, hexdigest)
+        return hexdigest
 
     # ------------------------------------------------------------------
     # Granularity conversion

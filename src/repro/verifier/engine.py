@@ -13,12 +13,27 @@ implementation strategy:
 3. violations are reported per FEC with pre/post paths and the violated
    sub-spec (Section 6.3); classes can be checked in parallel worker
    processes, as the paper does for its 10^6-class backbone.
+
+Two engine-level optimizations keep backbone-scale runs cheap:
+
+* **Cross-FEC memoization**: a verdict depends only on the compiled spec and
+  the pre/post forwarding graphs, so checks are keyed by
+  ``(spec_key, pre_fingerprint, post_fingerprint)`` and each distinct graph
+  pair is checked once — the thousands of identical or unchanged graphs in a
+  backbone change share one check, generalizing the preserve-only fast path
+  to every spec.  Memoized counterexamples are re-attributed to each member
+  FEC.
+* **Initializer-based workers**: the compiled specs, builder and options are
+  shipped to each worker process once via the ``ProcessPoolExecutor``
+  initializer instead of being re-pickled with every batch, and results are
+  streamed back with ``as_completed`` (no head-of-line blocking); the report
+  is sorted at the end so the output is order-independent.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 
 from repro.automata.alphabet import Alphabet
@@ -59,8 +74,15 @@ class VerificationOptions:
     collect_counterexamples: bool = True
     #: Skip automaton construction for preserve-only specs when the pre and
     #: post forwarding graphs are structurally identical (sound because the
-    #: pre- and post-relations of preserve-only specs coincide).
+    #: pre- and post-relations of preserve-only specs coincide), and reuse
+    #: the pre-state FSA as the post-state FSA for identical graphs under
+    #: any spec.  Set False to force fully independent per-side work (used
+    #: by benchmarks that measure the unshortcut automata path).
     fast_path_identical_graphs: bool = True
+    #: Check each distinct (spec, pre graph, post graph) combination once
+    #: and share the verdict across FECs with identical fingerprints.  Set
+    #: False to force one independent check per FEC.
+    memoize_fec_checks: bool = True
 
 
 @dataclass(slots=True)
@@ -164,16 +186,15 @@ def _check_one_fec(
     """Check one flow equivalence class; return a counterexample on failure."""
     pre_converted = builder.convert(pre_graph)
     post_converted = builder.convert(post_graph)
+    graphs_identical = options.fast_path_identical_graphs and _graphs_identical(
+        pre_converted, post_converted
+    )
 
-    if (
-        options.fast_path_identical_graphs
-        and compiled.preserve_only
-        and _graphs_identical(pre_converted, post_converted)
-    ):
+    if compiled.preserve_only and graphs_identical:
         return None
 
     pre_fsa = pre_converted.to_fsa(builder.alphabet)
-    post_fsa = post_converted.to_fsa(builder.alphabet)
+    post_fsa = pre_fsa if graphs_identical else post_converted.to_fsa(builder.alphabet)
 
     lhs = compiled.pre_fst.image(pre_fsa)
     rhs = compiled.post_fst.image(post_fsa)
@@ -241,13 +262,28 @@ def _check_one_fec(
     )
 
 
-def _check_batch(
-    batch: list[tuple[str, str, str, ForwardingGraph, ForwardingGraph]],
+# Per-worker verification context, installed once by the pool initializer so
+# the compiled specs / builder / options are pickled once per worker process
+# instead of once per submitted batch.
+_WORKER_CONTEXT: tuple[dict[str, CompiledSpec], StateAutomatonBuilder, VerificationOptions] | None = None
+
+
+def _init_worker(
     compiled_specs: dict[str, CompiledSpec],
     builder: StateAutomatonBuilder,
     options: VerificationOptions,
+) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = (compiled_specs, builder, options)
+
+
+def _check_batch(
+    batch: list[tuple[str, str, str, ForwardingGraph, ForwardingGraph]],
 ) -> list[tuple[str, Counterexample | None]]:
     """Worker entry point: check a batch of flow equivalence classes."""
+    if _WORKER_CONTEXT is None:
+        raise VerificationError("worker process was not initialized")
+    compiled_specs, builder, options = _WORKER_CONTEXT
     results: list[tuple[str, Counterexample | None]] = []
     for fec_id, fec_description, spec_key, pre_graph, post_graph in batch:
         counterexample = _check_one_fec(
@@ -261,6 +297,21 @@ def _check_batch(
         )
         results.append((fec_id, counterexample))
     return results
+
+
+def _relabel(
+    counterexample: Counterexample | None, fec_id: str, fec_description: str
+) -> Counterexample | None:
+    """Re-attribute a memoized per-FEC result to another identical FEC."""
+    if counterexample is None or counterexample.fec_id == fec_id:
+        return counterexample
+    return Counterexample(
+        fec_id=fec_id,
+        fec_description=fec_description,
+        pre_paths=list(counterexample.pre_paths),
+        post_paths=list(counterexample.post_paths),
+        violations=list(counterexample.violations),
+    )
 
 
 def verify_change(
@@ -318,8 +369,17 @@ def verify_change(
 
     # Build the per-FEC work list.  FECs appearing in either snapshot are
     # checked; a FEC missing from one side contributes an empty path set.
+    # Verdicts depend only on (spec, pre graph, post graph), so FECs whose
+    # graph pair fingerprints coincide share one check: backbone changes
+    # produce thousands of identical or unchanged graphs, and this memoizes
+    # all of them — the generalization of the preserve-only fast path to
+    # every spec.
     fec_ids = list(dict.fromkeys(pre.fec_ids() + post.fec_ids()))
-    work: list[tuple[str, str, str, ForwardingGraph, ForwardingGraph]] = []
+    MemoKey = tuple[str, str, str]
+    membership: list[tuple[str, str, MemoKey]] = []
+    unique_work: list[tuple[str, str, str, ForwardingGraph, ForwardingGraph]] = []
+    key_of_representative: dict[str, MemoKey] = {}
+    seen_keys: set[MemoKey] = set()
     for fec_id in fec_ids:
         fec = pre.fec(fec_id) if fec_id in pre else post.fec(fec_id)
         spec_key = "default"
@@ -327,31 +387,51 @@ def verify_change(
             if guarded.applies_to(fec):
                 spec_key = f"guard-{index}"
                 break
-        work.append((fec_id, str(fec), spec_key, pre.graph(fec_id), post.graph(fec_id)))
+        pre_graph = pre.graph(fec_id)
+        post_graph = post.graph(fec_id)
+        if options.memoize_fec_checks:
+            memo_key: MemoKey = (spec_key, pre_graph.fingerprint(), post_graph.fingerprint())
+        else:
+            memo_key = (spec_key, fec_id, fec_id)  # unique per FEC: no sharing
+        membership.append((fec_id, str(fec), memo_key))
+        if memo_key not in seen_keys:
+            seen_keys.add(memo_key)
+            unique_work.append((fec_id, str(fec), spec_key, pre_graph, post_graph))
+            key_of_representative[fec_id] = memo_key
 
     report = VerificationReport(granularity=options.granularity, workers=max(1, options.workers))
 
-    if options.workers <= 1 or len(work) <= 1:
-        for item in work:
+    outcomes: dict[MemoKey, Counterexample | None] = {}
+    if options.workers <= 1 or len(unique_work) <= 1:
+        for item in unique_work:
             counterexample = _check_one_fec(
                 compiled_specs[item[2]], item[0], item[1], item[3], item[4], builder, options
             )
-            report.record(counterexample)
+            outcomes[key_of_representative[item[0]]] = counterexample
     else:
-        chunk_size = max(1, len(work) // (options.workers * 4))
-        batches = [work[i : i + chunk_size] for i in range(0, len(work), chunk_size)]
-        with ProcessPoolExecutor(max_workers=options.workers) as executor:
-            futures = [
-                executor.submit(_check_batch, batch, compiled_specs, builder, options)
-                for batch in batches
-            ]
-            for future in futures:
-                for _fec_id, counterexample in future.result():
-                    report.record(counterexample)
+        chunk_size = max(1, len(unique_work) // (options.workers * 4))
+        batches = [
+            unique_work[i : i + chunk_size] for i in range(0, len(unique_work), chunk_size)
+        ]
+        with ProcessPoolExecutor(
+            max_workers=options.workers,
+            initializer=_init_worker,
+            initargs=(compiled_specs, builder, options),
+        ) as executor:
+            futures = [executor.submit(_check_batch, batch) for batch in batches]
+            # Stream results as workers finish instead of blocking on
+            # submission order; finalize() below restores determinism.
+            for future in as_completed(futures):
+                for fec_id, counterexample in future.result():
+                    outcomes[key_of_representative[fec_id]] = counterexample
+
+    for fec_id, fec_description, memo_key in membership:
+        report.record(_relabel(outcomes[memo_key], fec_id, fec_description))
 
     if not options.collect_counterexamples:
         # Timing-only runs keep the verdict and counts but drop the detail.
         report.counterexamples = []
 
+    report.finalize()
     report.elapsed_seconds = time.perf_counter() - started
     return report

@@ -48,6 +48,16 @@ class VerificationReport:
         for branch in counterexample.branches:
             self.branch_violation_counts[branch] += 1
 
+    def finalize(self) -> None:
+        """Make the report independent of result arrival order.
+
+        Parallel runs stream per-FEC results with ``as_completed``, so
+        :meth:`record` may be called in any order; sorting counterexamples by
+        FEC identifier gives every run (serial, parallel, memoized) the same
+        deterministic report.
+        """
+        self.counterexamples.sort(key=lambda counterexample: counterexample.fec_id)
+
     def violations_for(self, branch: str) -> int:
         """Number of flow equivalence classes violating the named sub-spec."""
         return self.branch_violation_counts.get(branch, 0)

@@ -47,7 +47,6 @@ from repro.rela import (
 )
 from repro.rela.locations import Granularity
 from repro.rela.spec import else_chain
-from repro.snapshots.fec import FlowEquivalenceClass
 from repro.snapshots.forwarding_graph import ForwardingGraph
 from repro.snapshots.forwarding_graph import drop_graph as make_drop_graph
 from repro.snapshots.snapshot import Snapshot

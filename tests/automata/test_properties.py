@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.automata import Alphabet
+from repro.automata import Alphabet, FSA, check_equal, check_subset, compare
+from repro.automata.fsa import EPSILON
+from repro.automata.fst import FST
+from repro.automata.lazy import difference_dfa, shortest_witness
 from repro.automata.regex import (
     AnySym,
     Concat,
@@ -119,3 +121,152 @@ def test_enumerated_words_are_accepted(regex, word):
     fsa = regex.to_fsa(ab)
     for enumerated in fsa.enumerate_words(max_count=10, max_length=6):
         assert fsa.accepts(enumerated)
+
+
+# ----------------------------------------------------------------------
+# Lazy product engine vs. the eager reference oracle, on randomized NFAs
+# ----------------------------------------------------------------------
+# A randomized NFA description: state count, transition triples (src, symbol
+# index or epsilon, dst) and accepting states.  Descriptions are alphabet-
+# independent so each test can build them on a fresh Alphabet instance.
+NfaDescription = tuple[int, list[tuple[int, int | None, int]], frozenset[int]]
+
+
+@st.composite
+def nfa_strategy(draw) -> NfaDescription:
+    num_states = draw(st.integers(min_value=1, max_value=4))
+    labels = st.one_of(st.none(), st.integers(min_value=0, max_value=len(SYMBOLS) - 1))
+    states = st.integers(min_value=0, max_value=num_states - 1)
+    transitions = draw(st.lists(st.tuples(states, labels, states), max_size=10))
+    accepting = draw(st.frozensets(states, max_size=num_states))
+    return num_states, transitions, accepting
+
+
+def build_nfa(description: NfaDescription, alphabet: Alphabet) -> FSA:
+    num_states, transitions, accepting = description
+    fsa = FSA(alphabet)
+    while fsa.num_states < num_states:
+        fsa.add_state()
+    for src, label, dst in transitions:
+        symbol = EPSILON if label is None else alphabet.id_of(SYMBOLS[label])
+        fsa.add_transition(src, symbol, dst)
+    for state in accepting:
+        fsa.mark_accepting(state)
+    return fsa
+
+
+@settings(max_examples=60, deadline=None)
+@given(left=nfa_strategy(), right=nfa_strategy())
+def test_lazy_subset_and_equality_match_eager_oracle(left, right):
+    ab = fresh_alphabet()
+    left_fsa, right_fsa = build_nfa(left, ab), build_nfa(right, ab)
+    assert check_subset(left_fsa, right_fsa) == left_fsa.difference(right_fsa).is_empty()
+    assert check_equal(left_fsa, right_fsa) == (
+        left_fsa.difference(right_fsa).is_empty()
+        and right_fsa.difference(left_fsa).is_empty()
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(left=nfa_strategy(), right=nfa_strategy())
+def test_lazy_difference_matches_eager_language(left, right):
+    ab = fresh_alphabet()
+    left_fsa, right_fsa = build_nfa(left, ab), build_nfa(right, ab)
+    lazy = difference_dfa(left_fsa, right_fsa)
+    eager = left_fsa.difference(right_fsa)
+    assert lazy.is_empty() == eager.is_empty()
+    assert lazy.language(max_count=50, max_length=8) == eager.language(max_count=50, max_length=8)
+
+
+@settings(max_examples=60, deadline=None)
+@given(left=nfa_strategy(), right=nfa_strategy())
+def test_lazy_witnesses_lie_in_the_symmetric_difference(left, right):
+    ab = fresh_alphabet()
+    left_fsa, right_fsa = build_nfa(left, ab), build_nfa(right, ab)
+    result = compare(left_fsa, right_fsa)
+    assert result.equal == left_fsa.equivalent(right_fsa)
+    for word in result.missing:
+        assert left_fsa.accepts(word) and not right_fsa.accepts(word)
+    for word in result.unexpected:
+        assert right_fsa.accepts(word) and not left_fsa.accepts(word)
+    # Witness sets agree with the eager enumeration (same words, same order).
+    assert result.missing == list(
+        left_fsa.difference(right_fsa).enumerate_words(max_count=10, max_length=64)
+    )
+    assert result.unexpected == list(
+        right_fsa.difference(left_fsa).enumerate_words(max_count=10, max_length=64)
+    )
+
+
+# A randomized FST description mirroring NfaDescription: state count, arc
+# quadruples (src, input label index or epsilon, output label index or
+# epsilon, dst) and accepting states.
+FstDescription = tuple[int, list[tuple[int, int | None, int | None, int]], frozenset[int]]
+
+
+@st.composite
+def fst_strategy(draw) -> FstDescription:
+    num_states = draw(st.integers(min_value=1, max_value=4))
+    labels = st.one_of(st.none(), st.integers(min_value=0, max_value=len(SYMBOLS) - 1))
+    states = st.integers(min_value=0, max_value=num_states - 1)
+    arcs = draw(st.lists(st.tuples(states, labels, labels, states), max_size=10))
+    accepting = draw(st.frozensets(states, max_size=num_states))
+    return num_states, arcs, accepting
+
+
+def build_fst(description: FstDescription, alphabet: Alphabet) -> FST:
+    num_states, arcs, accepting = description
+    fst = FST(alphabet)
+    while fst.num_states < num_states:
+        fst.add_state()
+    for src, in_label, out_label, dst in arcs:
+        fst.add_arc(
+            src,
+            EPSILON if in_label is None else alphabet.id_of(SYMBOLS[in_label]),
+            EPSILON if out_label is None else alphabet.id_of(SYMBOLS[out_label]),
+            dst,
+        )
+    for state in accepting:
+        fst.mark_accepting(state)
+    return fst
+
+
+@settings(max_examples=60, deadline=None)
+@given(rel=fst_strategy(), acceptor=nfa_strategy())
+def test_fused_image_matches_compose_oracle(rel, acceptor):
+    ab = fresh_alphabet()
+    fst, fsa = build_fst(rel, ab), build_nfa(acceptor, ab)
+    fused = fst.image(fsa)
+    eager = fst.image_via_compose(fsa)
+    assert check_equal(fused, eager)
+    assert fused.language(max_count=50, max_length=8) == eager.language(max_count=50, max_length=8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rel=fst_strategy(), acceptor=nfa_strategy())
+def test_preimage_and_trim_preserve_the_relation(rel, acceptor):
+    ab = fresh_alphabet()
+    fst, fsa = build_fst(rel, ab), build_nfa(acceptor, ab)
+    preimage = fst.preimage(fsa)
+    oracle = fst.compose(FST.identity(fsa)).project_input()
+    assert check_equal(preimage, oracle)
+    # Short bound: pair enumeration on an untrimmed FST walks every arc path
+    # up to max_length, which grows exponentially for dense random machines.
+    assert fst.trim().relation(max_count=200, max_length=4) == fst.relation(
+        max_count=200, max_length=4
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(left=nfa_strategy(), right=nfa_strategy())
+def test_shortest_witness_is_shortest_and_genuine(left, right):
+    ab = fresh_alphabet()
+    left_fsa, right_fsa = build_nfa(left, ab), build_nfa(right, ab)
+    witness = shortest_witness(left_fsa, right_fsa)
+    eager = left_fsa.difference(right_fsa)
+    if witness is None:
+        assert eager.is_empty()
+    else:
+        assert left_fsa.accepts(witness) and not right_fsa.accepts(witness)
+        shortest = eager.shortest_accepted()
+        assert shortest is not None and len(witness) == len(shortest)

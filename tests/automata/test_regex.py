@@ -9,7 +9,6 @@ from repro.automata.regex import (
     Concat,
     Empty,
     Epsilon,
-    Intersect,
     Star,
     Sym,
     SymSet,

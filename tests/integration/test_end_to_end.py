@@ -2,14 +2,12 @@
 
 import json
 
-import pytest
 
 from repro.cli import main
-from repro.rela import atomic, nochange, preserve, seq, locs, any_of
+from repro.rela import atomic, nochange, seq, locs, any_of
 from repro.rela.locations import Granularity
 from repro.rela.parser import parse_program
 from repro.verifier import VerificationOptions, verify_change
-from repro.workloads import generate_backbone, BackboneParams, generate_fecs
 from repro.workloads.changes import traffic_shift
 
 
@@ -24,7 +22,6 @@ def test_simulated_change_verified_at_all_granularities(small_backbone):
 
     # The "change": raise local preference so region R1 border prefers the
     # longer path through R2 for R0's prefixes (a config-level traffic shift).
-    from repro.network import set_local_pref
     post_config = backbone.config.copy()
     changed_prefixes = [str(p) for p in backbone.region_prefixes["R0"]]
     for router in backbone.routers_in("R1", "border"):

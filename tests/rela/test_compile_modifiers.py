@@ -5,7 +5,6 @@ specification accepts exactly the snapshot pairs the paper's semantics
 prescribes for that modifier.
 """
 
-import pytest
 
 from repro.automata import Alphabet, FSA
 from repro.rela import (

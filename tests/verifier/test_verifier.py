@@ -189,6 +189,48 @@ def test_verify_parallel_workers_match_serial():
     assert parallel.workers == 2
 
 
+def test_forwarding_graph_fingerprint_is_canonical():
+    one = ForwardingGraph.from_paths([("a", "b"), ("a", "c")])
+    other = ForwardingGraph.from_paths([("a", "c"), ("a", "b")])
+    assert one.fingerprint() == other.fingerprint()
+    # Mutation invalidates the cached digest.
+    cached = one.fingerprint()
+    one.add_path(("a", "d"))
+    assert one.fingerprint() != cached
+    # Granularity participates in the fingerprint.
+    coarse = ForwardingGraph.from_paths([("a", "b"), ("a", "c")], granularity=Granularity.GROUP)
+    assert coarse.fingerprint() != other.fingerprint()
+
+
+def test_verify_memoizes_identical_fec_pairs():
+    # Ten FECs share one forwarding behaviour, one differs; the violating FEC
+    # must still be attributed to its own identifier even though the memoized
+    # check ran on a representative.
+    pre_paths = {f"f{i}": [("a", "b")] for i in range(10)}
+    post_paths = {f"f{i}": [("a", "b")] for i in range(10)}
+    post_paths["f7"] = [("a", "z")]
+    pre, post = make_pair(pre_paths, post_paths)
+    report = verify_change(pre, post, nochange())
+    assert not report.holds
+    assert report.total_fecs == 10
+    assert report.violating_fecs == 1
+    assert report.counterexamples[0].fec_id == "f7"
+
+
+def test_verify_memoized_counterexamples_are_relabelled_per_fec():
+    # Two FECs with the same violating graph pair: one check, two
+    # counterexamples, sorted by FEC id.
+    pre, post = make_pair(
+        {"x2": [("a", "b")], "x1": [("a", "b")]},
+        {"x2": [("a", "z")], "x1": [("a", "z")]},
+    )
+    report = verify_change(pre, post, nochange())
+    assert report.violating_fecs == 2
+    assert [ce.fec_id for ce in report.counterexamples] == ["x1", "x2"]
+    assert report.counterexamples[0].violations[0].branch == "nochange"
+    assert report.counterexamples[0].pre_paths == report.counterexamples[1].pre_paths
+
+
 def test_verify_rejects_bad_spec_type():
     pre, post = make_pair({}, {})
     with pytest.raises(VerificationError):
