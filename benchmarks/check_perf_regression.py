@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Fail CI when benchmark results regress against the committed baseline.
+
+Compares two measurement sources against the ``ci_baseline`` block of
+``BENCH_fig6.json``:
+
+* the Figure 6 CDF JSON written by ``bench_fig6_validation_time.py`` when
+  ``FIG6_CDF_JSON`` is set (gated on the p80 quantile, per the paper's
+  "80% of changes finish within ..." framing);
+* a pytest-benchmark ``--benchmark-json`` results file (gated on each
+  benchmark's median, for every benchmark name the baseline lists).
+
+A measurement regresses when it exceeds ``threshold`` times its baseline
+(default 2x, absorbing CI-runner jitter while still catching an accidental
+return to eager spec compilation, which is orders of magnitude slower).
+
+Usage::
+
+    python benchmarks/check_perf_regression.py \
+        --baseline BENCH_fig6.json \
+        --cdf fig6_cdf.json \
+        --benchmark-json bench-results.json \
+        [--threshold 2.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_json(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def check(name: str, measured: float, baseline: float, threshold: float) -> str | None:
+    """Return a failure message when ``measured`` regresses, else ``None``."""
+    allowed = baseline * threshold
+    ratio = measured / baseline if baseline else float("inf")
+    verdict = "OK" if measured <= allowed else "REGRESSION"
+    print(
+        f"  [{verdict}] {name}: measured {measured:.4g}, baseline {baseline:.4g}, "
+        f"ratio {ratio:.2f}x (allowed {threshold:.1f}x)"
+    )
+    if measured > allowed:
+        return f"{name} regressed {ratio:.2f}x over baseline (allowed {threshold:.1f}x)"
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, help="BENCH_fig6.json with a ci_baseline block")
+    parser.add_argument("--cdf", help="Figure 6 CDF JSON written via FIG6_CDF_JSON")
+    parser.add_argument("--benchmark-json", help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("--threshold", type=float, default=2.0, help="allowed slowdown factor")
+    args = parser.parse_args(argv)
+
+    baseline = load_json(args.baseline).get("ci_baseline")
+    if not baseline:
+        print(f"error: {args.baseline} has no ci_baseline block", file=sys.stderr)
+        return 2
+
+    failures: list[str] = []
+    compared = 0
+    print(f"Perf regression gate (threshold {args.threshold:.1f}x)")
+
+    if args.cdf:
+        measured_cdf = load_json(args.cdf)
+        baseline_cdf = baseline.get("fig6_cdf_ms", {})
+        baseline_p80 = baseline_cdf.get("p80")
+        if baseline_p80 is None:
+            print("error: baseline has no fig6_cdf_ms.p80", file=sys.stderr)
+            return 2
+        baseline_count = baseline_cdf.get("count")
+        if baseline_count is not None and measured_cdf.get("count") != baseline_count:
+            # A FIG6_LIMIT-truncated sweep measures a different population;
+            # its quantiles are not comparable to the full-dataset baseline.
+            print(
+                f"error: CDF population mismatch: measured count "
+                f"{measured_cdf.get('count')}, baseline expects {baseline_count} "
+                "(was FIG6_LIMIT set?)",
+                file=sys.stderr,
+            )
+            return 2
+        failure = check("fig6 CDF p80 (ms)", measured_cdf["p80_ms"], baseline_p80, args.threshold)
+        compared += 1
+        if failure:
+            failures.append(failure)
+
+    if args.benchmark_json:
+        results = load_json(args.benchmark_json)
+        baseline_medians: dict[str, float] = baseline.get("benchmarks_median_s", {})
+        measured_by_name = {entry["name"]: entry for entry in results.get("benchmarks", [])}
+        for name, baseline_median in sorted(baseline_medians.items()):
+            entry = measured_by_name.get(name)
+            if entry is None:
+                failures.append(f"baseline benchmark {name!r} missing from results")
+                print(f"  [MISSING] {name}: not found in {args.benchmark_json}")
+                continue
+            failure = check(
+                f"{name} median (s)", entry["stats"]["median"], baseline_median, args.threshold
+            )
+            compared += 1
+            if failure:
+                failures.append(failure)
+
+    if compared == 0:
+        print("error: nothing compared (pass --cdf and/or --benchmark-json)", file=sys.stderr)
+        return 2
+
+    if failures:
+        print(f"\n{len(failures)} perf regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {compared} measurements within {args.threshold:.1f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

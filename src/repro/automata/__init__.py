@@ -27,13 +27,37 @@ scales with ``|Sigma|``:
   (small) transition rows against a cached by-input-label arc index on the
   transducer, instead of materializing ``identity(P)``, a full composition,
   and a projection per class per spec branch.
+* **Delayed transducer operations** (the OpenFST-style layer in
+  :mod:`repro.automata.lazy`): spec *compilation* is a DAG of delayed
+  nodes instead of materialized transducers.  :class:`~repro.automata.lazy.LazyFST`
+  defines the arc-iteration protocol shared with concrete FSTs — ``initial``,
+  ``is_accepting(state)``, ``eps_arcs(state)`` (input-epsilon arcs as
+  ``(out, dst)`` pairs) and ``step(state, symbol)`` — and the node types
+  compose freely over it:
+
+  - :class:`~repro.automata.lazy.LazyIdentity` — ``I(P)`` straight off the
+    language automaton's transitions;
+  - :class:`~repro.automata.lazy.LazyComplementZone` — the branch-shadowing
+    prefix ``I(¬Z)``, determinized along the queried frontier with an
+    implicit (accepting) sink; no completion, no complement, no
+    ``|Sigma|``-indexed rows;
+  - :class:`~repro.automata.lazy.LazyUnion` /
+    :class:`~repro.automata.lazy.LazyCompose` — delayed ``R1 | R2`` and
+    ``R1 ∘ R2`` whose pair spaces are interned and expanded on demand, so a
+    30+-branch ``else`` chain never builds the multiplicative product.
+
+  Expansions are memoized per node, and
+  :func:`~repro.automata.lazy.relation_image` (== ``LazyFST.image``) is the
+  decision boundary that forces a delayed relation against a snapshot
+  automaton; :meth:`LazyFST.to_fst` fully materializes a node for tests.
 * **Eager oracle retained**: the textbook constructions
   (:meth:`FSA.complete`, :meth:`FSA.complement`, :meth:`FSA.difference`,
-  :meth:`FSA.equivalent`, :meth:`FST.image_via_compose`) are kept unchanged
-  and serve as the reference oracle — spec *compilation* still uses eager
-  complements (it runs once per verification run, not per class), and the
-  property tests in ``tests/automata/test_properties.py`` assert the lazy
-  engine agrees with the oracle on randomized NFAs, including witness sets.
+  :meth:`FSA.equivalent`, :meth:`FST.compose`, :meth:`FST.union`,
+  :meth:`FST.image_via_compose`) are kept unchanged and serve as the
+  reference oracle; the property tests in
+  ``tests/automata/test_properties.py`` assert both the lazy decision
+  procedures and the delayed-operation nodes agree with the oracle on
+  randomized automata, including witness sets.
 """
 
 from repro.automata.alphabet import DROP, HASH, Alphabet
@@ -47,9 +71,15 @@ from repro.automata.equivalence import (
 from repro.automata.fsa import EPSILON, FSA
 from repro.automata.fst import FST
 from repro.automata.lazy import (
+    LazyComplementZone,
+    LazyCompose,
+    LazyFST,
+    LazyIdentity,
+    LazyUnion,
     difference_dfa,
     is_equivalent,
     is_subset,
+    relation_image,
     shortest_witness,
 )
 from repro.automata.regex import (
@@ -101,4 +131,10 @@ __all__ = [
     "is_subset",
     "is_equivalent",
     "shortest_witness",
+    "LazyFST",
+    "LazyIdentity",
+    "LazyComplementZone",
+    "LazyUnion",
+    "LazyCompose",
+    "relation_image",
 ]

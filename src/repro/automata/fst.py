@@ -93,6 +93,25 @@ class FST:
             self._input_index = index
         return index
 
+    # ------------------------------------------------------------------
+    # Arc-iteration protocol (shared with repro.automata.lazy.LazyFST)
+    # ------------------------------------------------------------------
+    # Concrete transducers and delayed-operation nodes expose the same
+    # ``initial`` / ``is_accepting`` / ``eps_arcs`` / ``step`` interface, so
+    # lazy combinators (LazyCompose, LazyUnion, ...) can take eager FSTs as
+    # operands and the fused image walk can drive either uniformly.
+    def is_accepting(self, state: int) -> bool:
+        """Whether ``state`` is accepting (protocol form of ``accepting``)."""
+        return state in self.accepting
+
+    def eps_arcs(self, state: int) -> list[tuple[Label, int]]:
+        """Arcs of ``state`` whose input label is epsilon: (out, dst) pairs."""
+        return self._arcs_by_input()[state][0]
+
+    def step(self, state: int, symbol: int) -> list[tuple[Label, int]]:
+        """Arcs of ``state`` consuming ``symbol``: (out, dst) pairs."""
+        return self._arcs_by_input()[state][1].get(symbol, [])
+
     def mark_accepting(self, state: int) -> None:
         """Mark ``state`` as accepting."""
         if not 0 <= state < len(self.arcs):

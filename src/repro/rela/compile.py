@@ -155,6 +155,48 @@ def to_rir(spec: rela_spec.RelaSpec, *, label: str | None = None) -> rir.Spec:
     return rir.SpecEqual(pre_side, post_side, label=label or spec.name)
 
 
+def _shadow_union(zones: list[Regex]) -> Regex | None:
+    """The union of prior-branch zones, or ``None`` when there are none."""
+    shadow: Regex | None = None
+    for prior in zones:
+        shadow = prior if shadow is None else Union(shadow, prior)
+    return shadow
+
+
+def _restrict_outside(rel: rir.Rel, shadow: Regex | None) -> rir.Rel:
+    """Apply the Figure 4 branch-shadowing prefix ``I(¬shadow) ∘ rel``."""
+    if shadow is None:
+        return rel
+    return rir.RCompose(rir.RIdentity(_lift(Complement(shadow))), rel)
+
+
+def branch_relations(
+    spec: rela_spec.RelaSpec,
+) -> list[tuple[rela_spec.RelaSpec, rir.Rel, rir.Rel]]:
+    """Per-branch shadowed relations ``(branch, Rpre_i, Rpost_i)``.
+
+    Flattens the ``else`` chain in priority order and applies the cumulative
+    ``I(¬(Z1 | ... | Z_{i-1})) ∘ R`` restriction to each branch, exactly as
+    the Figure 4 translation does for the overall relation.  This is the RIR
+    *description* only — no automata are built — so callers (the verifier's
+    counterexample attribution) can defer compiling a branch transducer
+    until that branch is actually violated.
+    """
+    result: list[tuple[rela_spec.RelaSpec, rir.Rel, rir.Rel]] = []
+    prior_zones: list[Regex] = []
+    for branch in rela_spec.flatten_else(spec):
+        shadow = _shadow_union(prior_zones)
+        result.append(
+            (
+                branch,
+                _restrict_outside(pre_relation(branch), shadow),
+                _restrict_outside(post_relation(branch), shadow),
+            )
+        )
+        prior_zones.append(zone(branch))
+    return result
+
+
 def branch_rir(
     branch: rela_spec.RelaSpec,
     prior_zones: list[Regex],
@@ -169,15 +211,9 @@ def branch_rir(
     translation so per-branch results can be attributed to sub-specs during
     counterexample generation (Section 6.3).
     """
-    pre_rel = pre_relation(branch)
-    post_rel = post_relation(branch)
-    if prior_zones:
-        shadow: Regex | None = None
-        for prior in prior_zones:
-            shadow = prior if shadow is None else Union(shadow, prior)
-        outside = rir.RIdentity(_lift(Complement(shadow)))
-        pre_rel = rir.RCompose(outside, pre_rel)
-        post_rel = rir.RCompose(outside, post_rel)
+    shadow = _shadow_union(prior_zones)
+    pre_rel = _restrict_outside(pre_relation(branch), shadow)
+    post_rel = _restrict_outside(post_relation(branch), shadow)
     pre_side = rir.PSImage(rir.PSPreState(), pre_rel)
     post_side = rir.PSImage(rir.PSPostState(), post_rel)
     return rir.SpecEqual(pre_side, post_side, label=label or branch.name)

@@ -43,7 +43,7 @@ from repro.rir.ast import (
     word,
 )
 from repro.rir.checker import AssertionResult, SpecVerdict, check_spec
-from repro.rir.compiler import RIRContext, compile_pathset, compile_rel
+from repro.rir.compiler import RIRContext, compile_pathset, compile_rel, compile_rel_lazy
 from repro.rir.semantics import RIRModel, eval_pathset, eval_rel, holds
 
 __all__ = [
@@ -80,6 +80,7 @@ __all__ = [
     "RIRContext",
     "compile_pathset",
     "compile_rel",
+    "compile_rel_lazy",
     "AssertionResult",
     "SpecVerdict",
     "check_spec",

@@ -6,6 +6,21 @@ becomes an :class:`~repro.automata.fst.FST`.  The snapshot symbols
 ``PreState`` / ``PostState`` are supplied by the caller as already-built
 automata (typically converted from forwarding DAGs by
 :mod:`repro.verifier.state_automata`).
+
+Relations can be compiled two ways:
+
+* :func:`compile_rel` — fully eager; every union, composition and identity
+  is materialized as a concrete FST.  Kept as the reference oracle.
+* :func:`compile_rel_lazy` — the spec-compilation path.  Unions and
+  compositions become delayed nodes (:class:`~repro.automata.lazy.LazyUnion`,
+  :class:`~repro.automata.lazy.LazyCompose`), identities stay symbolic
+  (:class:`~repro.automata.lazy.LazyIdentity`), and the branch-shadowing
+  pattern ``I(¬Z)`` compiles to a
+  :class:`~repro.automata.lazy.LazyComplementZone` that never determinizes,
+  completes or complements the zone automaton up front.  Only the small
+  atomic leaves (cross products, concatenations, stars) are materialized
+  eagerly; the resulting delayed DAG is forced at the decision boundary by
+  the image operation.
 """
 
 from __future__ import annotations
@@ -15,6 +30,14 @@ from dataclasses import dataclass, field
 from repro.automata.alphabet import Alphabet
 from repro.automata.fsa import FSA
 from repro.automata.fst import FST
+from repro.automata.lazy import (
+    LazyComplementZone,
+    LazyCompose,
+    LazyFST,
+    LazyIdentity,
+    LazyUnion,
+)
+from repro.automata.regex import Complement as RegexComplement
 from repro.errors import CompilationError
 from repro.rir import ast
 
@@ -40,7 +63,7 @@ class RIRContext:
     alphabet: Alphabet
     pre: FSA
     post: FSA
-    cache: dict[ast.PathSet | ast.Rel, FSA | FST] = field(default_factory=dict)
+    cache: dict[ast.PathSet | ast.Rel, FSA | FST | LazyFST] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.pre.alphabet is not self.alphabet or self.post.alphabet is not self.alphabet:
@@ -129,3 +152,55 @@ def _compile_rel(node: ast.Rel, ctx: RIRContext) -> FST:
         # accumulate dead product states multiplicatively.
         return compile_rel(node.left, ctx).compose(compile_rel(node.right, ctx)).trim()
     raise CompilationError(f"unknown Rel node: {node!r}")
+
+
+# ----------------------------------------------------------------------
+# Delayed compilation (the spec-compilation path)
+# ----------------------------------------------------------------------
+def compile_rel_lazy(node: ast.Rel, ctx: RIRContext) -> FST | LazyFST:
+    """Compile a relation expression into a delayed-operation DAG.
+
+    Structural memoisation is shared with the eager compiler: a node cached
+    as a concrete FST is reused as a lazy leaf, and vice versa a lazily
+    compiled node is never recompiled.
+    """
+    cached = ctx.cache.get(node)
+    if isinstance(cached, (FST, LazyFST)):
+        return cached
+    result = _compile_rel_lazy(node, ctx)
+    try:
+        ctx.cache[node] = result
+    except TypeError:
+        pass
+    return result
+
+
+def _complement_operand(node: ast.PathSet) -> ast.PathSet | None:
+    """The path set ``P`` when ``node`` denotes ``¬P``, else ``None``.
+
+    Both spellings produced by the Rela front end are recognized: the RIR
+    complement node and a lifted regex whose root is a complement.
+    """
+    if isinstance(node, ast.PSComplement):
+        return node.inner
+    if isinstance(node, ast.PSRegex) and isinstance(node.regex, RegexComplement):
+        return ast.PSRegex(node.regex.inner)
+    return None
+
+
+def _compile_rel_lazy(node: ast.Rel, ctx: RIRContext) -> FST | LazyFST:
+    if isinstance(node, ast.RUnion):
+        return LazyUnion(compile_rel_lazy(node.left, ctx), compile_rel_lazy(node.right, ctx))
+    if isinstance(node, ast.RCompose):
+        return LazyCompose(compile_rel_lazy(node.left, ctx), compile_rel_lazy(node.right, ctx))
+    if isinstance(node, ast.RIdentity):
+        inner = _complement_operand(node.pathset)
+        if inner is not None:
+            # The branch-shadowing prefix I(¬Z): delay determinization,
+            # completion and complementation of the zone entirely.
+            return LazyComplementZone(compile_pathset(inner, ctx))
+        return LazyIdentity(compile_pathset(node.pathset, ctx))
+    # Atomic leaves (cross products, concatenations, stars, constants) are
+    # small; materialize them eagerly and let the lazy combinators above
+    # consume them through the shared arc-iteration protocol.
+    return compile_rel(node, ctx)

@@ -40,14 +40,14 @@ from repro.automata.alphabet import Alphabet
 from repro.automata.equivalence import compare
 from repro.automata.fsa import FSA
 from repro.automata.fst import FST
-from repro.automata.regex import Complement, Regex, Union
+from repro.automata.lazy import LazyFST, LazyUnion
 from repro.errors import VerificationError
-from repro.rela.compile import hash_expansions, post_relation, pre_relation, zone
+from repro.rela.compile import branch_relations, hash_expansions, post_relation, pre_relation, zone
 from repro.rela.locations import Granularity, LocationDB
 from repro.rela.modifiers import Preserve
 from repro.rela.pspec import SpecPolicy
 from repro.rela.spec import AtomicSpec, ElseSpec, RelaSpec, SeqSpec, flatten_else
-from repro.rir import RIRContext, compile_rel
+from repro.rir import RIRContext, compile_rel, compile_rel_lazy
 from repro.rir import ast as rir
 from repro.snapshots.forwarding_graph import ForwardingGraph
 from repro.snapshots.snapshot import Snapshot
@@ -83,16 +83,48 @@ class VerificationOptions:
     #: and share the verdict across FECs with identical fingerprints.  Set
     #: False to force one independent check per FEC.
     memoize_fec_checks: bool = True
+    #: Compile spec relations as delayed-operation DAGs (lazy composition /
+    #: union / complement-zone identities) that are only forced at the image
+    #: decision boundary.  Set False to materialize every relation FST
+    #: eagerly, as the seed implementation did — kept as the reference
+    #: oracle; deep ``else`` chains (30+ atomic branches) are intractable on
+    #: the eager path.
+    lazy_spec_compilation: bool = True
 
 
 @dataclass(slots=True)
 class CompiledBranch:
-    """One ``else`` branch compiled for counterexample attribution."""
+    """One ``else`` branch, compiled on demand for counterexample attribution.
+
+    Branch transducers are only needed once the *overall* equation of a flow
+    equivalence class fails, so the all-pass common case never pays for
+    them: this holds the branch's shadowed RIR relations and compiles the
+    transducers on first access (memoized thereafter, including inside
+    worker processes, each of which owns its own copy).
+    """
 
     name: str
-    pre_fst: FST
-    post_fst: FST
+    pre_rel: rir.Rel
+    post_rel: rir.Rel
     hash_expansion: str | None
+    ctx: RIRContext
+    lazy: bool = True
+    _pre_fst: FST | LazyFST | None = None
+    _post_fst: FST | LazyFST | None = None
+
+    @property
+    def pre_fst(self) -> FST | LazyFST:
+        if self._pre_fst is None:
+            compiler = compile_rel_lazy if self.lazy else compile_rel
+            self._pre_fst = compiler(self.pre_rel, self.ctx)
+        return self._pre_fst
+
+    @property
+    def post_fst(self) -> FST | LazyFST:
+        if self._post_fst is None:
+            compiler = compile_rel_lazy if self.lazy else compile_rel
+            self._post_fst = compiler(self.post_rel, self.ctx)
+        return self._post_fst
 
 
 @dataclass(slots=True)
@@ -100,10 +132,17 @@ class CompiledSpec:
     """A Rela spec compiled to relation transducers over a fixed alphabet."""
 
     spec: RelaSpec
-    pre_fst: FST
-    post_fst: FST
+    pre_fst: FST | LazyFST
+    post_fst: FST | LazyFST
     branches: list[CompiledBranch] = field(default_factory=list)
     preserve_only: bool = False
+
+
+def _union_rels(rels: list[FST | LazyFST]) -> FST | LazyFST:
+    """The delayed union of compiled relations (a single relation unwrapped)."""
+    if len(rels) == 1:
+        return rels[0]
+    return LazyUnion(*rels)
 
 
 def _is_preserve_only(spec: RelaSpec) -> bool:
@@ -116,36 +155,47 @@ def _is_preserve_only(spec: RelaSpec) -> bool:
     return False
 
 
-def compile_spec(spec: RelaSpec, alphabet: Alphabet) -> CompiledSpec:
-    """Compile a Rela spec to FSTs over ``alphabet`` (done once per run)."""
+def compile_spec(spec: RelaSpec, alphabet: Alphabet, *, lazy: bool = True) -> CompiledSpec:
+    """Compile a Rela spec over ``alphabet`` (done once per run).
+
+    With ``lazy=True`` (the default) the overall pre/post relations become
+    delayed-operation DAGs — branch shadowing never materializes the
+    product — and the per-branch attribution relations are recorded
+    symbolically, to be compiled only on the first violation of that branch.
+    ``lazy=False`` reproduces the fully eager seed behaviour and is kept as
+    the reference oracle.
+    """
     empty = FSA.empty_language(alphabet)
     ctx = RIRContext(alphabet, empty, empty)
+    shadowed = branch_relations(spec)
 
-    pre_fst = compile_rel(pre_relation(spec), ctx)
-    post_fst = compile_rel(post_relation(spec), ctx)
+    if lazy:
+        # The nested Figure 4 translation R1 | (I(¬Z1) ∘ (R2 | ...)) is
+        # algebraically the flat prioritized union of shadowed branches
+        # ⋃_i I(¬(Z1|...|Z_{i-1})) ∘ R_i, because composed identity
+        # restrictions intersect: I(¬Z1) ∘ I(¬Z2) = I(¬(Z1|Z2)).  The flat
+        # form keeps a delayed product state at one (shadow, branch) pair
+        # instead of stacking one zone automaton per enclosing else level,
+        # and the n-ary LazyUnion dispatches in one hop.
+        pre_fst = _union_rels([compile_rel_lazy(pre, ctx) for _, pre, _ in shadowed])
+        post_fst = _union_rels([compile_rel_lazy(post, ctx) for _, _, post in shadowed])
+    else:
+        pre_fst = compile_rel(pre_relation(spec), ctx)
+        post_fst = compile_rel(post_relation(spec), ctx)
 
     branches: list[CompiledBranch] = []
-    prior_zones: list[Regex] = []
-    for index, branch in enumerate(flatten_else(spec)):
-        branch_pre = pre_relation(branch)
-        branch_post = post_relation(branch)
-        if prior_zones:
-            shadow: Regex | None = None
-            for prior in prior_zones:
-                shadow = prior if shadow is None else Union(shadow, prior)
-            outside = rir.RIdentity(rir.PSRegex(Complement(shadow)))
-            branch_pre = rir.RCompose(outside, branch_pre)
-            branch_post = rir.RCompose(outside, branch_post)
+    for index, (branch, branch_pre, branch_post) in enumerate(shadowed):
         expansions = hash_expansions(branch)
         branches.append(
             CompiledBranch(
                 name=branch.name or f"branch-{index + 1}",
-                pre_fst=compile_rel(branch_pre, ctx),
-                post_fst=compile_rel(branch_post, ctx),
+                pre_rel=branch_pre,
+                post_rel=branch_post,
                 hash_expansion=str(expansions[0]) if expansions else None,
+                ctx=ctx,
+                lazy=lazy,
             )
         )
-        prior_zones.append(zone(branch))
     return CompiledSpec(
         spec=spec,
         pre_fst=pre_fst,
@@ -365,7 +415,10 @@ def verify_change(
         extra_symbols=spec_symbols,
     )
     builder = StateAutomatonBuilder(alphabet=alphabet, granularity=options.granularity, db=db)
-    compiled_specs = {key: compile_spec(value, alphabet) for key, value in specs_to_compile.items()}
+    compiled_specs = {
+        key: compile_spec(value, alphabet, lazy=options.lazy_spec_compilation)
+        for key, value in specs_to_compile.items()
+    }
 
     # Build the per-FEC work list.  FECs appearing in either snapshot are
     # checked; a FEC missing from one side contributes an empty path set.

@@ -7,7 +7,14 @@ from hypothesis import given, settings, strategies as st
 from repro.automata import Alphabet, FSA, check_equal, check_subset, compare
 from repro.automata.fsa import EPSILON
 from repro.automata.fst import FST
-from repro.automata.lazy import difference_dfa, shortest_witness
+from repro.automata.lazy import (
+    LazyComplementZone,
+    LazyCompose,
+    LazyIdentity,
+    LazyUnion,
+    difference_dfa,
+    shortest_witness,
+)
 from repro.automata.regex import (
     AnySym,
     Concat,
@@ -255,6 +262,75 @@ def test_preimage_and_trim_preserve_the_relation(rel, acceptor):
     assert fst.trim().relation(max_count=200, max_length=4) == fst.relation(
         max_count=200, max_length=4
     )
+
+
+# ----------------------------------------------------------------------
+# Delayed FST operations vs. the eager RCompose/RUnion-style oracle
+# ----------------------------------------------------------------------
+def assert_relations_equal(lazy, eager: FST, acceptor: FSA) -> None:
+    """Language equality of two relations, checked through their behaviour.
+
+    Both the image of a random acceptor (the engine's decision boundary) and
+    the two projections of the forced delayed graph must agree with the
+    eagerly built transducer.
+    """
+    assert check_equal(lazy.image(acceptor), eager.image(acceptor))
+    forced = lazy.to_fst()
+    assert check_equal(forced.project_input(), eager.project_input())
+    assert check_equal(forced.project_output(), eager.project_output())
+
+
+@settings(max_examples=60, deadline=None)
+@given(left=fst_strategy(), right=fst_strategy(), acceptor=nfa_strategy())
+def test_lazy_union_matches_eager_union(left, right, acceptor):
+    ab = fresh_alphabet()
+    left_fst, right_fst = build_fst(left, ab), build_fst(right, ab)
+    lazy = LazyUnion(left_fst, right_fst)
+    eager = left_fst.union(right_fst)
+    assert_relations_equal(lazy, eager, build_nfa(acceptor, ab))
+
+
+@settings(max_examples=60, deadline=None)
+@given(left=fst_strategy(), right=fst_strategy(), acceptor=nfa_strategy())
+def test_lazy_compose_matches_eager_compose(left, right, acceptor):
+    ab = fresh_alphabet()
+    left_fst, right_fst = build_fst(left, ab), build_fst(right, ab)
+    lazy = LazyCompose(left_fst, right_fst)
+    eager = left_fst.compose(right_fst)
+    assert_relations_equal(lazy, eager, build_nfa(acceptor, ab))
+
+
+@settings(max_examples=60, deadline=None)
+@given(language=nfa_strategy(), acceptor=nfa_strategy())
+def test_lazy_identity_and_complement_zone_match_eager(language, acceptor):
+    ab = fresh_alphabet()
+    language_fsa = build_nfa(language, ab)
+    probe = build_nfa(acceptor, ab)
+    assert_relations_equal(LazyIdentity(language_fsa), FST.identity(language_fsa), probe)
+    assert_relations_equal(
+        LazyComplementZone(language_fsa),
+        FST.identity(language_fsa.complement()),
+        probe,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    zone=nfa_strategy(),
+    primary=fst_strategy(),
+    fallback=fst_strategy(),
+    acceptor=nfa_strategy(),
+)
+def test_lazy_branch_shadowing_matches_eager_pipeline(zone, primary, fallback, acceptor):
+    """The spec-compilation shape R1 | (I(¬Z) ∘ R2), delayed vs. eager."""
+    ab = fresh_alphabet()
+    zone_fsa = build_nfa(zone, ab)
+    primary_fst, fallback_fst = build_fst(primary, ab), build_fst(fallback, ab)
+    lazy = LazyUnion(primary_fst, LazyCompose(LazyComplementZone(zone_fsa), fallback_fst))
+    eager = primary_fst.union(
+        FST.identity(zone_fsa.complement()).compose(fallback_fst)
+    )
+    assert_relations_equal(lazy, eager, build_nfa(acceptor, ab))
 
 
 @settings(max_examples=60, deadline=None)
