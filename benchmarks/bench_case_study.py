@@ -15,9 +15,15 @@ from repro.workloads.figure1 import SIDE_EFFECT_CLASSES, T1_CLASSES, T2_CLASSES
 def run_case_study(scenario):
     pre = scenario.pre_change()
     results = {}
-    results["v1"] = verify_change(pre, scenario.iteration_v1(), scenario.change_spec(), db=scenario.db)
-    results["v2"] = verify_change(pre, scenario.iteration_v2(), scenario.refined_spec(), db=scenario.db)
-    results["v3"] = verify_change(pre, scenario.iteration_v3(), scenario.refined_spec(), db=scenario.db)
+    results["v1"] = verify_change(
+        pre, scenario.iteration_v1(), scenario.change_spec(), db=scenario.db
+    )
+    results["v2"] = verify_change(
+        pre, scenario.iteration_v2(), scenario.refined_spec(), db=scenario.db
+    )
+    results["v3"] = verify_change(
+        pre, scenario.iteration_v3(), scenario.refined_spec(), db=scenario.db
+    )
     results["final"] = verify_change(
         pre, scenario.final_implementation(), scenario.refined_spec(), db=scenario.db
     )
@@ -36,11 +42,17 @@ def test_case_study_iterations(benchmark, figure1_scenario):
     assert results["v3"].violations_for("e2e") == 15
     assert results["final"].holds
 
+    v1, v2 = results["v1"], results["v2"]
     print()
     print("Section 8.1 case study (reproduced):")
-    print(f"  paper v1:    17 nochange + 15 e2e   -> ours: "
-          f"{results['v1'].violations_for('nochange')} nochange + {results['v1'].violations_for('e2e')} e2e")
-    print(f"  paper v2:    15 e2e + 24 nochange + 0 sideEffects -> ours: "
-          f"{results['v2'].violations_for('e2e')} e2e + {results['v2'].violations_for('nochange')} nochange + "
-          f"{results['v2'].violations_for('sideEffects')} sideEffects")
-    print(f"  paper final: compliant -> ours: {'compliant' if results['final'].holds else 'violations'}")
+    print(
+        f"  paper v1:    17 nochange + 15 e2e   -> ours: "
+        f"{v1.violations_for('nochange')} nochange + {v1.violations_for('e2e')} e2e"
+    )
+    print(
+        f"  paper v2:    15 e2e + 24 nochange + 0 sideEffects -> ours: "
+        f"{v2.violations_for('e2e')} e2e + {v2.violations_for('nochange')} nochange + "
+        f"{v2.violations_for('sideEffects')} sideEffects"
+    )
+    final = "compliant" if results["final"].holds else "violations"
+    print(f"  paper final: compliant -> ours: {final}")

@@ -45,14 +45,18 @@ def test_fig7_granularity_sweep(benchmark, backbone):
 
     matrix: dict[tuple[str, int], float] = {}
     for granularity in GRANULARITIES:
-        snapshot = simulator.snapshot(fecs, name=f"pre-{granularity.value}", granularity=granularity)
+        snapshot = simulator.snapshot(
+            fecs, name=f"pre-{granularity.value}", granularity=granularity
+        )
         for atomic_count in SPEC_SIZES:
             scenario = build_scenario(backbone, snapshot, atomic_count)
             run_options = VerificationOptions(
                 granularity=granularity, collect_counterexamples=False
             )
             started = time.perf_counter()
-            report = verify_change(scenario.pre, scenario.post, scenario.spec, db=db, options=run_options)
+            report = verify_change(
+                scenario.pre, scenario.post, scenario.spec, db=db, options=run_options
+            )
             matrix[(granularity.value, atomic_count)] = time.perf_counter() - started
             assert report.holds
 

@@ -1,0 +1,109 @@
+"""Backbone-scale throughput: verify a 10^5-FEC change in single-digit seconds.
+
+The paper validates changes on a WAN with ~10^6 traffic classes.  This
+benchmark drives the ``scale`` workload profile (see
+:mod:`repro.workloads.scale`) through ``verify_change`` and reports the
+numbers that matter at that scale:
+
+* **FECs/sec** — end-to-end verification throughput;
+* **setup vs check split** — setup (spec compilation + dedup grouping by
+  interned graph refs) must scale with the number of *unique* graph pairs,
+  not with the FEC count;
+* **peak RSS** — structural sharing keeps the snapshot pair and the
+  verification run proportional to distinct graphs.
+
+Environment knobs (both optional):
+
+* ``SCALE_FECS`` — population size (default 100000; CI uses a smaller one);
+* ``SCALE_JSON`` — write the measured throughput record to this path, in the
+  format ``benchmarks/check_perf_regression.py`` consumes for the CI gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+
+import pytest
+
+from repro.verifier import VerificationOptions, verify_change
+from repro.workloads.scale import ScaleProfile, generate_scale_change
+
+
+def _peak_rss_mb() -> float:
+    # ru_maxrss is KiB on Linux (bytes on macOS; the benchmark targets Linux CI).
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+@pytest.fixture(scope="module")
+def scale_scenario():
+    num_fecs = int(os.environ.get("SCALE_FECS", "100000"))
+    return generate_scale_change(ScaleProfile(num_fecs=num_fecs))
+
+
+def test_scale_verify_throughput(benchmark, scale_scenario):
+    options = VerificationOptions(collect_counterexamples=False)
+
+    def run():
+        return verify_change(
+            scale_scenario.pre, scale_scenario.post, scale_scenario.spec, options=options
+        )
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+
+    assert report.holds == scale_scenario.expect_holds is True
+    assert report.total_fecs == len(scale_scenario.pre)
+    # The whole point: checks scale with distinct graph pairs, not FECs.
+    assert report.unique_checks < max(1000, report.total_fecs // 10)
+
+    fecs_per_sec = report.total_fecs / report.elapsed_seconds
+    print()
+    print(
+        f"scale throughput: {report.total_fecs} FECs in {report.elapsed_seconds:.2f}s "
+        f"({fecs_per_sec:,.0f} FECs/sec)"
+    )
+    print(
+        f"  setup {report.setup_seconds * 1000:.0f} ms (dedup grouping + spec compile) vs "
+        f"check {report.check_seconds * 1000:.0f} ms over {report.unique_checks} unique "
+        f"graph pairs ({report.total_fecs - report.unique_checks} FECs shared a verdict)"
+    )
+    print(
+        f"  distinct graphs: pre {scale_scenario.pre.distinct_graph_count()}, "
+        f"post {scale_scenario.post.distinct_graph_count()}, "
+        f"store {len(scale_scenario.pre.store)}"
+    )
+    print(f"  peak RSS: {_peak_rss_mb():.0f} MB")
+
+    json_path = os.environ.get("SCALE_JSON")
+    if json_path:
+        with open(json_path, "w") as handle:
+            json.dump(
+                {
+                    "fec_count": report.total_fecs,
+                    "fecs_per_sec": fecs_per_sec,
+                    "elapsed_seconds": report.elapsed_seconds,
+                    "setup_seconds": report.setup_seconds,
+                    "check_seconds": report.check_seconds,
+                    "unique_checks": report.unique_checks,
+                    "peak_rss_mb": _peak_rss_mb(),
+                },
+                handle,
+                indent=2,
+            )
+
+
+def test_scale_snapshot_sharing(scale_scenario):
+    """Structural sharing holds at scale: distinct graphs ≪ FECs, COW copies."""
+    pre, post = scale_scenario.pre, scale_scenario.post
+    assert pre.store is post.store  # traffic_shift copies are copy-on-write
+    assert pre.distinct_graph_count() < len(pre) // 10
+    # Unchanged FECs resolve to the *same* frozen object in both snapshots.
+    shared = sum(
+        1 for fec_id in pre.fec_ids() if pre.graph_ref(fec_id) == post.graph_ref(fec_id)
+    )
+    assert shared > len(pre) // 2
+    clone = pre.copy(name="clone")
+    assert clone.store is pre.store
+    sample = pre.fec_ids()[0]
+    assert clone.graph(sample) is pre.graph(sample)

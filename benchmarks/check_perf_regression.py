@@ -8,11 +8,16 @@ Compares two measurement sources against the ``ci_baseline`` block of
   ``FIG6_CDF_JSON`` is set (gated on the p80 quantile, per the paper's
   "80% of changes finish within ..." framing);
 * a pytest-benchmark ``--benchmark-json`` results file (gated on each
-  benchmark's median, for every benchmark name the baseline lists).
+  benchmark's median, for every benchmark name the baseline lists);
+* the scale-throughput JSON written by ``bench_scale_throughput.py`` when
+  ``SCALE_JSON`` is set (gated on FECs/sec — a *lower* bound, so losing the
+  interned dedup-first path, which would divide throughput by orders of
+  magnitude, fails the gate).
 
 A measurement regresses when it exceeds ``threshold`` times its baseline
 (default 2x, absorbing CI-runner jitter while still catching an accidental
-return to eager spec compilation, which is orders of magnitude slower).
+return to eager spec compilation, which is orders of magnitude slower);
+throughput regresses when it falls below baseline divided by ``threshold``.
 
 Usage::
 
@@ -20,6 +25,7 @@ Usage::
         --baseline BENCH_fig6.json \
         --cdf fig6_cdf.json \
         --benchmark-json bench-results.json \
+        --scale scale-throughput.json \
         [--threshold 2.0]
 """
 
@@ -51,9 +57,12 @@ def check(name: str, measured: float, baseline: float, threshold: float) -> str 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", required=True, help="BENCH_fig6.json with a ci_baseline block")
+    parser.add_argument(
+        "--baseline", required=True, help="BENCH_fig6.json with a ci_baseline block"
+    )
     parser.add_argument("--cdf", help="Figure 6 CDF JSON written via FIG6_CDF_JSON")
     parser.add_argument("--benchmark-json", help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("--scale", help="scale-throughput JSON written via SCALE_JSON")
     parser.add_argument("--threshold", type=float, default=2.0, help="allowed slowdown factor")
     args = parser.parse_args(argv)
 
@@ -106,8 +115,46 @@ def main(argv: list[str] | None = None) -> int:
             if failure:
                 failures.append(failure)
 
+    if args.scale:
+        measured_scale = load_json(args.scale)
+        baseline_scale = baseline.get("scale", {})
+        baseline_throughput = baseline_scale.get("fecs_per_sec")
+        if baseline_throughput is None:
+            print("error: baseline has no scale.fecs_per_sec", file=sys.stderr)
+            return 2
+        baseline_population = baseline_scale.get("fec_count")
+        population = measured_scale.get("fec_count")
+        if baseline_population is not None and population != baseline_population:
+            # Throughput over a different population is not comparable (the
+            # fixed setup cost amortizes differently).
+            print(
+                f"error: scale population mismatch: measured fec_count "
+                f"{measured_scale.get('fec_count')}, baseline expects "
+                f"{baseline_population} (was SCALE_FECS set?)",
+                file=sys.stderr,
+            )
+            return 2
+        measured_throughput = measured_scale["fecs_per_sec"]
+        floor = baseline_throughput / args.threshold
+        ratio = measured_throughput / baseline_throughput
+        verdict = "OK" if measured_throughput >= floor else "REGRESSION"
+        print(
+            f"  [{verdict}] scale throughput (FECs/sec): measured {measured_throughput:.4g}, "
+            f"baseline {baseline_throughput:.4g}, ratio {ratio:.2f}x "
+            f"(allowed >= 1/{args.threshold:.1f}x)"
+        )
+        compared += 1
+        if measured_throughput < floor:
+            failures.append(
+                f"scale throughput dropped to {ratio:.2f}x of baseline "
+                f"(allowed >= {1 / args.threshold:.2f}x)"
+            )
+
     if compared == 0:
-        print("error: nothing compared (pass --cdf and/or --benchmark-json)", file=sys.stderr)
+        print(
+            "error: nothing compared (pass --cdf, --benchmark-json and/or --scale)",
+            file=sys.stderr,
+        )
         return 2
 
     if failures:

@@ -44,7 +44,9 @@ class FST:
         self.arcs: list[list[Arc]] = []
         #: Lazily built per-state index of arcs by input label (see
         #: :meth:`_arcs_by_input`); invalidated by :meth:`add_arc`.
-        self._input_index: list[tuple[list[tuple[Label, int]], dict[int, list[tuple[Label, int]]]]] | None = None
+        self._input_index: (
+            list[tuple[list[tuple[Label, int]], dict[int, list[tuple[Label, int]]]]] | None
+        ) = None
         self.initial: int = self.add_state()
         self.accepting: set[int] = set()
 

@@ -231,9 +231,21 @@ class Simulator:
         name: str = "snapshot",
         granularity: Granularity = Granularity.ROUTER,
     ) -> Snapshot:
-        """Simulate all traffic classes and assemble a snapshot."""
+        """Simulate all traffic classes and assemble a snapshot.
+
+        Traces are memoized by (ingress, destination): classes that differ
+        only in source prefix or metadata share one trace *and* one graph
+        object, and the snapshot's interning store collapses any remaining
+        cross-destination duplicates — a 10^5-class backbone stores each
+        distinct forwarding behaviour exactly once.
+        """
         snapshot = Snapshot(name=name, granularity=granularity)
+        traced: dict[tuple[str, str], ForwardingGraph] = {}
         for fec in fecs:
-            graph = self.trace(fec.ingress, fec.dst_prefix, granularity=granularity)
+            key = (fec.ingress, str(fec.dst_prefix))
+            graph = traced.get(key)
+            if graph is None:
+                graph = self.trace(fec.ingress, fec.dst_prefix, granularity=granularity)
+                traced[key] = graph
             snapshot.add(fec, graph)
         return snapshot

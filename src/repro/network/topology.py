@@ -248,7 +248,9 @@ class Topology:
         bundles: dict[tuple[str, str, int], int] = {}
         for link in self._links:
             if link.a in keep and link.b in keep:
-                bundles[(link.a, link.b, link.cost)] = bundles.get((link.a, link.b, link.cost), 0) + 1
+                bundles[(link.a, link.b, link.cost)] = (
+                    bundles.get((link.a, link.b, link.cost), 0) + 1
+                )
         for (a, b, cost), members in bundles.items():
             sub.add_link(a, b, members=members, cost=cost)
         return sub

@@ -1,13 +1,35 @@
-"""Forwarding state exchange: graphs, flow equivalence classes, snapshots, diffs."""
+"""Forwarding state exchange: graphs, flow equivalence classes, snapshots, diffs.
+
+**Interning and the freeze contract.**  Snapshots do not own graph objects:
+every :class:`ForwardingGraph` handed to :meth:`Snapshot.add` /
+:meth:`Snapshot.replace` is interned by canonical fingerprint into the
+snapshot's :class:`GraphStore`, which *freezes the graph in place* (the
+component sets become frozensets; mutators raise).  From then on the graph is
+shared — between FECs with identical forwarding behaviour, between a snapshot
+and its copy-on-write :meth:`Snapshot.copy` clones, and with verifier worker
+processes.  The contract is therefore: **build a graph fully, then hand it
+over; mutate-then-intern is an error** (enforced — mutation attempts raise
+:class:`~repro.errors.SnapshotError` or ``AttributeError``).  To derive a
+changed graph from a stored one, use
+:meth:`ForwardingGraph.thaw` (mutable copy) or the pure transforms
+(:meth:`ForwardingGraph.coarsen`), then ``replace`` it, which re-interns.
+
+Frozen graphs amortize their derived state: the fingerprint is validated in
+O(1) (no content re-hash) and the successor index is cached, which is what
+lets the verifier dedup and check 10^5-FEC changes at a cost proportional to
+the number of *distinct* graph pairs.
+"""
 
 from repro.snapshots.fec import FlowEquivalenceClass
 from repro.snapshots.forwarding_graph import ForwardingGraph, drop_graph
+from repro.snapshots.graphstore import GraphStore
 from repro.snapshots.pathdiff import DiffEntry, PathDiff, path_diff
 from repro.snapshots.snapshot import Snapshot, build_snapshot
 
 __all__ = [
     "FlowEquivalenceClass",
     "ForwardingGraph",
+    "GraphStore",
     "drop_graph",
     "Snapshot",
     "build_snapshot",

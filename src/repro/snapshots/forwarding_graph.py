@@ -14,7 +14,11 @@ then the set of source→sink walks of the DAG.
 * conversion to an FSA (vertices/edges become states/transitions, an initial
   state feeds the sources, sinks accept);
 * granularity coarsening by merging vertices that map to the same coarser
-  entity (interface → router → router group).
+  entity (interface → router → router group);
+* freezing (:meth:`ForwardingGraph.freeze`): a frozen graph is immutable, its
+  fingerprint and adjacency index are computed once and revalidated in O(1),
+  and it can be safely shared between snapshots, worker processes and the
+  :class:`~repro.snapshots.graphstore.GraphStore` interning table.
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ import hashlib
 from collections import deque
 from dataclasses import dataclass, field
 from collections.abc import Iterable, Iterator, Mapping, Sequence
+from collections.abc import Set as AbstractSet
 
 from repro.automata.alphabet import DROP, Alphabet
 from repro.automata.fsa import FSA
@@ -30,6 +35,9 @@ from repro.errors import SnapshotError
 from repro.rela.locations import Granularity
 
 Path = tuple[str, ...]
+
+#: Content fields protected against assignment once a graph is frozen.
+_CONTENT_FIELDS = frozenset({"granularity", "nodes", "edges", "sources", "sinks"})
 
 
 @dataclass(slots=True)
@@ -52,25 +60,66 @@ class ForwardingGraph:
     """
 
     granularity: Granularity = Granularity.ROUTER
-    nodes: set[str] = field(default_factory=set)
-    edges: set[tuple[str, str]] = field(default_factory=set)
-    sources: set[str] = field(default_factory=set)
-    sinks: set[str] = field(default_factory=set)
+    nodes: AbstractSet[str] = field(default_factory=set)
+    edges: AbstractSet[tuple[str, str]] = field(default_factory=set)
+    sources: AbstractSet[str] = field(default_factory=set)
+    sinks: AbstractSet[str] = field(default_factory=set)
     #: Cached :meth:`fingerprint` with the content token it was computed at;
     #: invalidated by the mutator methods and revalidated against the token
-    #: so direct set mutation (``graph.sources.add(...)``) is caught.
+    #: so direct set mutation (``graph.sources.add(...)``) is caught.  Frozen
+    #: graphs store ``None`` as the token: their content cannot change, so
+    #: the cache is returned without any revalidation work.
     _fingerprint: (
-        tuple[tuple[frozenset, frozenset, frozenset, frozenset], str] | None
+        tuple[tuple[frozenset, frozenset, frozenset, frozenset] | None, str] | None
     ) = field(default=None, repr=False, compare=False)
+    #: Whether the graph is frozen (immutable, interned or internable).
+    _frozen: bool = field(default=False, repr=False, compare=False)
+    #: Cached successor index, built on first use for frozen graphs only
+    #: (an unfrozen graph can be mutated behind the cache's back).
+    _adjacency: dict[str, list[str]] | None = field(default=None, repr=False, compare=False)
+
+    def __setattr__(self, name: str, value) -> None:
+        # Enforce the freeze contract at the attribute level: once frozen, the
+        # content fields can be neither mutated (they are frozensets) nor
+        # reassigned.  Derived caches stay writable.
+        if name in _CONTENT_FIELDS:
+            try:
+                frozen = self._frozen
+            except AttributeError:  # still inside __init__ / __setstate__
+                frozen = False
+            if frozen:
+                raise SnapshotError(
+                    f"cannot assign {name!r} on a frozen forwarding graph; thaw() a copy first"
+                )
+        object.__setattr__(self, name, value)
 
     def __getstate__(self):
-        # The fingerprint cache (with its frozenset token copies) is local
-        # derived state; dropping it keeps worker-batch pickles lean.
-        return (self.granularity, self.nodes, self.edges, self.sources, self.sinks)
+        # The fingerprint token and adjacency cache are local derived state;
+        # dropping them keeps worker-batch pickles lean.  The digest itself
+        # travels with frozen graphs so the receiving process keeps the O(1)
+        # fingerprint path without re-hashing.
+        digest = self._fingerprint[1] if self._frozen and self._fingerprint else None
+        return (
+            self.granularity,
+            self.nodes,
+            self.edges,
+            self.sources,
+            self.sinks,
+            self._frozen,
+            digest,
+        )
 
     def __setstate__(self, state) -> None:
-        self.granularity, self.nodes, self.edges, self.sources, self.sinks = state
-        self._fingerprint = None
+        if len(state) == 5:  # pickles from before freeze support
+            self.granularity, self.nodes, self.edges, self.sources, self.sinks = state
+            frozen, digest = False, None
+        else:
+            self.granularity, self.nodes, self.edges, self.sources, self.sinks, frozen, digest = (
+                state
+            )
+        object.__setattr__(self, "_fingerprint", (None, digest) if digest else None)
+        object.__setattr__(self, "_frozen", frozen)
+        object.__setattr__(self, "_adjacency", None)
 
     def _content_token(self) -> tuple[frozenset, frozenset, frozenset, frozenset]:
         """Frozen copies of the component sets for exact cache revalidation.
@@ -87,15 +136,73 @@ class ForwardingGraph:
         )
 
     # ------------------------------------------------------------------
+    # Freezing
+    # ------------------------------------------------------------------
+    @property
+    def frozen(self) -> bool:
+        """Whether this graph is immutable (safe to share and intern)."""
+        return self._frozen
+
+    def freeze(self) -> ForwardingGraph:
+        """Make this graph immutable, in place, and return it.
+
+        The component sets become frozensets (so both the mutator methods and
+        direct set mutation fail loudly), and the fingerprint and adjacency
+        caches become permanent: revalidation is O(1) instead of rebuilding
+        content tokens.  Freezing is idempotent; it is performed automatically
+        when a graph is interned into a
+        :class:`~repro.snapshots.graphstore.GraphStore` (which is how
+        snapshots store graphs), so *mutate-then-intern is an error* — build
+        the graph fully, then hand it over.  Use :meth:`thaw` to obtain a
+        mutable copy.
+        """
+        if self._frozen:
+            return self
+        if self._fingerprint is not None:
+            # The cached digest may be stale (direct set mutation after a
+            # fingerprint() call never notifies the cache — that is exactly
+            # what token revalidation exists for), so revalidate it one last
+            # time before it becomes the permanent frozen cache.
+            if self._fingerprint[0] == self._content_token():
+                object.__setattr__(self, "_fingerprint", (None, self._fingerprint[1]))
+            else:
+                object.__setattr__(self, "_fingerprint", None)
+        self.nodes = frozenset(self.nodes)
+        self.edges = frozenset(self.edges)
+        self.sources = frozenset(self.sources)
+        self.sinks = frozenset(self.sinks)
+        object.__setattr__(self, "_frozen", True)
+        return self
+
+    def thaw(self) -> ForwardingGraph:
+        """A mutable copy of this graph (the inverse of :meth:`freeze`)."""
+        return ForwardingGraph(
+            granularity=self.granularity,
+            nodes=set(self.nodes),
+            edges=set(self.edges),
+            sources=set(self.sources),
+            sinks=set(self.sinks),
+        )
+
+    def _assert_mutable(self) -> None:
+        if self._frozen:
+            raise SnapshotError(
+                "cannot mutate a frozen forwarding graph (it may be interned and "
+                "shared); use thaw() to obtain a mutable copy"
+            )
+
+    # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     def add_node(self, name: str) -> None:
         """Add a forwarding hop."""
+        self._assert_mutable()
         self.nodes.add(name)
         self._fingerprint = None
 
     def add_edge(self, src: str, dst: str) -> None:
         """Add a directed forwarding link, creating its endpoints as needed."""
+        self._assert_mutable()
         self.nodes.add(src)
         self.nodes.add(dst)
         self.edges.add((src, dst))
@@ -103,6 +210,7 @@ class ForwardingGraph:
 
     def add_path(self, path: Sequence[str]) -> None:
         """Add an explicit path (its first hop becomes a source, last a sink)."""
+        self._assert_mutable()
         if not path:
             raise SnapshotError("cannot add an empty forwarding path")
         for name in path:
@@ -145,9 +253,25 @@ class ForwardingGraph:
     def num_edges(self) -> int:
         return len(self.edges)
 
+    def _adjacency_map(self) -> dict[str, list[str]]:
+        """Successor lists per node, cached permanently on frozen graphs.
+
+        Unfrozen graphs rebuild the index on every call: their sets can be
+        mutated directly (the same hazard the fingerprint token guards
+        against), so a cache could silently go stale.
+        """
+        if self._adjacency is not None:
+            return self._adjacency
+        adjacency: dict[str, list[str]] = {node: [] for node in self.nodes}
+        for src, dst in self.edges:
+            adjacency[src].append(dst)
+        if self._frozen:
+            self._adjacency = adjacency
+        return adjacency
+
     def successors(self, node: str) -> list[str]:
         """Forwarding next-hops of ``node``."""
-        return [dst for (src, dst) in self.edges if src == node]
+        return list(self._adjacency_map().get(node, ()))
 
     def is_empty(self) -> bool:
         """True when the graph encodes no paths."""
@@ -155,11 +279,11 @@ class ForwardingGraph:
 
     def is_acyclic(self) -> bool:
         """True when the graph has no directed cycle (forwarding loops)."""
-        adjacency: dict[str, list[str]] = {node: [] for node in self.nodes}
+        adjacency = self._adjacency_map()
         indegree: dict[str, int] = {node: 0 for node in self.nodes}
-        for src, dst in self.edges:
-            adjacency[src].append(dst)
-            indegree[dst] += 1
+        for dsts in adjacency.values():
+            for dst in dsts:
+                indegree[dst] += 1
         queue = deque(node for node, degree in indegree.items() if degree == 0)
         visited = 0
         while queue:
@@ -179,9 +303,7 @@ class ForwardingGraph:
         """
         if not self.is_acyclic():
             raise SnapshotError("cannot count paths of a cyclic forwarding graph")
-        adjacency: dict[str, list[str]] = {node: [] for node in self.nodes}
-        for src, dst in self.edges:
-            adjacency[src].append(dst)
+        adjacency = self._adjacency_map()
 
         memo: dict[str, int] = {}
 
@@ -198,9 +320,7 @@ class ForwardingGraph:
 
     def paths(self, *, max_paths: int = 10_000, max_length: int = 64) -> Iterator[Path]:
         """Enumerate source→sink paths (bounded; breadth-first by length)."""
-        adjacency: dict[str, list[str]] = {node: [] for node in self.nodes}
-        for src, dst in self.edges:
-            adjacency[src].append(dst)
+        adjacency = self._adjacency_map()
         produced = 0
         queue: deque[tuple[str, Path]] = deque(
             (source, (source,)) for source in sorted(self.sources)
@@ -240,11 +360,18 @@ class ForwardingGraph:
         additionally revalidated against order-independent content hashes of
         the component sets, so direct set mutation after a fingerprint
         (``graph.sources.add(...)``, same-size edge swaps, ...) also forces
-        a recompute instead of returning a stale digest.
+        a recompute instead of returning a stale digest.  Frozen graphs skip
+        the revalidation entirely: their content cannot change, so a cached
+        digest is returned in O(1) — the hot path of the interning store.
         """
-        token = self._content_token()
-        if self._fingerprint is not None and self._fingerprint[0] == token:
-            return self._fingerprint[1]
+        if self._frozen:
+            if self._fingerprint is not None:
+                return self._fingerprint[1]
+            token = None
+        else:
+            token = self._content_token()
+            if self._fingerprint is not None and self._fingerprint[0] == token:
+                return self._fingerprint[1]
         digest = hashlib.blake2b(digest_size=16)
         digest.update(self.granularity.value.encode())
         for section in (

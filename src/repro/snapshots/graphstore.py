@@ -1,0 +1,99 @@
+"""Structural sharing of forwarding graphs: the interning store.
+
+A backbone change produces on the order of 10^5-10^6 flow equivalence
+classes, but only a *tiny* number of distinct forwarding behaviours: most
+classes are untouched by any given change, and the touched ones move in
+groups (every class entering at the same router towards the same region
+follows the same DAG).  Paying per FEC — one Python graph object, one
+blake2b fingerprint, one worker pickle per class — is what caps setup
+throughput, not the automata work.
+
+:class:`GraphStore` makes sharing structural instead of coincidental:
+graphs are *interned* by their canonical fingerprint, the first graph with
+a given fingerprint is frozen and becomes the canonical object, and every
+later duplicate resolves to the same small integer *ref*.  Snapshots store
+``fec_id → ref`` (see :class:`~repro.snapshots.snapshot.Snapshot`), so
+
+* ``Snapshot.copy()`` is a pair of dict copies (copy-on-write) instead of a
+  JSON round-trip;
+* the verifier groups FECs by ``(spec, pre ref, post ref)`` with integer
+  comparisons — no per-FEC re-hashing;
+* worker processes receive each distinct graph exactly once, in an
+  id-indexed table, while work batches carry only ids.
+
+Interning freezes the graph in place (see
+:meth:`~repro.snapshots.forwarding_graph.ForwardingGraph.freeze`):
+*mutate-then-intern is an error*, enforced by the frozen graph itself.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import SnapshotError
+from repro.snapshots.forwarding_graph import ForwardingGraph
+
+
+class GraphStore:
+    """An append-only interning table of frozen forwarding graphs.
+
+    Refs are dense non-negative integers, assigned in first-intern order,
+    and are only meaningful relative to the store that issued them.  Stores
+    are picklable (they are plain containers of frozen graphs), but the
+    verifier never ships a whole store to workers — it builds a per-run
+    table of just the graphs a change actually touches.
+    """
+
+    __slots__ = ("_graphs", "_ref_by_fingerprint")
+
+    def __init__(self) -> None:
+        self._graphs: list[ForwardingGraph] = []
+        self._ref_by_fingerprint: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Interning
+    # ------------------------------------------------------------------
+    def intern(self, graph: ForwardingGraph) -> int:
+        """Intern ``graph`` and return its ref.
+
+        The first graph with a given fingerprint is frozen in place and
+        becomes the canonical object; later structurally-identical graphs
+        resolve to the same ref and are discarded.  The fingerprint already
+        covers the granularity, so graphs at different granularities never
+        collide.
+        """
+        fingerprint = graph.fingerprint()  # O(1) when already frozen
+        ref = self._ref_by_fingerprint.get(fingerprint)
+        if ref is None:
+            graph.freeze()
+            ref = len(self._graphs)
+            self._graphs.append(graph)
+            self._ref_by_fingerprint[fingerprint] = ref
+        return ref
+
+    def ref_of(self, graph: ForwardingGraph) -> int | None:
+        """The ref of ``graph`` if an identical graph is interned, else None."""
+        return self._ref_by_fingerprint.get(graph.fingerprint())
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def graph(self, ref: int) -> ForwardingGraph:
+        """The canonical (frozen) graph for ``ref``."""
+        try:
+            return self._graphs[ref]
+        except IndexError:
+            raise SnapshotError(f"unknown graph ref {ref!r} (store holds {len(self)})") from None
+
+    def __len__(self) -> int:
+        """Number of distinct graphs interned."""
+        return len(self._graphs)
+
+    def __iter__(self) -> Iterator[ForwardingGraph]:
+        return iter(self._graphs)
+
+    def __getstate__(self):
+        return (self._graphs, self._ref_by_fingerprint)
+
+    def __setstate__(self, state) -> None:
+        self._graphs, self._ref_by_fingerprint = state

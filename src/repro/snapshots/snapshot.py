@@ -5,6 +5,14 @@ given point in time (pre-change or post-change) it maps every flow
 equivalence class to the forwarding graph describing where that traffic goes.
 Snapshots are produced by the simulator (:mod:`repro.network.simulator`), by
 the synthetic workload generators, or loaded from the JSON exchange format.
+
+Graphs are not stored directly: every graph added to a snapshot is interned
+into the snapshot's :class:`~repro.snapshots.graphstore.GraphStore` (freezing
+it in place) and the snapshot keeps only ``fec_id → ref``.  Backbone changes
+produce thousands of identical graphs, so this makes the snapshot layer pay
+per *distinct* forwarding behaviour, not per FEC: :meth:`Snapshot.copy` is
+copy-on-write (the clone shares the store and copies two dicts), and the
+verifier can group FECs by interned ref without re-hashing anything.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from repro.errors import SnapshotError
 from repro.rela.locations import Granularity
 from repro.snapshots.fec import FlowEquivalenceClass
 from repro.snapshots.forwarding_graph import ForwardingGraph
+from repro.snapshots.graphstore import GraphStore
 
 
 @dataclass(slots=True)
@@ -27,23 +36,28 @@ class Snapshot:
     name: str = "snapshot"
     granularity: Granularity = Granularity.ROUTER
     _fecs: dict[str, FlowEquivalenceClass] = field(default_factory=dict)
-    _graphs: dict[str, ForwardingGraph] = field(default_factory=dict)
+    _store: GraphStore = field(default_factory=GraphStore)
+    _refs: dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Population
     # ------------------------------------------------------------------
     def add(self, fec: FlowEquivalenceClass, graph: ForwardingGraph) -> None:
-        """Record the forwarding graph of one traffic class."""
+        """Record the forwarding graph of one traffic class.
+
+        The graph is interned (and thereby frozen); adding the same graph —
+        or any structurally identical one — for many FECs stores it once.
+        """
         if fec.fec_id in self._fecs:
             raise SnapshotError(f"duplicate FEC {fec.fec_id!r} in snapshot {self.name!r}")
         self._fecs[fec.fec_id] = fec
-        self._graphs[fec.fec_id] = graph
+        self._refs[fec.fec_id] = self._store.intern(graph)
 
     def replace(self, fec_id: str, graph: ForwardingGraph) -> None:
         """Overwrite the forwarding graph of an existing traffic class."""
         if fec_id not in self._fecs:
             raise SnapshotError(f"unknown FEC {fec_id!r} in snapshot {self.name!r}")
-        self._graphs[fec_id] = graph
+        self._refs[fec_id] = self._store.intern(graph)
 
     # ------------------------------------------------------------------
     # Access
@@ -53,6 +67,11 @@ class Snapshot:
 
     def __contains__(self, fec_id: str) -> bool:
         return fec_id in self._fecs
+
+    @property
+    def store(self) -> GraphStore:
+        """The interning store backing this snapshot (shared by copies)."""
+        return self._store
 
     def fecs(self) -> list[FlowEquivalenceClass]:
         """All flow equivalence classes, in insertion order."""
@@ -71,31 +90,49 @@ class Snapshot:
 
     def graph(self, fec_id: str) -> ForwardingGraph:
         """The forwarding graph of one FEC (empty graph if absent)."""
-        graph = self._graphs.get(fec_id)
-        if graph is None:
+        ref = self._refs.get(fec_id)
+        if ref is None:
             return ForwardingGraph.empty(granularity=self.granularity)
-        return graph
+        return self._store.graph(ref)
+
+    def graph_ref(self, fec_id: str) -> int | None:
+        """The interned ref of one FEC's graph (None if absent).
+
+        Refs are integers local to :attr:`store`; two FECs share a ref iff
+        their forwarding graphs are structurally identical.  This is the
+        dedup-first entry point the verifier groups by.
+        """
+        return self._refs.get(fec_id)
+
+    def distinct_graph_count(self) -> int:
+        """Number of distinct forwarding behaviours across all FECs."""
+        return len(set(self._refs.values()))
 
     def items(self) -> Iterator[tuple[FlowEquivalenceClass, ForwardingGraph]]:
         """Iterate over (FEC, forwarding graph) pairs."""
         for fec_id, fec in self._fecs.items():
-            yield fec, self._graphs[fec_id]
+            yield fec, self._store.graph(self._refs[fec_id])
 
     def locations(self) -> set[str]:
         """All location names appearing in any forwarding graph."""
         names: set[str] = set()
-        for graph in self._graphs.values():
-            names |= graph.locations()
+        for ref in set(self._refs.values()):
+            names |= self._store.graph(ref).locations()
         return names
 
     def copy(self, *, name: str | None = None) -> "Snapshot":
-        """A deep-enough copy suitable for applying synthetic changes."""
+        """A copy suitable for applying synthetic changes (copy-on-write).
+
+        The clone shares this snapshot's graph store — interned graphs are
+        frozen, so sharing is safe — and copies only the FEC and ref maps.
+        ``replace`` on either snapshot rebinds a ref and never mutates a
+        graph, so copies stay independent at O(#FECs) dict-entry cost
+        instead of a JSON round-trip of every graph.
+        """
         clone = Snapshot(name=name or self.name, granularity=self.granularity)
-        for fec, graph in self.items():
-            clone.add(
-                fec,
-                ForwardingGraph.from_dict(graph.to_dict()),
-            )
+        clone._fecs = dict(self._fecs)
+        clone._store = self._store
+        clone._refs = dict(self._refs)
         return clone
 
     # ------------------------------------------------------------------

@@ -14,20 +14,28 @@ implementation strategy:
    sub-spec (Section 6.3); classes can be checked in parallel worker
    processes, as the paper does for its 10^6-class backbone.
 
-Two engine-level optimizations keep backbone-scale runs cheap:
+Three engine-level optimizations keep backbone-scale runs cheap:
 
-* **Cross-FEC memoization**: a verdict depends only on the compiled spec and
-  the pre/post forwarding graphs, so checks are keyed by
-  ``(spec_key, pre_fingerprint, post_fingerprint)`` and each distinct graph
-  pair is checked once — the thousands of identical or unchanged graphs in a
-  backbone change share one check, generalizing the preserve-only fast path
-  to every spec.  Memoized counterexamples are re-attributed to each member
-  FEC.
-* **Initializer-based workers**: the compiled specs, builder and options are
-  shipped to each worker process once via the ``ProcessPoolExecutor``
-  initializer instead of being re-pickled with every batch, and results are
-  streamed back with ``as_completed`` (no head-of-line blocking); the report
-  is sorted at the end so the output is order-independent.
+* **Dedup-first grouping**: a verdict depends only on the compiled spec and
+  the pre/post forwarding graphs, and snapshots intern their graphs (see
+  :mod:`repro.snapshots.graphstore`), so FECs are grouped by
+  ``(spec_key, pre ref, post ref)`` with integer comparisons — no per-FEC
+  re-hashing — and each distinct graph pair is checked once.  The thousands
+  of identical or unchanged graphs in a backbone change share one check,
+  generalizing the preserve-only fast path to every spec; memoized
+  counterexamples are re-attributed to each member FEC.
+* **Streaming the all-pass common case**: per-FEC descriptions
+  (``str(fec)``) and counterexample relabeling are built lazily, only for
+  violating FECs, so a change over 10^5 classes that holds allocates
+  O(#unique graph pairs), not O(#FECs).
+* **Initializer-based workers with an id-indexed graph table**: the compiled
+  specs, builder, options and the table of *distinct* graphs are shipped to
+  each worker process once via the ``ProcessPoolExecutor`` initializer;
+  work batches carry only ``(fec_id, spec_key, pre id, post id)`` tuples —
+  each graph crosses the process boundary exactly once, however many FECs
+  share it.  Results are streamed back with ``as_completed`` (no
+  head-of-line blocking); the report is sorted at the end so the output is
+  order-independent.
 """
 
 from __future__ import annotations
@@ -50,6 +58,7 @@ from repro.rela.spec import AtomicSpec, ElseSpec, RelaSpec, SeqSpec, flatten_els
 from repro.rir import RIRContext, compile_rel, compile_rel_lazy
 from repro.rir import ast as rir
 from repro.snapshots.forwarding_graph import ForwardingGraph
+from repro.snapshots.graphstore import GraphStore
 from repro.snapshots.snapshot import Snapshot
 from repro.verifier.counterexample import BranchViolation, Counterexample, rewrite_hash
 from repro.verifier.report import VerificationReport
@@ -216,6 +225,11 @@ def _as_policy(spec_or_policy: RelaSpec | SpecPolicy) -> SpecPolicy:
 
 
 def _graphs_identical(pre: ForwardingGraph, post: ForwardingGraph) -> bool:
+    # Interned snapshots hand the verifier the *same* frozen object for
+    # identical pre/post behaviour, so the common unchanged-FEC case is a
+    # single identity test.
+    if pre is post:
+        return True
     return (
         pre.nodes == post.nodes
         and pre.edges == post.edges
@@ -303,45 +317,65 @@ def _check_one_fec(
         fec_id=fec_id,
         fec_description=fec_description,
         pre_paths=sorted(
-            pre_converted.path_set(max_paths=options.max_paths, max_length=options.max_witness_length)
+            pre_converted.path_set(
+                max_paths=options.max_paths, max_length=options.max_witness_length
+            )
         ),
         post_paths=sorted(
-            post_converted.path_set(max_paths=options.max_paths, max_length=options.max_witness_length)
+            post_converted.path_set(
+                max_paths=options.max_paths, max_length=options.max_witness_length
+            )
         ),
         violations=violations,
     )
 
 
 # Per-worker verification context, installed once by the pool initializer so
-# the compiled specs / builder / options are pickled once per worker process
-# instead of once per submitted batch.
-_WORKER_CONTEXT: tuple[dict[str, CompiledSpec], StateAutomatonBuilder, VerificationOptions] | None = None
+# the compiled specs / builder / options / distinct-graph table are pickled
+# once per worker process instead of once per submitted batch.  Batches then
+# carry only ids into the table: each distinct graph crosses the process
+# boundary exactly once, however many FECs (or batches) reference it.
+_WORKER_CONTEXT: (
+    tuple[
+        dict[str, CompiledSpec],
+        StateAutomatonBuilder,
+        VerificationOptions,
+        list[ForwardingGraph],
+    ]
+    | None
+) = None
 
 
 def _init_worker(
     compiled_specs: dict[str, CompiledSpec],
     builder: StateAutomatonBuilder,
     options: VerificationOptions,
+    graph_table: list[ForwardingGraph],
 ) -> None:
     global _WORKER_CONTEXT
-    _WORKER_CONTEXT = (compiled_specs, builder, options)
+    _WORKER_CONTEXT = (compiled_specs, builder, options, graph_table)
 
 
 def _check_batch(
-    batch: list[tuple[str, str, str, ForwardingGraph, ForwardingGraph]],
+    batch: list[tuple[str, str, int, int]],
 ) -> list[tuple[str, Counterexample | None]]:
-    """Worker entry point: check a batch of flow equivalence classes."""
+    """Worker entry point: check a batch of (fec_id, spec_key, pre id, post id).
+
+    The description attached to each counterexample is a placeholder (the
+    FEC id); the parent process relabels failures with the real description,
+    so the all-pass case never formats one.
+    """
     if _WORKER_CONTEXT is None:
         raise VerificationError("worker process was not initialized")
-    compiled_specs, builder, options = _WORKER_CONTEXT
+    compiled_specs, builder, options, graph_table = _WORKER_CONTEXT
     results: list[tuple[str, Counterexample | None]] = []
-    for fec_id, fec_description, spec_key, pre_graph, post_graph in batch:
+    for fec_id, spec_key, pre_id, post_id in batch:
         counterexample = _check_one_fec(
             compiled_specs[spec_key],
             fec_id,
-            fec_description,
-            pre_graph,
-            post_graph,
+            fec_id,
+            graph_table[pre_id],
+            graph_table[post_id],
             builder,
             options,
         )
@@ -350,10 +384,10 @@ def _check_batch(
 
 
 def _relabel(
-    counterexample: Counterexample | None, fec_id: str, fec_description: str
-) -> Counterexample | None:
+    counterexample: Counterexample, fec_id: str, fec_description: str
+) -> Counterexample:
     """Re-attribute a memoized per-FEC result to another identical FEC."""
-    if counterexample is None or counterexample.fec_id == fec_id:
+    if counterexample.fec_id == fec_id and counterexample.fec_description == fec_description:
         return counterexample
     return Counterexample(
         fec_id=fec_id,
@@ -420,47 +454,86 @@ def verify_change(
         for key, value in specs_to_compile.items()
     }
 
-    # Build the per-FEC work list.  FECs appearing in either snapshot are
-    # checked; a FEC missing from one side contributes an empty path set.
-    # Verdicts depend only on (spec, pre graph, post graph), so FECs whose
-    # graph pair fingerprints coincide share one check: backbone changes
-    # produce thousands of identical or unchanged graphs, and this memoizes
-    # all of them — the generalization of the preserve-only fast path to
-    # every spec.
+    # Build the per-FEC work list, dedup-first.  FECs appearing in either
+    # snapshot are checked; a FEC missing from one side contributes an empty
+    # path set.  Verdicts depend only on (spec, pre graph, post graph), and
+    # snapshots intern their graphs, so grouping runs on interned refs —
+    # integer dict lookups per FEC, no re-hashing, no ``str(fec)``
+    # formatting.  Each distinct graph is assigned a dense *local id* into
+    # ``graph_table`` (the table workers receive once); FECs sharing a
+    # (spec, pre id, post id) triple share one check — the generalization of
+    # the preserve-only fast path to every spec.
     fec_ids = list(dict.fromkeys(pre.fec_ids() + post.fec_ids()))
-    MemoKey = tuple[str, str, str]
-    membership: list[tuple[str, str, MemoKey]] = []
-    unique_work: list[tuple[str, str, str, ForwardingGraph, ForwardingGraph]] = []
+    # A run-local store unifies graphs by fingerprint even when the two
+    # snapshots were built independently (different stores): GraphStore refs
+    # are dense first-intern indices, so the store doubles as the id-indexed
+    # table workers receive.  Graphs are already frozen, so intern() is an
+    # O(1) cached-fingerprint lookup per *distinct* graph; the per-ref
+    # caches below make repeat FECs pure dict hits.
+    run_store = GraphStore()
+    shared_store = pre.store is post.store
+    pre_local: dict[int, int] = {}
+    post_local: dict[int, int] = pre_local if shared_store else {}
+    empty_local: dict[Granularity, int] = {}
+
+    def _local_id(ref: int | None, snapshot: Snapshot, cache: dict[int, int]) -> int:
+        if ref is None:
+            granularity = snapshot.granularity
+            local_id = empty_local.get(granularity)
+            if local_id is None:
+                local_id = run_store.intern(ForwardingGraph.empty(granularity=granularity))
+                empty_local[granularity] = local_id
+            return local_id
+        local_id = cache.get(ref)
+        if local_id is None:
+            local_id = run_store.intern(snapshot.store.graph(ref))
+            cache[ref] = local_id
+        return local_id
+
+    MemoKey = tuple[str, int, int] | tuple[str, str]
+    membership: list[tuple[str, MemoKey]] = []
+    unique_work: list[tuple[str, str, int, int]] = []
     key_of_representative: dict[str, MemoKey] = {}
     seen_keys: set[MemoKey] = set()
+    guarded_specs = list(enumerate(policy.guarded))
     for fec_id in fec_ids:
-        fec = pre.fec(fec_id) if fec_id in pre else post.fec(fec_id)
         spec_key = "default"
-        for index, guarded in enumerate(policy.guarded):
-            if guarded.applies_to(fec):
-                spec_key = f"guard-{index}"
-                break
-        pre_graph = pre.graph(fec_id)
-        post_graph = post.graph(fec_id)
+        if guarded_specs:
+            fec = pre.fec(fec_id) if fec_id in pre else post.fec(fec_id)
+            for index, guarded in guarded_specs:
+                if guarded.applies_to(fec):
+                    spec_key = f"guard-{index}"
+                    break
+        pre_id = _local_id(pre.graph_ref(fec_id), pre, pre_local)
+        post_id = _local_id(post.graph_ref(fec_id), post, post_local)
         if options.memoize_fec_checks:
-            memo_key: MemoKey = (spec_key, pre_graph.fingerprint(), post_graph.fingerprint())
+            memo_key: MemoKey = (spec_key, pre_id, post_id)
         else:
-            memo_key = (spec_key, fec_id, fec_id)  # unique per FEC: no sharing
-        membership.append((fec_id, str(fec), memo_key))
+            memo_key = (spec_key, fec_id)  # unique per FEC: no sharing
+        membership.append((fec_id, memo_key))
         if memo_key not in seen_keys:
             seen_keys.add(memo_key)
-            unique_work.append((fec_id, str(fec), spec_key, pre_graph, post_graph))
+            unique_work.append((fec_id, spec_key, pre_id, post_id))
             key_of_representative[fec_id] = memo_key
 
     report = VerificationReport(granularity=options.granularity, workers=max(1, options.workers))
+    report.setup_seconds = time.perf_counter() - started
+    report.unique_checks = len(unique_work)
+    check_started = time.perf_counter()
 
     outcomes: dict[MemoKey, Counterexample | None] = {}
     if options.workers <= 1 or len(unique_work) <= 1:
-        for item in unique_work:
+        for fec_id, spec_key, pre_id, post_id in unique_work:
             counterexample = _check_one_fec(
-                compiled_specs[item[2]], item[0], item[1], item[3], item[4], builder, options
+                compiled_specs[spec_key],
+                fec_id,
+                fec_id,
+                run_store.graph(pre_id),
+                run_store.graph(post_id),
+                builder,
+                options,
             )
-            outcomes[key_of_representative[item[0]]] = counterexample
+            outcomes[key_of_representative[fec_id]] = counterexample
     else:
         chunk_size = max(1, len(unique_work) // (options.workers * 4))
         batches = [
@@ -469,7 +542,7 @@ def verify_change(
         with ProcessPoolExecutor(
             max_workers=options.workers,
             initializer=_init_worker,
-            initargs=(compiled_specs, builder, options),
+            initargs=(compiled_specs, builder, options, list(run_store)),
         ) as executor:
             futures = [executor.submit(_check_batch, batch) for batch in batches]
             # Stream results as workers finish instead of blocking on
@@ -478,8 +551,18 @@ def verify_change(
                 for fec_id, counterexample in future.result():
                     outcomes[key_of_representative[fec_id]] = counterexample
 
-    for fec_id, fec_description, memo_key in membership:
-        report.record(_relabel(outcomes[memo_key], fec_id, fec_description))
+    report.check_seconds = time.perf_counter() - check_started
+
+    # Fold per-FEC results into the report.  Descriptions and relabeled
+    # counterexamples are built only for violating FECs, so the all-pass
+    # case stays allocation-free here.
+    for fec_id, memo_key in membership:
+        counterexample = outcomes[memo_key]
+        if counterexample is None:
+            report.record(None)
+            continue
+        fec = pre.fec(fec_id) if fec_id in pre else post.fec(fec_id)
+        report.record(_relabel(counterexample, fec_id, str(fec)))
 
     if not options.collect_counterexamples:
         # Timing-only runs keep the verdict and counts but drop the detail.

@@ -32,6 +32,16 @@ class VerificationReport:
     branch_violation_counts: Counter = field(default_factory=Counter)
     #: Wall-clock seconds spent, including automata construction.
     elapsed_seconds: float = 0.0
+    #: Seconds spent before any check ran: alphabet construction, spec
+    #: compilation and dedup grouping of FECs by interned graph refs.
+    setup_seconds: float = 0.0
+    #: Seconds spent checking the distinct (spec, pre graph, post graph)
+    #: combinations (including worker-pool startup on parallel runs).
+    check_seconds: float = 0.0
+    #: Number of distinct (spec, pre graph, post graph) checks executed;
+    #: the remaining ``total_fecs - unique_checks`` classes shared one of
+    #: those verdicts through interned-graph dedup.
+    unique_checks: int = 0
     #: Analysis granularity used for this run.
     granularity: Granularity = Granularity.ROUTER
     #: Number of worker processes used (1 = serial).

@@ -11,6 +11,12 @@ from repro.workloads.changes import (
     traffic_shift,
 )
 from repro.workloads.figure1 import Figure1Scenario, build_scenario, build_topology
+from repro.workloads.scale import (
+    ScaleProfile,
+    generate_scale_change,
+    generate_scale_snapshot,
+    scale_backbone,
+)
 from repro.workloads.traffic import fecs_to_region, generate_fecs
 
 __all__ = [
@@ -26,6 +32,10 @@ __all__ = [
     "prefix_decommission",
     "path_prune",
     "generate_change_dataset",
+    "ScaleProfile",
+    "scale_backbone",
+    "generate_scale_snapshot",
+    "generate_scale_change",
     "Figure1Scenario",
     "build_scenario",
     "build_topology",

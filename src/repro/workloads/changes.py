@@ -95,6 +95,23 @@ def _graph_mentions(graph: ForwardingGraph, names: set[str]) -> bool:
     return bool(graph.nodes & names)
 
 
+def _mention_refs(snapshot: Snapshot, names: set[str]) -> set[int]:
+    """Refs of the snapshot's distinct graphs that mention any of ``names``.
+
+    Snapshots intern their graphs, so membership tests — like the rename /
+    prune transforms below — run once per *distinct* forwarding behaviour
+    and are shared by every FEC with that behaviour.  On a backbone-scale
+    snapshot this is the difference between O(#FECs) and O(#unique graphs)
+    graph work.
+    """
+    store = snapshot.store
+    return {
+        ref
+        for ref in {snapshot.graph_ref(fec_id) for fec_id in snapshot.fec_ids()}
+        if ref is not None and _graph_mentions(store.graph(ref), names)
+    }
+
+
 # ----------------------------------------------------------------------
 # Archetypes
 # ----------------------------------------------------------------------
@@ -154,27 +171,37 @@ def traffic_shift(
     to_set = set(to_routers)
 
     post = pre.copy(name=f"{pre.name}-post")
+    affected_refs = _mention_refs(pre, from_set)
     affected: list[str] = []
     unaffected: list[str] = []
-    for fec, graph in pre.items():
-        if _graph_mentions(graph, from_set):
-            affected.append(fec.fec_id)
+    for fec_id in pre.fec_ids():
+        if pre.graph_ref(fec_id) in affected_refs:
+            affected.append(fec_id)
         else:
-            unaffected.append(fec.fec_id)
+            unaffected.append(fec_id)
+    # Rename each distinct affected graph once; every FEC sharing that graph
+    # shares the renamed (and re-interned) result.
+    renamed: dict[int, ForwardingGraph] = {}
     left_unmoved = 0
     for index, fec_id in enumerate(affected):
         if index < buggy_leave_unmoved:
             left_unmoved += 1
             continue
-        post.replace(fec_id, _rename_nodes(pre.graph(fec_id), mapping))
+        ref = pre.graph_ref(fec_id)
+        moved = renamed.get(ref)
+        if moved is None:
+            moved = _rename_nodes(pre.store.graph(ref), mapping)
+            renamed[ref] = moved
+        post.replace(fec_id, moved)
     # Collateral damage is injected as a blackhole of an unrelated flow: that
     # is always a spec violation, whereas merely re-routing a flow that
     # already traverses the target routers would be tolerated by ``any``.
     collateral_injected = 0
+    blackhole = make_drop_graph(granularity=pre.granularity)
     for fec_id in unaffected:
         if collateral_injected >= buggy_collateral:
             break
-        post.replace(fec_id, make_drop_graph(granularity=pre.granularity))
+        post.replace(fec_id, blackhole)
         collateral_injected += 1
 
     shift_spec = atomic(
@@ -245,10 +272,19 @@ def multi_shift(
             for position, src in enumerate(from_routers)
         }
         from_set = set(from_routers)
-        for fec, _graph in pre.items():
-            graph = post.graph(fec.fec_id)
-            if _graph_mentions(graph, from_set):
-                post.replace(fec.fec_id, _rename_nodes(graph, mapping))
+        # One rename per distinct post graph per shift round (shifts apply
+        # sequentially, so round ``i`` reads the graphs round ``i-1`` wrote).
+        moved_by_ref: dict[int, ForwardingGraph | None] = {}
+        for fec_id in pre.fec_ids():
+            ref = post.graph_ref(fec_id)
+            if ref not in moved_by_ref:
+                graph = post.store.graph(ref)
+                moved_by_ref[ref] = (
+                    _rename_nodes(graph, mapping) if _graph_mentions(graph, from_set) else None
+                )
+            moved = moved_by_ref[ref]
+            if moved is not None:
+                post.replace(fec_id, moved)
         branch_specs.append(
             atomic(
                 seq(any_hops(), locs(from_set), any_hops()),
@@ -285,11 +321,13 @@ def prefix_decommission(
     """
     post = pre.copy(name=f"{pre.name}-post")
     matched = 0
-    for fec, _graph in pre.items():
-        if DstPrefixWithin(prefix).matches(fec):
+    predicate = DstPrefixWithin(prefix)
+    dropped = make_drop_graph(granularity=pre.granularity)
+    for fec in pre.fecs():
+        if predicate.matches(fec):
             matched += 1
             if not buggy_still_forwarding:
-                post.replace(fec.fec_id, make_drop_graph(granularity=pre.granularity))
+                post.replace(fec.fec_id, dropped)
     if matched == 0:
         raise WorkloadError(f"no flow equivalence class matches prefix {prefix}")
     dealloc = atomic(any_hops(), drop(), name="dealloc")
@@ -325,16 +363,22 @@ def path_prune(
     """
     post = pre.copy(name=f"{pre.name}-post")
     affected = 0
-    for fec, graph in pre.items():
+    pruned_by_ref: dict[int, ForwardingGraph] = {}
+    for fec_id in pre.fec_ids():
+        ref = pre.graph_ref(fec_id)
+        graph = pre.store.graph(ref)
         if router not in graph.nodes:
             continue
         affected += 1
         if buggy_keep_paths:
             continue
-        pruned = _remove_node(graph, router)
-        if pruned.is_empty():
-            pruned = make_drop_graph(granularity=pre.granularity)
-        post.replace(fec.fec_id, pruned)
+        pruned = pruned_by_ref.get(ref)
+        if pruned is None:
+            pruned = _remove_node(graph, router)
+            if pruned.is_empty():
+                pruned = make_drop_graph(granularity=pre.granularity)
+            pruned_by_ref[ref] = pruned
+        post.replace(fec_id, pruned)
     if affected == 0:
         raise WorkloadError(f"no flow equivalence class traverses {router!r}")
     through_router = seq(any_hops(), locs({router}), any_hops())

@@ -1,0 +1,134 @@
+"""The ``scale`` workload profile: backbone-scale changes with realistic duplication.
+
+The paper's evaluation network carries on the order of 10^6 traffic classes,
+but a change only ever touches a sliver of them: most classes keep their
+forwarding behaviour bit-for-bit, and the touched ones move in groups (all
+classes entering at one router towards one region follow the same DAG).  This
+module generates that regime at 10^5+ classes on a laptop:
+
+* flow equivalence classes fan out over (ingress router, destination region)
+  combinations — many classes per combination, as NetFlow aggregation
+  produces — so the *distinct* forwarding graphs number in the hundreds
+  while the classes number in the hundreds of thousands;
+* the snapshot is built with one simulator trace per combination and shared
+  graph objects (the snapshot's interning store collapses the rest);
+* the change shifts one region's worth of traffic (a
+  :func:`~repro.workloads.changes.traffic_shift` off a region's border
+  routers), leaving everything else untouched.
+
+``benchmarks/bench_scale_throughput.py`` drives this profile and reports
+FECs/sec, the setup-vs-check split and peak RSS; the CI bench job runs a
+CI-sized population through the same path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.rela.locations import Granularity
+from repro.snapshots.fec import FlowEquivalenceClass
+from repro.snapshots.snapshot import Snapshot
+from repro.workloads.backbone import Backbone, BackboneParams, generate_backbone
+from repro.workloads.changes import ChangeScenario, traffic_shift
+
+
+@dataclass(slots=True)
+class ScaleProfile:
+    """Knobs of the backbone-scale workload."""
+
+    #: Total flow equivalence classes in the snapshot (the headline axis).
+    num_fecs: int = 100_000
+    #: Geographic regions of the underlying backbone.
+    regions: int = 8
+    #: Routers per group (agg/core/border) in each region.
+    routers_per_group: int = 2
+    #: Parallel link members between connected routers.
+    parallel_links: int = 2
+    #: Customer prefixes originated per region.
+    prefixes_per_region: int = 2
+    #: Seed for backbone generation.
+    seed: int = 31
+
+    def __post_init__(self) -> None:
+        if self.num_fecs < 1:
+            raise WorkloadError("the scale profile needs at least one traffic class")
+
+    def backbone_params(self) -> BackboneParams:
+        return BackboneParams(
+            regions=self.regions,
+            routers_per_group=self.routers_per_group,
+            parallel_links=self.parallel_links,
+            prefixes_per_region=self.prefixes_per_region,
+            seed=self.seed,
+        )
+
+
+def scale_backbone(profile: ScaleProfile | None = None) -> Backbone:
+    """The backbone underlying the scale workload."""
+    profile = profile or ScaleProfile()
+    return generate_backbone(profile.backbone_params())
+
+
+def generate_scale_snapshot(
+    backbone: Backbone,
+    *,
+    num_fecs: int,
+    name: str = "pre",
+) -> Snapshot:
+    """A ``num_fecs``-class snapshot with realistic graph duplication.
+
+    Classes are distributed round-robin over every (source region, ingress
+    router, destination region) combination, all aimed at the destination
+    region's first customer prefix; :meth:`Simulator.snapshot` memoizes
+    traces by (ingress, destination), so each combination is simulated
+    **once** and every class of the combination shares that one interned
+    graph.  Distinct graphs therefore scale with the topology, not with
+    ``num_fecs`` — the regime the paper's 10^6-class network exhibits.
+    """
+    regions = backbone.regions()
+    combos: list[tuple[str, str, str]] = []
+    for src_region in regions:
+        ingresses = backbone.ingress_routers(src_region)
+        if not ingresses:
+            raise WorkloadError(f"region {src_region} has no ingress routers")
+        for dst_region in regions:
+            if src_region == dst_region:
+                continue
+            for ingress in ingresses:
+                combos.append((src_region, dst_region, ingress))
+
+    fecs: list[FlowEquivalenceClass] = []
+    for index in range(num_fecs):
+        src_region, dst_region, ingress = combos[index % len(combos)]
+        fecs.append(
+            FlowEquivalenceClass(
+                fec_id=f"fec-{index:07d}",
+                dst_prefix=str(backbone.region_prefixes[dst_region][0]),
+                src_prefix=f"172.{16 + index % 16}.{(index // 16) % 256}.0/24",
+                ingress=ingress,
+                metadata={"src_region": src_region, "dst_region": dst_region},
+            )
+        )
+    return backbone.simulator().snapshot(fecs, name=name, granularity=Granularity.ROUTER)
+
+
+def generate_scale_change(profile: ScaleProfile | None = None) -> ChangeScenario:
+    """A compliant backbone-scale change: one region's traffic shifted.
+
+    Most classes are untouched; the classes whose paths traverse the border
+    routers of the last region move onto the border routers of the first —
+    the shape of a real maintenance drain.  The spec is the shift branch
+    followed by ``nochange``, so verifying the scenario touches every class
+    while the distinct (pre graph, post graph) pairs stay topology-sized.
+    """
+    profile = profile or ScaleProfile()
+    backbone = scale_backbone(profile)
+    pre = generate_scale_snapshot(backbone, num_fecs=profile.num_fecs, name="scale-pre")
+    regions = backbone.regions()
+    return traffic_shift(
+        pre,
+        backbone.routers_in(regions[-1], "border"),
+        backbone.routers_in(regions[0], "border"),
+        change_id="scale-shift",
+    )

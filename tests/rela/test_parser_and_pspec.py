@@ -122,7 +122,9 @@ def test_predicate_parser():
 
 
 def test_prefix_predicates():
-    fec = FlowEquivalenceClass("f", dst_prefix="10.1.2.0/24", src_prefix="172.16.5.0/24", ingress="a")
+    fec = FlowEquivalenceClass(
+        "f", dst_prefix="10.1.2.0/24", src_prefix="172.16.5.0/24", ingress="a"
+    )
     assert DstPrefixWithin("10.0.0.0/8").matches(fec)
     assert not DstPrefixWithin("10.2.0.0/16").matches(fec)
     assert SrcPrefixWithin("172.16.0.0/12").matches(fec)

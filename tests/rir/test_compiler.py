@@ -115,7 +115,9 @@ def pathset_strategy(max_depth: int = 3) -> st.SearchStrategy:
             children.map(PSStar),
             children.map(PSComplement),
             st.tuples(children, children).map(lambda pair: PSImage(pair[0], RIdentity(pair[1]))),
-            st.tuples(children, children).map(lambda pair: PSImage(pair[0], RCross(pair[0], pair[1]))),
+            st.tuples(children, children).map(
+                lambda pair: PSImage(pair[0], RCross(pair[0], pair[1]))
+            ),
         )
 
     return st.recursive(leaves, extend, max_leaves=5)

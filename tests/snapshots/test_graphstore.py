@@ -1,0 +1,231 @@
+"""Tests for graph interning: freeze contract, GraphStore, COW snapshots."""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SnapshotError
+from repro.rela.locations import Granularity
+from repro.snapshots import (
+    FlowEquivalenceClass,
+    ForwardingGraph,
+    GraphStore,
+    Snapshot,
+    build_snapshot,
+)
+
+
+def graph_ab() -> ForwardingGraph:
+    return ForwardingGraph.from_paths([("a", "b", "d"), ("a", "c", "d")])
+
+
+# ----------------------------------------------------------------------
+# Freeze contract
+# ----------------------------------------------------------------------
+def test_freeze_is_idempotent_and_blocks_mutators():
+    graph = graph_ab()
+    assert not graph.frozen
+    assert graph.freeze() is graph
+    assert graph.freeze() is graph  # idempotent
+    assert graph.frozen
+    with pytest.raises(SnapshotError):
+        graph.add_node("x")
+    with pytest.raises(SnapshotError):
+        graph.add_edge("a", "x")
+    with pytest.raises(SnapshotError):
+        graph.add_path(("a", "x"))
+
+
+def test_freeze_blocks_direct_set_mutation_and_reassignment():
+    graph = graph_ab().freeze()
+    with pytest.raises(AttributeError):
+        graph.sources.add("rogue")  # frozenset has no .add
+    with pytest.raises(SnapshotError):
+        graph.sources = {"rogue"}
+    with pytest.raises(SnapshotError):
+        graph.granularity = Granularity.GROUP
+
+
+def test_frozen_graph_queries_still_work():
+    graph = graph_ab().freeze()
+    assert graph.path_set() == {("a", "b", "d"), ("a", "c", "d")}
+    assert graph.count_paths() == 2
+    assert graph.is_acyclic()
+    assert sorted(graph.successors("a")) == ["b", "c"]
+    assert graph.successors("unknown") == []
+    # The adjacency index is cached on frozen graphs and stays correct.
+    assert sorted(graph.successors("a")) == ["b", "c"]
+    assert graph.coarsen({"b": "c"}, Granularity.ROUTER).path_set() == {("a", "c", "d")}
+
+
+def test_frozen_fingerprint_is_cached_without_revalidation():
+    graph = graph_ab()
+    unfrozen_digest = graph.fingerprint()
+    graph.freeze()
+    assert graph.fingerprint() == unfrozen_digest
+    # Frozen caches store no content token: validation is the flag check.
+    assert graph._fingerprint == (None, unfrozen_digest)
+
+
+def test_freeze_drops_stale_fingerprint_from_direct_mutation():
+    """A digest cached before direct set mutation must not survive freeze():
+    otherwise interning would alias structurally different graphs."""
+    graph = graph_ab()
+    twin = graph_ab()
+    stale = graph.fingerprint()
+    graph.sources.add("rogue")  # direct mutation: the cache is not notified
+    graph.freeze()
+    assert graph.fingerprint() != stale
+    store = GraphStore()
+    assert store.intern(graph) != store.intern(twin)
+
+
+def test_thaw_returns_independent_mutable_copy():
+    frozen = graph_ab().freeze()
+    thawed = frozen.thaw()
+    assert not thawed.frozen
+    assert thawed.path_set() == frozen.path_set()
+    thawed.add_path(("a", "z"))
+    assert ("a", "z") in thawed.path_set()
+    assert ("a", "z") not in frozen.path_set()
+    assert thawed.fingerprint() != frozen.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# GraphStore
+# ----------------------------------------------------------------------
+def test_store_interns_structural_duplicates_once():
+    store = GraphStore()
+    first = graph_ab()
+    duplicate = ForwardingGraph.from_paths([("a", "c", "d"), ("a", "b", "d")])
+    ref = store.intern(first)
+    assert store.intern(duplicate) == ref
+    assert len(store) == 1
+    assert store.graph(ref) is first  # the first object becomes canonical
+    assert first.frozen
+    assert not duplicate.frozen  # discarded duplicates stay untouched
+    assert store.ref_of(duplicate) == ref
+    assert list(store) == [first]
+
+
+def test_store_distinguishes_granularity_and_content():
+    store = GraphStore()
+    router = ForwardingGraph.from_paths([("a", "b")])
+    group = ForwardingGraph.from_paths([("a", "b")], granularity=Granularity.GROUP)
+    other = ForwardingGraph.from_paths([("a", "c")])
+    refs = {store.intern(router), store.intern(group), store.intern(other)}
+    assert len(refs) == 3
+    assert store.ref_of(ForwardingGraph.from_paths([("x", "y")])) is None
+
+
+def test_store_rejects_unknown_ref():
+    store = GraphStore()
+    with pytest.raises(SnapshotError):
+        store.graph(3)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    paths=st.lists(
+        st.lists(st.sampled_from("abcdef"), min_size=1, max_size=4).map(tuple),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_store_ref_equality_matches_fingerprint_equality(paths):
+    """Interning is exact: same ref iff same canonical fingerprint."""
+    store = GraphStore()
+    one = ForwardingGraph.from_paths(paths)
+    shuffled = ForwardingGraph.from_paths(list(reversed(paths)))
+    ref_one = store.intern(one)
+    ref_two = store.intern(shuffled)
+    assert (ref_one == ref_two) == (one.fingerprint() == shuffled.fingerprint())
+
+
+# ----------------------------------------------------------------------
+# Snapshots over the store
+# ----------------------------------------------------------------------
+def test_snapshot_interns_graphs_and_exposes_refs():
+    fec1 = FlowEquivalenceClass("f1", ingress="a")
+    fec2 = FlowEquivalenceClass("f2", ingress="a")
+    fec3 = FlowEquivalenceClass("f3", ingress="a")
+    snapshot = build_snapshot(
+        "pre", [(fec1, [("a", "b")]), (fec2, [("a", "b")]), (fec3, [("a", "c")])]
+    )
+    assert snapshot.graph_ref("f1") == snapshot.graph_ref("f2")
+    assert snapshot.graph_ref("f1") != snapshot.graph_ref("f3")
+    assert snapshot.graph_ref("missing") is None
+    assert snapshot.distinct_graph_count() == 2
+    assert len(snapshot.store) == 2
+    assert snapshot.graph("f1") is snapshot.graph("f2")  # one shared object
+
+
+def test_snapshot_copy_is_copy_on_write():
+    fec = FlowEquivalenceClass("f1", ingress="a")
+    snapshot = build_snapshot("pre", [(fec, [("a", "b")])])
+    clone = snapshot.copy(name="post")
+    assert clone.store is snapshot.store
+    assert clone.graph("f1") is snapshot.graph("f1")
+    clone.replace("f1", ForwardingGraph.from_paths([("a", "z")]))
+    assert snapshot.graph("f1").path_set() == {("a", "b")}
+    assert clone.graph("f1").path_set() == {("a", "z")}
+
+
+def test_snapshot_json_load_dedups():
+    fecs = [FlowEquivalenceClass(f"f{i}", ingress="a") for i in range(5)]
+    snapshot = build_snapshot("pre", [(fec, [("a", "b")]) for fec in fecs])
+    reloaded = Snapshot.from_json(snapshot.to_json())
+    assert len(reloaded) == 5
+    assert reloaded.distinct_graph_count() == 1
+
+
+# ----------------------------------------------------------------------
+# Worker-boundary pickling of interned/frozen graphs
+# ----------------------------------------------------------------------
+def test_frozen_graph_pickle_round_trip_stays_frozen():
+    graph = graph_ab()
+    digest = graph.fingerprint()
+    graph.freeze()
+    clone = pickle.loads(pickle.dumps(graph))
+    assert clone.frozen
+    assert clone.path_set() == graph.path_set()
+    # The digest travels with the pickle: O(1) fingerprint on the far side.
+    assert clone._fingerprint == (None, digest)
+    assert clone.fingerprint() == digest
+    with pytest.raises(SnapshotError):
+        clone.add_node("x")
+    assert sorted(clone.successors("a")) == ["b", "c"]
+
+
+def test_unfrozen_graph_pickle_round_trip_stays_mutable():
+    graph = graph_ab()
+    clone = pickle.loads(pickle.dumps(graph))
+    assert not clone.frozen
+    clone.add_path(("a", "z"))
+    assert ("a", "z") in clone.path_set()
+
+
+def test_graph_table_pickles_each_distinct_graph_once():
+    """The worker graph table ships shared objects, and pickle preserves the
+    sharing: FECs pointing at one interned graph still point at one object
+    after the round trip."""
+    shared = graph_ab().freeze()
+    table = [shared, ForwardingGraph.from_paths([("a", "z")]).freeze()]
+    batch_refs = [0, 0, 0, 1]  # four FECs, two distinct graphs
+    restored_table, restored_refs = pickle.loads(pickle.dumps((table, batch_refs)))
+    assert restored_refs == batch_refs
+    assert restored_table[0] is not shared  # new process: new objects...
+    looked_up = [restored_table[i] for i in restored_refs]
+    assert looked_up[0] is looked_up[1] is looked_up[2]  # ...but still shared
+    assert looked_up[0].frozen
+
+
+def test_graphstore_pickle_round_trip():
+    store = GraphStore()
+    ref = store.intern(graph_ab())
+    clone = pickle.loads(pickle.dumps(store))
+    assert len(clone) == 1
+    assert clone.graph(ref).path_set() == store.graph(ref).path_set()
+    assert clone.intern(ForwardingGraph.from_paths([("a", "b", "d"), ("a", "c", "d")])) == ref

@@ -1,0 +1,124 @@
+"""Interned dedup-first engine vs per-FEC checking: reports must be identical.
+
+The dedup-first engine groups FECs by interned graph refs and checks each
+distinct (spec, pre graph, post graph) combination once
+(``memoize_fec_checks=True``, the default); with the option off every FEC is
+checked independently, exactly like the pre-interning engine.  Both paths
+must produce byte-identical reports — verdicts, per-branch violation counts,
+counterexample attribution and witness sets — over the whole 60-scenario
+change dataset, and the worker path (graphs shipped once via the
+id-indexed table) must agree with the serial path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verifier import VerificationOptions, verify_change
+from repro.workloads.backbone import BackboneParams, generate_backbone
+from repro.workloads.changes import generate_change_dataset, no_change, traffic_shift
+from repro.workloads.traffic import generate_fecs
+
+
+@pytest.fixture(scope="module")
+def bench_backbone():
+    """The benchmark backbone the 60-scenario dataset is defined over."""
+    backbone = generate_backbone(
+        BackboneParams(regions=4, routers_per_group=2, parallel_links=2, prefixes_per_region=2)
+    )
+    fecs = generate_fecs(backbone, max_classes=24)
+    snapshot = backbone.simulator().snapshot(fecs, name="pre")
+    return backbone, snapshot
+
+
+@pytest.fixture(scope="module")
+def dataset(bench_backbone):
+    backbone, snapshot = bench_backbone
+    return generate_change_dataset(backbone, snapshot, count=60, seed=23)
+
+
+def report_facts(report) -> dict:
+    """Everything observable about a report, in canonical order."""
+    return {
+        "holds": report.holds,
+        "total_fecs": report.total_fecs,
+        "violating_fecs": report.violating_fecs,
+        "branch_violation_counts": dict(report.branch_violation_counts),
+        "counterexamples": [
+            {
+                "fec_id": ce.fec_id,
+                "fec_description": ce.fec_description,
+                "pre_paths": list(ce.pre_paths),
+                "post_paths": list(ce.post_paths),
+                "violations": [
+                    {
+                        "branch": violation.branch,
+                        "expected": sorted(violation.expected),
+                        "observed": sorted(violation.observed),
+                    }
+                    for violation in ce.violations
+                ],
+            }
+            for ce in report.counterexamples
+        ],
+    }
+
+
+def test_interning_on_vs_off_identical_over_dataset(bench_backbone, dataset):
+    backbone, _snapshot = bench_backbone
+    db = backbone.location_db()
+    interned = VerificationOptions(memoize_fec_checks=True)
+    independent = VerificationOptions(memoize_fec_checks=False)
+    for scenario in dataset:
+        with_interning = verify_change(
+            scenario.pre, scenario.post, scenario.spec, db=db, options=interned
+        )
+        without = verify_change(
+            scenario.pre, scenario.post, scenario.spec, db=db, options=independent
+        )
+        assert with_interning.holds == scenario.expect_holds, scenario.change_id
+        assert report_facts(with_interning) == report_facts(without), scenario.change_id
+        # Dedup never checks more than once per FEC, and the non-interned
+        # path checks exactly once per FEC.
+        assert with_interning.unique_checks <= without.unique_checks
+        assert without.unique_checks == without.total_fecs
+
+
+def test_worker_path_matches_serial_with_violations(bench_backbone):
+    """Parallel workers (graph table + id batches) agree with the serial path,
+    including counterexample detail for memoized violating groups."""
+    backbone, snapshot = bench_backbone
+    db = backbone.location_db()
+    scenario = traffic_shift(
+        snapshot,
+        backbone.routers_in("R1", "border"),
+        backbone.routers_in("R2", "border"),
+        buggy_leave_unmoved=2,
+        buggy_collateral=1,
+    )
+    serial = verify_change(scenario.pre, scenario.post, scenario.spec, db=db)
+    parallel = verify_change(
+        scenario.pre,
+        scenario.post,
+        scenario.spec,
+        db=db,
+        options=VerificationOptions(workers=2),
+    )
+    assert not serial.holds
+    assert report_facts(serial) == report_facts(parallel)
+
+
+def test_worker_path_matches_serial_nochange(bench_backbone):
+    backbone, snapshot = bench_backbone
+    db = backbone.location_db()
+    scenario = no_change(snapshot)
+    serial = verify_change(scenario.pre, scenario.post, scenario.spec, db=db)
+    parallel = verify_change(
+        scenario.pre,
+        scenario.post,
+        scenario.spec,
+        db=db,
+        options=VerificationOptions(workers=2, memoize_fec_checks=False),
+    )
+    assert serial.holds and parallel.holds
+    assert report_facts(serial) == report_facts(parallel)

@@ -30,11 +30,17 @@ from repro.verifier import (
 )
 
 
-def make_pair(pre_paths: dict[str, list[tuple[str, ...]]], post_paths: dict[str, list[tuple[str, ...]]]):
+def make_pair(
+    pre_paths: dict[str, list[tuple[str, ...]]], post_paths: dict[str, list[tuple[str, ...]]]
+):
     def build(name, mapping):
         entries = []
         for fec_id, paths in mapping.items():
-            fec = FlowEquivalenceClass(fec_id, dst_prefix=f"10.0.{len(entries)}.0/24", ingress=paths[0][0] if paths else "")
+            fec = FlowEquivalenceClass(
+                fec_id,
+                dst_prefix=f"10.0.{len(entries)}.0/24",
+                ingress=paths[0][0] if paths else "",
+            )
             entries.append((fec, paths))
         return build_snapshot(name, entries)
 

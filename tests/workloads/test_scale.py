@@ -1,0 +1,65 @@
+"""Tests for the backbone-scale workload profile (small populations)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.verifier import VerificationOptions, verify_change
+from repro.workloads.scale import (
+    ScaleProfile,
+    generate_scale_change,
+    generate_scale_snapshot,
+    scale_backbone,
+)
+
+
+@pytest.fixture(scope="module")
+def small_scale_scenario():
+    return generate_scale_change(ScaleProfile(num_fecs=600, regions=3))
+
+
+def test_scale_profile_validation():
+    with pytest.raises(WorkloadError):
+        ScaleProfile(num_fecs=0)
+
+
+def test_scale_snapshot_shares_graphs():
+    backbone = scale_backbone(ScaleProfile(regions=3))
+    snapshot = generate_scale_snapshot(backbone, num_fecs=600)
+    assert len(snapshot) == 600
+    # Distinct behaviours scale with the topology (ingress x regions), not FECs.
+    assert snapshot.distinct_graph_count() <= 3 * 2 * 2 + 1
+    # Classes of one combination share one interned object.
+    by_ref: dict[int, int] = {}
+    for fec_id in snapshot.fec_ids():
+        ref = snapshot.graph_ref(fec_id)
+        by_ref[ref] = by_ref.get(ref, 0) + 1
+    assert max(by_ref.values()) >= 600 // len(by_ref) // 2
+
+
+def test_scale_change_holds_and_dedups(small_scale_scenario):
+    scenario = small_scale_scenario
+    assert scenario.expect_holds
+    report = verify_change(
+        scenario.pre,
+        scenario.post,
+        scenario.spec,
+        options=VerificationOptions(collect_counterexamples=False),
+    )
+    assert report.holds
+    assert report.total_fecs == 600
+    assert report.unique_checks < 50
+    assert report.unique_checks >= scenario.pre.distinct_graph_count()
+
+
+def test_scale_change_catches_injected_violation(small_scale_scenario):
+    """The scale path is a real verification, not a fast-path shortcut."""
+    scenario = small_scale_scenario
+    post = scenario.post.copy(name="buggy")
+    victim = post.fec_ids()[len(post) // 2]
+    broken = post.graph(victim).thaw()
+    broken.add_path((next(iter(broken.sources)), "rogue-router"))
+    post.replace(victim, broken)
+    report = verify_change(scenario.pre, post, scenario.spec)
+    assert not report.holds
+    assert report.violating_fecs >= 1
+    assert any(ce.fec_id == victim for ce in report.counterexamples)
