@@ -12,7 +12,11 @@ Compares two measurement sources against the ``ci_baseline`` block of
 * the scale-throughput JSON written by ``bench_scale_throughput.py`` when
   ``SCALE_JSON`` is set (gated on FECs/sec — a *lower* bound, so losing the
   interned dedup-first path, which would divide throughput by orders of
-  magnitude, fails the gate).
+  magnitude, fails the gate);
+* the stream-throughput JSON written by ``bench_stream_throughput.py`` when
+  ``STREAM_JSON`` is set (gated on the incremental-vs-cold speedup as a hard
+  lower bound — losing the session's cross-epoch verdict cache drops the
+  speedup to ~1x — and on session epochs/sec within ``threshold``).
 
 A measurement regresses when it exceeds ``threshold`` times its baseline
 (default 2x, absorbing CI-runner jitter while still catching an accidental
@@ -26,6 +30,7 @@ Usage::
         --cdf fig6_cdf.json \
         --benchmark-json bench-results.json \
         --scale scale-throughput.json \
+        --stream stream-throughput.json \
         [--threshold 2.0]
 """
 
@@ -55,6 +60,25 @@ def check(name: str, measured: float, baseline: float, threshold: float) -> str 
     return None
 
 
+def check_lower_bound(
+    name: str, measured: float, baseline: float, threshold: float
+) -> str | None:
+    """Gate a bigger-is-better metric: fail below ``baseline / threshold``."""
+    floor = baseline / threshold
+    ratio = measured / baseline if baseline else 0.0
+    verdict = "OK" if measured >= floor else "REGRESSION"
+    print(
+        f"  [{verdict}] {name}: measured {measured:.4g}, baseline {baseline:.4g}, "
+        f"ratio {ratio:.2f}x (allowed >= 1/{threshold:.1f}x)"
+    )
+    if measured < floor:
+        return (
+            f"{name} dropped to {ratio:.2f}x of baseline "
+            f"(allowed >= {1 / threshold:.2f}x)"
+        )
+    return None
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -63,6 +87,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cdf", help="Figure 6 CDF JSON written via FIG6_CDF_JSON")
     parser.add_argument("--benchmark-json", help="pytest-benchmark --benchmark-json output")
     parser.add_argument("--scale", help="scale-throughput JSON written via SCALE_JSON")
+    parser.add_argument("--stream", help="stream-throughput JSON written via STREAM_JSON")
     parser.add_argument("--threshold", type=float, default=2.0, help="allowed slowdown factor")
     args = parser.parse_args(argv)
 
@@ -134,25 +159,62 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 2
-        measured_throughput = measured_scale["fecs_per_sec"]
-        floor = baseline_throughput / args.threshold
-        ratio = measured_throughput / baseline_throughput
-        verdict = "OK" if measured_throughput >= floor else "REGRESSION"
-        print(
-            f"  [{verdict}] scale throughput (FECs/sec): measured {measured_throughput:.4g}, "
-            f"baseline {baseline_throughput:.4g}, ratio {ratio:.2f}x "
-            f"(allowed >= 1/{args.threshold:.1f}x)"
+        failure = check_lower_bound(
+            "scale throughput (FECs/sec)",
+            measured_scale["fecs_per_sec"],
+            baseline_throughput,
+            args.threshold,
         )
         compared += 1
-        if measured_throughput < floor:
+        if failure:
+            failures.append(failure)
+
+    if args.stream:
+        measured_stream = load_json(args.stream)
+        baseline_stream = baseline.get("stream", {})
+        min_speedup = baseline_stream.get("min_incremental_speedup")
+        if min_speedup is None:
+            print("error: baseline has no stream.min_incremental_speedup", file=sys.stderr)
+            return 2
+        for axis in ("fec_count", "epochs"):
+            expected = baseline_stream.get(axis)
+            if expected is not None and measured_stream.get(axis) != expected:
+                # A different population or stream length amortizes the fixed
+                # per-epoch cost differently; the speedup is not comparable.
+                print(
+                    f"error: stream population mismatch: measured {axis} "
+                    f"{measured_stream.get(axis)}, baseline expects {expected} "
+                    "(were STREAM_FECS/STREAM_EPOCHS set?)",
+                    file=sys.stderr,
+                )
+                return 2
+        speedup = measured_stream["incremental_speedup"]
+        verdict = "OK" if speedup >= min_speedup else "REGRESSION"
+        print(
+            f"  [{verdict}] stream incremental speedup: measured {speedup:.2f}x, "
+            f"required >= {min_speedup:.1f}x (hard floor)"
+        )
+        compared += 1
+        if speedup < min_speedup:
             failures.append(
-                f"scale throughput dropped to {ratio:.2f}x of baseline "
-                f"(allowed >= {1 / args.threshold:.2f}x)"
+                f"stream incremental speedup fell to {speedup:.2f}x "
+                f"(required >= {min_speedup:.1f}x)"
             )
+        baseline_eps = baseline_stream.get("epochs_per_sec")
+        if baseline_eps is not None:
+            failure = check_lower_bound(
+                "stream session throughput (epochs/sec)",
+                measured_stream["epochs_per_sec"],
+                baseline_eps,
+                args.threshold,
+            )
+            compared += 1
+            if failure:
+                failures.append(failure)
 
     if compared == 0:
         print(
-            "error: nothing compared (pass --cdf, --benchmark-json and/or --scale)",
+            "error: nothing compared (pass --cdf, --benchmark-json, --scale and/or --stream)",
             file=sys.stderr,
         )
         return 2

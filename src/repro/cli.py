@@ -8,7 +8,10 @@ Subcommands mirror the operator workflow described in the paper:
   workflow does (Section 2.3);
 * ``verify`` — check a pre/post snapshot pair against a Rela spec written in
   the textual format (Section 4), printing violations in the Table 1 layout;
-* ``casestudy`` — replay the Figure 1 change iterations end to end.
+* ``casestudy`` — replay the Figure 1 change iterations end to end;
+* ``stream`` — generate a rolling-maintenance change stream and verify it
+  through one incremental :class:`~repro.verifier.session.VerificationSession`,
+  reporting per-epoch verdicts and the cumulative cache statistics.
 """
 
 from __future__ import annotations
@@ -20,9 +23,16 @@ from repro.rela.locations import Granularity
 from repro.rela.parser import parse_program
 from repro.snapshots.pathdiff import path_diff
 from repro.snapshots.snapshot import Snapshot
-from repro.verifier import VerificationOptions, verify_change
+from repro.verifier import VerificationOptions, VerificationSession, verify_change
 from repro.workloads.backbone import BackboneParams, generate_backbone
 from repro.workloads.figure1 import build_scenario
+from repro.workloads.stream import (
+    StreamProfile,
+    flapping_link_stream,
+    generate_stream,
+    prefix_migration_stream,
+    rolling_drain_stream,
+)
 from repro.workloads.traffic import generate_fecs
 
 
@@ -93,6 +103,59 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    profile = StreamProfile(
+        num_fecs=args.fecs,
+        regions=args.regions,
+        epochs=args.epochs,
+        rotation=args.rotation,
+        seed=args.seed,
+    )
+    if args.profile == "rolling-drain":
+        stream = generate_stream(profile)
+    else:
+        # Migration waves and link flaps exercise per-prefix traffic, so the
+        # snapshot comes from the full traffic generator rather than the
+        # scale profile's one-prefix-per-region fan-out.
+        backbone = generate_backbone(profile.backbone_params())
+        fecs = generate_fecs(backbone, max_classes=args.fecs)
+        initial = backbone.simulator().snapshot(fecs, name="initial")
+        if args.profile == "prefix-migration":
+            stream = prefix_migration_stream(
+                backbone, initial, waves=args.epochs, seed=args.seed
+            )
+            if len(stream) < args.epochs:
+                # One wave needs at least one prefix of its own; the region
+                # caps how many waves a migration can have.
+                print(
+                    f"note: prefix-migration capped at {len(stream)} waves "
+                    f"(the migrated region originates {len(stream)} usable prefixes)"
+                )
+        else:
+            stream = flapping_link_stream(
+                backbone, initial, flaps=args.epochs, seed=args.seed
+            )
+    options = VerificationOptions(workers=args.workers)
+    session = VerificationSession(
+        stream.initial,
+        options=options,
+        graph_budget=args.graph_budget,
+        context_budget=args.context_budget,
+    )
+    for epoch in stream:
+        report = session.advance(epoch.post, epoch.spec)
+        cache = (
+            f"{report.cached_checks}/{report.unique_checks} checks cached"
+            if report.unique_checks
+            else "no checks"
+        )
+        print(f"[{epoch.epoch_id}] {report.summary()} [{cache}]")
+        if not report.holds and args.show_counterexamples:
+            print(report.table(max_rows=args.max_rows))
+    print(session.stream.summary())
+    return 0 if session.stream.holds else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -131,6 +194,40 @@ def build_parser() -> argparse.ArgumentParser:
     casestudy = sub.add_parser("casestudy", help="replay the Figure 1 change iterations")
     casestudy.add_argument("--show-counterexamples", action="store_true")
     casestudy.set_defaults(func=_cmd_casestudy)
+
+    stream = sub.add_parser(
+        "stream",
+        help="verify a synthetic rolling-maintenance change stream through one session",
+    )
+    stream.add_argument(
+        "--profile",
+        default="rolling-drain",
+        choices=["rolling-drain", "prefix-migration", "flapping"],
+        help="change-stream family (see repro.workloads.stream)",
+    )
+    stream.add_argument("--fecs", type=int, default=5000, help="traffic classes in the snapshot")
+    stream.add_argument("--regions", type=int, default=10)
+    stream.add_argument("--epochs", type=int, default=20, help="epochs (waves/flaps) to verify")
+    stream.add_argument(
+        "--rotation", type=int, default=1, help="regions the rolling drain rotates through"
+    )
+    stream.add_argument("--seed", type=int, default=47)
+    stream.add_argument("--workers", type=int, default=1)
+    stream.add_argument(
+        "--graph-budget",
+        type=int,
+        default=None,
+        help="evict unpinned graphs (and their cached verdicts) past this store size",
+    )
+    stream.add_argument(
+        "--context-budget",
+        type=int,
+        default=None,
+        help="keep at most this many compiled-spec contexts (LRU; bounds per-epoch-spec streams)",
+    )
+    stream.add_argument("--show-counterexamples", action="store_true")
+    stream.add_argument("--max-rows", type=int, default=8)
+    stream.set_defaults(func=_cmd_stream)
     return parser
 
 

@@ -24,6 +24,15 @@ later duplicate resolves to the same small integer *ref*.  Snapshots store
 Interning freezes the graph in place (see
 :meth:`~repro.snapshots.forwarding_graph.ForwardingGraph.freeze`):
 *mutate-then-intern is an error*, enforced by the frozen graph itself.
+
+Long-lived owners — the cross-epoch store of a
+:class:`~repro.verifier.session.VerificationSession` — additionally use the
+*ref-counting* API (:meth:`GraphStore.acquire` / :meth:`GraphStore.release`
+/ :meth:`GraphStore.evict_unreferenced`) to bound memory over unbounded
+change streams: graphs pinned by the current epoch keep a positive count,
+everything else can be evicted and its slot reused by a later intern.
+Plain per-snapshot stores never evict; the ref-counting API is opt-in and
+inert unless an owner calls it.
 """
 
 from __future__ import annotations
@@ -35,20 +44,29 @@ from repro.snapshots.forwarding_graph import ForwardingGraph
 
 
 class GraphStore:
-    """An append-only interning table of frozen forwarding graphs.
+    """An interning table of frozen forwarding graphs.
 
     Refs are dense non-negative integers, assigned in first-intern order,
     and are only meaningful relative to the store that issued them.  Stores
     are picklable (they are plain containers of frozen graphs), but the
     verifier never ships a whole store to workers — it builds a per-run
     table of just the graphs a change actually touches.
+
+    The store is append-only unless the owner explicitly evicts: after
+    :meth:`evict_unreferenced`, evicted slots are recycled by later interns,
+    so a ref is stable exactly as long as the graph it names stays interned.
+    Owners that cache by ref (the verification session's verdict cache) must
+    drop entries naming evicted refs — :meth:`evict_unreferenced` returns
+    the evicted refs for precisely that purpose.
     """
 
-    __slots__ = ("_graphs", "_ref_by_fingerprint")
+    __slots__ = ("_graphs", "_ref_by_fingerprint", "_refcounts", "_free")
 
     def __init__(self) -> None:
-        self._graphs: list[ForwardingGraph] = []
+        self._graphs: list[ForwardingGraph | None] = []
         self._ref_by_fingerprint: dict[str, int] = {}
+        self._refcounts: dict[int, int] = {}
+        self._free: list[int] = []
 
     # ------------------------------------------------------------------
     # Interning
@@ -66,8 +84,12 @@ class GraphStore:
         ref = self._ref_by_fingerprint.get(fingerprint)
         if ref is None:
             graph.freeze()
-            ref = len(self._graphs)
-            self._graphs.append(graph)
+            if self._free:
+                ref = self._free.pop()
+                self._graphs[ref] = graph
+            else:
+                ref = len(self._graphs)
+                self._graphs.append(graph)
             self._ref_by_fingerprint[fingerprint] = ref
         return ref
 
@@ -76,24 +98,76 @@ class GraphStore:
         return self._ref_by_fingerprint.get(graph.fingerprint())
 
     # ------------------------------------------------------------------
+    # Ref counting and eviction (opt-in, used by long-lived session stores)
+    # ------------------------------------------------------------------
+    def acquire(self, ref: int) -> None:
+        """Pin ``ref``: it survives :meth:`evict_unreferenced` while pinned."""
+        self.graph(ref)  # validate
+        self._refcounts[ref] = self._refcounts.get(ref, 0) + 1
+
+    def release(self, ref: int) -> None:
+        """Drop one pin of ``ref`` (it stays interned until evicted)."""
+        count = self._refcounts.get(ref, 0)
+        if count <= 0:
+            raise SnapshotError(f"release of graph ref {ref!r} without a matching acquire")
+        if count == 1:
+            del self._refcounts[ref]
+        else:
+            self._refcounts[ref] = count - 1
+
+    def refcount(self, ref: int) -> int:
+        """Current pin count of ``ref`` (0 for unpinned live refs)."""
+        self.graph(ref)  # validate
+        return self._refcounts.get(ref, 0)
+
+    def evict_unreferenced(self) -> list[int]:
+        """Evict every graph with refcount 0 and return the evicted refs.
+
+        Evicted slots are recycled by later :meth:`intern` calls, so callers
+        holding per-ref caches must invalidate entries naming the returned
+        refs before interning anything new.  Re-interning an evicted graph
+        later simply assigns it a (possibly recycled) fresh ref.
+        """
+        evicted: list[int] = []
+        for ref, graph in enumerate(self._graphs):
+            if graph is None or self._refcounts.get(ref, 0) > 0:
+                continue
+            del self._ref_by_fingerprint[graph.fingerprint()]
+            self._graphs[ref] = None
+            self._free.append(ref)
+            evicted.append(ref)
+        return evicted
+
+    # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
     def graph(self, ref: int) -> ForwardingGraph:
         """The canonical (frozen) graph for ``ref``."""
+        # Refs are non-negative slot indices; a negative int must not be let
+        # through to Python's end-relative list indexing.
+        if not isinstance(ref, int) or ref < 0:
+            raise SnapshotError(f"unknown graph ref {ref!r} (store holds {len(self)})")
         try:
-            return self._graphs[ref]
+            graph = self._graphs[ref]
         except IndexError:
             raise SnapshotError(f"unknown graph ref {ref!r} (store holds {len(self)})") from None
+        if graph is None:
+            raise SnapshotError(f"graph ref {ref!r} was evicted from the store")
+        return graph
 
     def __len__(self) -> int:
-        """Number of distinct graphs interned."""
-        return len(self._graphs)
+        """Number of distinct graphs currently interned."""
+        return len(self._ref_by_fingerprint)
 
     def __iter__(self) -> Iterator[ForwardingGraph]:
-        return iter(self._graphs)
+        return (graph for graph in self._graphs if graph is not None)
 
     def __getstate__(self):
-        return (self._graphs, self._ref_by_fingerprint)
+        return (self._graphs, self._ref_by_fingerprint, self._refcounts, self._free)
 
     def __setstate__(self, state) -> None:
-        self._graphs, self._ref_by_fingerprint = state
+        if len(state) == 2:  # pickles from before eviction support
+            self._graphs, self._ref_by_fingerprint = state
+            self._refcounts, self._free = {}, []
+        else:
+            self._graphs, self._ref_by_fingerprint, self._refcounts, self._free = state

@@ -104,9 +104,18 @@ class Snapshot:
         """
         return self._refs.get(fec_id)
 
+    def distinct_graph_refs(self) -> set[int]:
+        """The set of interned refs backing this snapshot's FECs.
+
+        This is what a verification session pins (ref-counts) on behalf of
+        its current snapshot: the distinct forwarding behaviours, not the
+        per-FEC multiplicity.
+        """
+        return set(self._refs.values())
+
     def distinct_graph_count(self) -> int:
         """Number of distinct forwarding behaviours across all FECs."""
-        return len(set(self._refs.values()))
+        return len(self.distinct_graph_refs())
 
     def items(self) -> Iterator[tuple[FlowEquivalenceClass, ForwardingGraph]]:
         """Iterate over (FEC, forwarding graph) pairs."""

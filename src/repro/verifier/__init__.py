@@ -14,13 +14,17 @@ from repro.verifier.engine import (
     compile_spec,
     verify_change,
 )
-from repro.verifier.report import VerificationReport
+from repro.verifier.report import StreamReport, VerificationReport
+from repro.verifier.session import VerificationSession, verify_stream
 from repro.verifier.state_automata import StateAutomatonBuilder, build_alphabet
 
 __all__ = [
     "verify_change",
+    "VerificationSession",
+    "verify_stream",
     "VerificationOptions",
     "VerificationReport",
+    "StreamReport",
     "CompiledSpec",
     "CompiledBranch",
     "compile_spec",

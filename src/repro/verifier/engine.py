@@ -36,11 +36,19 @@ Three engine-level optimizations keep backbone-scale runs cheap:
   share it.  Results are streamed back with ``as_completed`` (no
   head-of-line blocking); the report is sorted at the end so the output is
   order-independent.
+
+Since the session restructuring, the engine's *lifecycle* lives in
+:mod:`repro.verifier.session`: a :class:`~repro.verifier.session.VerificationSession`
+owns the cross-epoch graph store, the compiled-spec contexts and the
+persistent verdict cache, and :func:`verify_change` is a thin session of
+length 1 (one cold ``advance``).  This module keeps the per-epoch
+machinery the session drives: spec compilation, the single-FEC check, and
+the serial/worker execution of a deduplicated work list.
 """
 
 from __future__ import annotations
 
-import time
+from collections.abc import Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 
@@ -58,11 +66,10 @@ from repro.rela.spec import AtomicSpec, ElseSpec, RelaSpec, SeqSpec, flatten_els
 from repro.rir import RIRContext, compile_rel, compile_rel_lazy
 from repro.rir import ast as rir
 from repro.snapshots.forwarding_graph import ForwardingGraph
-from repro.snapshots.graphstore import GraphStore
 from repro.snapshots.snapshot import Snapshot
 from repro.verifier.counterexample import BranchViolation, Counterexample, rewrite_hash
 from repro.verifier.report import VerificationReport
-from repro.verifier.state_automata import StateAutomatonBuilder, build_alphabet
+from repro.verifier.state_automata import StateAutomatonBuilder
 
 
 @dataclass(slots=True)
@@ -398,6 +405,80 @@ def _relabel(
     )
 
 
+def _policy_specs(policy: SpecPolicy) -> dict[str, RelaSpec]:
+    """The specs a policy can apply, keyed the way work items reference them.
+
+    The ``"default"`` / ``"guard-N"`` keys are the stable per-run naming the
+    dedup grouping, the worker batches and the session's verdict cache all
+    share.
+    """
+    specs: dict[str, RelaSpec] = {"default": policy.default}
+    for index, guarded in enumerate(policy.guarded):
+        specs[f"guard-{index}"] = guarded.spec
+    return specs
+
+
+def _spec_symbols(specs: Iterable[RelaSpec]) -> set[str]:
+    """Every location symbol any spec (or any of its branches) can mention.
+
+    These must be interned into the alphabet before any complement is
+    compiled, so they are gathered up front and passed to
+    :func:`~repro.verifier.state_automata.build_alphabet` as extra symbols.
+    """
+    symbols: set[str] = set()
+    for spec in specs:
+        symbols |= zone(spec).symbols()
+        for branch in flatten_else(spec):
+            symbols |= zone(branch).symbols()
+    return symbols
+
+
+def _execute_unique_checks(
+    unique_work: list[tuple[str, str, int, int]],
+    graph_table: Sequence[ForwardingGraph],
+    compiled_specs: dict[str, CompiledSpec],
+    builder: StateAutomatonBuilder,
+    options: VerificationOptions,
+) -> dict[str, Counterexample | None]:
+    """Run the deduplicated work list and return outcomes by representative FEC.
+
+    ``unique_work`` holds one ``(fec_id, spec_key, pre id, post id)`` item
+    per distinct (spec, graph pair) combination, with ids indexing
+    ``graph_table``.  Serial runs index the table in-process; parallel runs
+    ship it to each worker once via the pool initializer and stream results
+    back with ``as_completed`` (callers restore determinism when folding
+    the outcomes into a report).
+    """
+    outcomes: dict[str, Counterexample | None] = {}
+    if options.workers <= 1 or len(unique_work) <= 1:
+        for fec_id, spec_key, pre_id, post_id in unique_work:
+            outcomes[fec_id] = _check_one_fec(
+                compiled_specs[spec_key],
+                fec_id,
+                fec_id,
+                graph_table[pre_id],
+                graph_table[post_id],
+                builder,
+                options,
+            )
+        return outcomes
+
+    chunk_size = max(1, len(unique_work) // (options.workers * 4))
+    batches = [unique_work[i : i + chunk_size] for i in range(0, len(unique_work), chunk_size)]
+    with ProcessPoolExecutor(
+        max_workers=options.workers,
+        initializer=_init_worker,
+        initargs=(compiled_specs, builder, options, list(graph_table)),
+    ) as executor:
+        futures = [executor.submit(_check_batch, batch) for batch in batches]
+        # Stream results as workers finish instead of blocking on
+        # submission order; report finalization restores determinism.
+        for future in as_completed(futures):
+            for fec_id, counterexample in future.result():
+                outcomes[fec_id] = counterexample
+    return outcomes
+
+
 def verify_change(
     pre: Snapshot,
     post: Snapshot,
@@ -426,148 +507,16 @@ def verify_change(
     -------
     VerificationReport
         Overall verdict, counterexamples and per-sub-spec violation counts.
+
+    Notes
+    -----
+    One-shot verification is a :class:`~repro.verifier.session.VerificationSession`
+    of length 1: the session starts at ``pre`` with a cold cache and
+    advances once to ``post``.  Operators validating a *sequence* of
+    changes should hold a session open instead — recurring graph pairs and
+    unchanged classes then hit the cross-epoch verdict cache.
     """
-    options = options or VerificationOptions()
-    policy = _as_policy(spec)
+    from repro.verifier.session import VerificationSession
 
-    started = time.perf_counter()
-
-    spec_symbols: set[str] = set()
-    specs_to_compile: dict[str, RelaSpec] = {"default": policy.default}
-    for index, guarded in enumerate(policy.guarded):
-        specs_to_compile[f"guard-{index}"] = guarded.spec
-    for rela_spec in specs_to_compile.values():
-        spec_symbols |= zone(rela_spec).symbols()
-        for branch in flatten_else(rela_spec):
-            spec_symbols |= zone(branch).symbols()
-
-    alphabet = build_alphabet(
-        pre,
-        post,
-        db=db,
-        granularity=options.granularity,
-        extra_symbols=spec_symbols,
-    )
-    builder = StateAutomatonBuilder(alphabet=alphabet, granularity=options.granularity, db=db)
-    compiled_specs = {
-        key: compile_spec(value, alphabet, lazy=options.lazy_spec_compilation)
-        for key, value in specs_to_compile.items()
-    }
-
-    # Build the per-FEC work list, dedup-first.  FECs appearing in either
-    # snapshot are checked; a FEC missing from one side contributes an empty
-    # path set.  Verdicts depend only on (spec, pre graph, post graph), and
-    # snapshots intern their graphs, so grouping runs on interned refs —
-    # integer dict lookups per FEC, no re-hashing, no ``str(fec)``
-    # formatting.  Each distinct graph is assigned a dense *local id* into
-    # ``graph_table`` (the table workers receive once); FECs sharing a
-    # (spec, pre id, post id) triple share one check — the generalization of
-    # the preserve-only fast path to every spec.
-    fec_ids = list(dict.fromkeys(pre.fec_ids() + post.fec_ids()))
-    # A run-local store unifies graphs by fingerprint even when the two
-    # snapshots were built independently (different stores): GraphStore refs
-    # are dense first-intern indices, so the store doubles as the id-indexed
-    # table workers receive.  Graphs are already frozen, so intern() is an
-    # O(1) cached-fingerprint lookup per *distinct* graph; the per-ref
-    # caches below make repeat FECs pure dict hits.
-    run_store = GraphStore()
-    shared_store = pre.store is post.store
-    pre_local: dict[int, int] = {}
-    post_local: dict[int, int] = pre_local if shared_store else {}
-    empty_local: dict[Granularity, int] = {}
-
-    def _local_id(ref: int | None, snapshot: Snapshot, cache: dict[int, int]) -> int:
-        if ref is None:
-            granularity = snapshot.granularity
-            local_id = empty_local.get(granularity)
-            if local_id is None:
-                local_id = run_store.intern(ForwardingGraph.empty(granularity=granularity))
-                empty_local[granularity] = local_id
-            return local_id
-        local_id = cache.get(ref)
-        if local_id is None:
-            local_id = run_store.intern(snapshot.store.graph(ref))
-            cache[ref] = local_id
-        return local_id
-
-    MemoKey = tuple[str, int, int] | tuple[str, str]
-    membership: list[tuple[str, MemoKey]] = []
-    unique_work: list[tuple[str, str, int, int]] = []
-    key_of_representative: dict[str, MemoKey] = {}
-    seen_keys: set[MemoKey] = set()
-    guarded_specs = list(enumerate(policy.guarded))
-    for fec_id in fec_ids:
-        spec_key = "default"
-        if guarded_specs:
-            fec = pre.fec(fec_id) if fec_id in pre else post.fec(fec_id)
-            for index, guarded in guarded_specs:
-                if guarded.applies_to(fec):
-                    spec_key = f"guard-{index}"
-                    break
-        pre_id = _local_id(pre.graph_ref(fec_id), pre, pre_local)
-        post_id = _local_id(post.graph_ref(fec_id), post, post_local)
-        if options.memoize_fec_checks:
-            memo_key: MemoKey = (spec_key, pre_id, post_id)
-        else:
-            memo_key = (spec_key, fec_id)  # unique per FEC: no sharing
-        membership.append((fec_id, memo_key))
-        if memo_key not in seen_keys:
-            seen_keys.add(memo_key)
-            unique_work.append((fec_id, spec_key, pre_id, post_id))
-            key_of_representative[fec_id] = memo_key
-
-    report = VerificationReport(granularity=options.granularity, workers=max(1, options.workers))
-    report.setup_seconds = time.perf_counter() - started
-    report.unique_checks = len(unique_work)
-    check_started = time.perf_counter()
-
-    outcomes: dict[MemoKey, Counterexample | None] = {}
-    if options.workers <= 1 or len(unique_work) <= 1:
-        for fec_id, spec_key, pre_id, post_id in unique_work:
-            counterexample = _check_one_fec(
-                compiled_specs[spec_key],
-                fec_id,
-                fec_id,
-                run_store.graph(pre_id),
-                run_store.graph(post_id),
-                builder,
-                options,
-            )
-            outcomes[key_of_representative[fec_id]] = counterexample
-    else:
-        chunk_size = max(1, len(unique_work) // (options.workers * 4))
-        batches = [
-            unique_work[i : i + chunk_size] for i in range(0, len(unique_work), chunk_size)
-        ]
-        with ProcessPoolExecutor(
-            max_workers=options.workers,
-            initializer=_init_worker,
-            initargs=(compiled_specs, builder, options, list(run_store)),
-        ) as executor:
-            futures = [executor.submit(_check_batch, batch) for batch in batches]
-            # Stream results as workers finish instead of blocking on
-            # submission order; finalize() below restores determinism.
-            for future in as_completed(futures):
-                for fec_id, counterexample in future.result():
-                    outcomes[key_of_representative[fec_id]] = counterexample
-
-    report.check_seconds = time.perf_counter() - check_started
-
-    # Fold per-FEC results into the report.  Descriptions and relabeled
-    # counterexamples are built only for violating FECs, so the all-pass
-    # case stays allocation-free here.
-    for fec_id, memo_key in membership:
-        counterexample = outcomes[memo_key]
-        if counterexample is None:
-            report.record(None)
-            continue
-        fec = pre.fec(fec_id) if fec_id in pre else post.fec(fec_id)
-        report.record(_relabel(counterexample, fec_id, str(fec)))
-
-    if not options.collect_counterexamples:
-        # Timing-only runs keep the verdict and counts but drop the detail.
-        report.counterexamples = []
-
-    report.finalize()
-    report.elapsed_seconds = time.perf_counter() - started
-    return report
+    session = VerificationSession(pre, spec, db=db, options=options)
+    return session.advance(post)

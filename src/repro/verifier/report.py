@@ -5,6 +5,14 @@ verdict, all counterexamples (Section 6.3), how many flow equivalence classes
 violate each sub-spec (the numbers quoted in the Section 8.1 case study, such
 as "17 counterexamples for nochange and 15 for e2e"), and timing statistics
 for the performance evaluation (Figures 6 and 7).
+
+Change streams add a second aggregation level: every
+:meth:`~repro.verifier.session.VerificationSession.advance` call produces one
+per-epoch :class:`VerificationReport` (augmented with the session's
+cache-hit statistics), and the session folds them into a cumulative
+:class:`StreamReport` so a whole maintenance window can be summarised —
+epochs verified, violations, distinct checks actually executed versus served
+from the cross-epoch verdict cache — in one object.
 """
 
 from __future__ import annotations
@@ -38,14 +46,24 @@ class VerificationReport:
     #: Seconds spent checking the distinct (spec, pre graph, post graph)
     #: combinations (including worker-pool startup on parallel runs).
     check_seconds: float = 0.0
-    #: Number of distinct (spec, pre graph, post graph) checks executed;
-    #: the remaining ``total_fecs - unique_checks`` classes shared one of
-    #: those verdicts through interned-graph dedup.
+    #: Number of distinct (spec, pre graph, post graph) combinations in this
+    #: run; the remaining ``total_fecs - unique_checks`` classes shared one
+    #: of those verdicts through interned-graph dedup.
     unique_checks: int = 0
+    #: Of :attr:`unique_checks`, how many verdicts were served from a
+    #: verification session's cross-epoch cache instead of being executed.
+    #: Always 0 for one-shot ``verify_change`` runs (a session of length 1
+    #: starts with a cold cache).
+    cached_checks: int = 0
     #: Analysis granularity used for this run.
     granularity: Granularity = Granularity.ROUTER
     #: Number of worker processes used (1 = serial).
     workers: int = 1
+
+    @property
+    def executed_checks(self) -> int:
+        """Distinct checks that actually ran in this epoch (non-cached)."""
+        return self.unique_checks - self.cached_checks
 
     def record(self, counterexample: Counterexample | None) -> None:
         """Fold one per-FEC result into the report."""
@@ -104,3 +122,109 @@ class VerificationReport:
         if omitted > 0:
             lines.append(f"... and {omitted} more counterexamples")
         return "\n".join(lines)
+
+
+@dataclass(slots=True)
+class StreamReport:
+    """Cumulative outcome of a change stream verified through one session.
+
+    One entry per :meth:`~repro.verifier.session.VerificationSession.advance`
+    call, in arrival order, plus stream-level aggregates.  The per-epoch
+    reports keep their full detail (counterexamples, branch counts, cache
+    statistics); the stream report answers the maintenance-window questions:
+    did every epoch hold, how much work did the cross-epoch cache absorb,
+    and how fast did epochs verify end to end.
+
+    Aggregates live in running counters, so a daemon-style session over an
+    unbounded stream can cap the retained per-epoch detail
+    (``max_retained_reports``, the session's ``report_history`` knob)
+    without losing the stream-level totals.
+    """
+
+    #: The most recent per-epoch reports, in the order the session advanced
+    #: (all of them unless ``max_retained_reports`` trims the history).
+    epoch_reports: list[VerificationReport] = field(default_factory=list)
+    #: Wall-clock seconds across all recorded epochs.
+    elapsed_seconds: float = 0.0
+    #: Retain at most this many recent per-epoch reports (None = all).
+    max_retained_reports: int | None = None
+    _epochs: int = 0
+    _violating_epochs: int = 0
+    _total_fecs: int = 0
+    _unique_checks: int = 0
+    _cached_checks: int = 0
+
+    def record(self, report: VerificationReport) -> None:
+        """Fold one epoch's report into the stream totals."""
+        self.epoch_reports.append(report)
+        if self.max_retained_reports is not None:
+            overflow = len(self.epoch_reports) - max(0, self.max_retained_reports)
+            if overflow > 0:
+                del self.epoch_reports[:overflow]
+        self.elapsed_seconds += report.elapsed_seconds
+        self._epochs += 1
+        if not report.holds:
+            self._violating_epochs += 1
+        self._total_fecs += report.total_fecs
+        self._unique_checks += report.unique_checks
+        self._cached_checks += report.cached_checks
+
+    @property
+    def epochs(self) -> int:
+        """Number of epochs verified so far."""
+        return self._epochs
+
+    @property
+    def holds(self) -> bool:
+        """True when every epoch satisfied its specification."""
+        return self._violating_epochs == 0
+
+    @property
+    def violating_epochs(self) -> int:
+        """Number of epochs with at least one violating flow class."""
+        return self._violating_epochs
+
+    @property
+    def total_fecs(self) -> int:
+        """Flow-equivalence-class checks across all epochs (with repeats)."""
+        return self._total_fecs
+
+    @property
+    def unique_checks(self) -> int:
+        """Distinct (spec, pre graph, post graph) combinations, summed."""
+        return self._unique_checks
+
+    @property
+    def cached_checks(self) -> int:
+        """Distinct combinations served from the cross-epoch verdict cache."""
+        return self._cached_checks
+
+    @property
+    def executed_checks(self) -> int:
+        """Distinct combinations that actually ran an automata check."""
+        return self.unique_checks - self.cached_checks
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of distinct combinations served from the cache."""
+        if self.unique_checks == 0:
+            return 0.0
+        return self.cached_checks / self.unique_checks
+
+    @property
+    def epochs_per_second(self) -> float:
+        """End-to-end verification throughput over the recorded epochs."""
+        if self.elapsed_seconds == 0.0:
+            return 0.0
+        return self.epochs / self.elapsed_seconds
+
+    def summary(self) -> str:
+        """One-line cumulative summary of the stream so far."""
+        verdict = "PASS" if self.holds else f"FAIL ({self.violating_epochs} epochs)"
+        return (
+            f"{verdict}: {self.epochs} epochs, {self.total_fecs} FEC checks, "
+            f"{self.executed_checks} executed / {self.cached_checks} cached of "
+            f"{self.unique_checks} unique graph-pair checks "
+            f"({self.cache_hit_rate:.0%} cache hits, {self.elapsed_seconds:.2f}s, "
+            f"{self.epochs_per_second:.1f} epochs/s)"
+        )

@@ -1,4 +1,4 @@
-"""Synthetic workloads: backbone topology, traffic, change scenarios, Figure 1."""
+"""Synthetic workloads: backbone, traffic, change scenarios, change streams, Figure 1."""
 
 from repro.workloads.backbone import Backbone, BackboneParams, generate_backbone
 from repro.workloads.changes import (
@@ -16,6 +16,15 @@ from repro.workloads.scale import (
     generate_scale_change,
     generate_scale_snapshot,
     scale_backbone,
+)
+from repro.workloads.stream import (
+    ChangeStream,
+    StreamEpoch,
+    StreamProfile,
+    flapping_link_stream,
+    generate_stream,
+    prefix_migration_stream,
+    rolling_drain_stream,
 )
 from repro.workloads.traffic import fecs_to_region, generate_fecs
 
@@ -36,6 +45,13 @@ __all__ = [
     "scale_backbone",
     "generate_scale_snapshot",
     "generate_scale_change",
+    "ChangeStream",
+    "StreamEpoch",
+    "StreamProfile",
+    "rolling_drain_stream",
+    "prefix_migration_stream",
+    "flapping_link_stream",
+    "generate_stream",
     "Figure1Scenario",
     "build_scenario",
     "build_topology",

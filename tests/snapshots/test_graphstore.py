@@ -229,3 +229,80 @@ def test_graphstore_pickle_round_trip():
     assert len(clone) == 1
     assert clone.graph(ref).path_set() == store.graph(ref).path_set()
     assert clone.intern(ForwardingGraph.from_paths([("a", "b", "d"), ("a", "c", "d")])) == ref
+
+
+# ----------------------------------------------------------------------
+# Ref counting and eviction (the verification session's memory contract)
+# ----------------------------------------------------------------------
+def test_refcounts_acquire_release():
+    store = GraphStore()
+    ref = store.intern(graph_ab())
+    assert store.refcount(ref) == 0
+    store.acquire(ref)
+    store.acquire(ref)
+    assert store.refcount(ref) == 2
+    store.release(ref)
+    assert store.refcount(ref) == 1
+    store.release(ref)
+    assert store.refcount(ref) == 0
+    with pytest.raises(SnapshotError):
+        store.release(ref)
+
+
+def test_evict_unreferenced_spares_pinned_graphs():
+    store = GraphStore()
+    pinned = store.intern(graph_ab())
+    loose = store.intern(ForwardingGraph.from_paths([("a", "z")]))
+    store.acquire(pinned)
+    evicted = store.evict_unreferenced()
+    assert evicted == [loose]
+    assert len(store) == 1
+    assert store.graph(pinned).path_set() == graph_ab().path_set()
+    with pytest.raises(SnapshotError):
+        store.graph(loose)
+    # Unpinning makes the survivor evictable too.
+    store.release(pinned)
+    assert store.evict_unreferenced() == [pinned]
+    assert len(store) == 0
+
+
+def test_evicted_slots_are_recycled_by_later_interns():
+    store = GraphStore()
+    first = store.intern(graph_ab())
+    evicted = store.evict_unreferenced()
+    assert evicted == [first]
+    # A different graph recycles the freed slot: same integer, new meaning —
+    # which is why cache owners must drop entries naming evicted refs.
+    replacement = store.intern(ForwardingGraph.from_paths([("a", "z")]))
+    assert replacement == first
+    assert store.graph(replacement).path_set() == {("a", "z")}
+    # Re-interning the original graph gets a fresh ref, not the stale one.
+    again = store.intern(graph_ab())
+    assert again != first
+    assert store.graph(again).path_set() == graph_ab().path_set()
+
+
+def test_eviction_survives_pickle_round_trip():
+    store = GraphStore()
+    keep = store.intern(graph_ab())
+    drop = store.intern(ForwardingGraph.from_paths([("a", "z")]))
+    store.acquire(keep)
+    store.evict_unreferenced()
+    clone = pickle.loads(pickle.dumps(store))
+    assert len(clone) == 1
+    assert clone.refcount(keep) == 1
+    with pytest.raises(SnapshotError):
+        clone.graph(drop)
+    # The clone keeps recycling the freed slot like the original would.
+    assert clone.intern(ForwardingGraph.from_paths([("q", "r")])) == drop
+
+
+def test_store_rejects_negative_refs():
+    store = GraphStore()
+    store.intern(graph_ab())
+    with pytest.raises(SnapshotError):
+        store.graph(-1)
+    with pytest.raises(SnapshotError):
+        store.acquire(-1)
+    with pytest.raises(SnapshotError):
+        store.refcount(-1)

@@ -1,0 +1,146 @@
+"""Smoke tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.snapshots import FlowEquivalenceClass, build_snapshot
+
+
+@pytest.fixture()
+def snapshot_files(tmp_path):
+    """Pre/post (and buggy post) snapshot JSON files plus a spec file."""
+    web = FlowEquivalenceClass("web", dst_prefix="203.0.113.0/24", ingress="edge")
+    dns = FlowEquivalenceClass("dns", dst_prefix="198.51.100.0/24", ingress="edge")
+    pre = build_snapshot(
+        "pre",
+        [
+            (web, [("edge", "mid1", "core1")]),
+            (dns, [("edge", "mid1", "core2")]),
+        ],
+    )
+    post_good = build_snapshot(
+        "post-good",
+        [
+            (web, [("edge", "mid1", "core1")]),
+            (dns, [("edge", "mid2", "core2")]),
+        ],
+    )
+    post_buggy = build_snapshot(
+        "post-buggy",
+        [
+            (web, [("edge", "mid2", "core1")]),
+            (dns, [("edge", "mid1", "core2")]),
+        ],
+    )
+    paths = {}
+    for name, snapshot in [("pre", pre), ("post", post_good), ("buggy", post_buggy)]:
+        paths[name] = tmp_path / f"{name}.json"
+        snapshot.to_json(paths[name], indent=2)
+    paths["spec"] = tmp_path / "change.rela"
+    paths["spec"].write_text(
+        "regex viazone := edge (mid1|mid2) core2\n"
+        "regex newpath := edge mid2 core2\n"
+        "spec move := { viazone : any(newpath) ; }\n"
+        "spec nochange := { .* : preserve ; }\n"
+        "spec change := move else nochange\n"
+    )
+    return paths
+
+
+def test_verify_pass(snapshot_files, capsys):
+    code = main(
+        [
+            "verify",
+            str(snapshot_files["pre"]),
+            str(snapshot_files["post"]),
+            str(snapshot_files["spec"]),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert out.startswith("PASS")
+
+
+def test_verify_fail_prints_table(snapshot_files, capsys):
+    code = main(
+        [
+            "verify",
+            str(snapshot_files["pre"]),
+            str(snapshot_files["buggy"]),
+            str(snapshot_files["spec"]),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert out.startswith("FAIL")
+    assert "Cause of violation" in out  # the Table 1 layout
+
+
+def test_stream_rolling_drain(capsys):
+    code = main(
+        [
+            "stream",
+            "--fecs",
+            "200",
+            "--regions",
+            "4",
+            "--epochs",
+            "4",
+            "--rotation",
+            "1",
+            "--seed",
+            "7",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    lines = [line for line in out.splitlines() if line.startswith("[rolling-drain-")]
+    assert len(lines) == 4
+    # One cumulative stream summary with cache statistics at the end.
+    assert out.splitlines()[-1].startswith("PASS: 4 epochs")
+    assert "cache hits" in out
+
+
+def test_stream_flapping_profile(capsys):
+    code = main(
+        [
+            "stream",
+            "--profile",
+            "flapping",
+            "--fecs",
+            "24",
+            "--regions",
+            "4",
+            "--epochs",
+            "4",
+            "--seed",
+            "7",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "[flapping-e003]" in out
+    assert out.splitlines()[-1].startswith("PASS")
+
+
+def test_stream_prefix_migration_profile(capsys):
+    code = main(
+        [
+            "stream",
+            "--profile",
+            "prefix-migration",
+            "--fecs",
+            "24",
+            "--regions",
+            "4",
+            "--epochs",
+            "2",
+            "--seed",
+            "7",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert out.splitlines()[-1].startswith("PASS")

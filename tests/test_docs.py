@@ -1,0 +1,56 @@
+"""The documentation cannot rot: every Python block in it must execute.
+
+Extracts the fenced ``python`` code blocks from ``README.md`` and the
+``docs/`` pages and executes them (blocks within one file run sequentially
+in a shared namespace, so a later block may build on an earlier one — the
+README's session example continues its quickstart).  The blocks carry
+their own ``assert``s, so a drifted API or a wrong claimed verdict fails
+here, and in the CI docs job, before it misleads a reader.  The runnable
+example scripts are executed too.
+"""
+
+from __future__ import annotations
+
+import re
+import runpy
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_PYTHON_BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def python_blocks(path: Path) -> list[str]:
+    return _PYTHON_BLOCK_RE.findall(path.read_text(encoding="utf-8"))
+
+
+def test_readme_exists_and_has_runnable_quickstart():
+    readme = REPO_ROOT / "README.md"
+    assert readme.exists()
+    blocks = python_blocks(readme)
+    assert len(blocks) >= 2, "README must keep its runnable quickstart blocks"
+
+
+@pytest.mark.parametrize(
+    "relative",
+    ["README.md", "docs/SPECS.md", "docs/ARCHITECTURE.md"],
+)
+def test_documentation_code_blocks_execute(relative):
+    path = REPO_ROOT / relative
+    assert path.exists(), f"{relative} is part of the documentation suite"
+    namespace: dict = {"__name__": f"docs-block:{relative}"}
+    for index, block in enumerate(python_blocks(path)):
+        try:
+            exec(compile(block, f"{relative}[block {index}]", "exec"), namespace)
+        except Exception as error:  # pragma: no cover - the assertion payload
+            pytest.fail(f"{relative} code block {index} failed: {error!r}")
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "prefix_decommission.py", "link_maintenance.py"],
+)
+def test_example_scripts_execute(script):
+    runpy.run_path(str(REPO_ROOT / "examples" / script), run_name="__main__")

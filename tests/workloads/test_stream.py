@@ -1,0 +1,143 @@
+"""The change-stream generator: seeded, connected, assertable."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.verifier import verify_change
+from repro.workloads.backbone import BackboneParams, generate_backbone
+from repro.workloads.stream import (
+    ChangeStream,
+    StreamProfile,
+    flapping_link_stream,
+    generate_stream,
+    prefix_migration_stream,
+    rolling_drain_stream,
+)
+from repro.workloads.traffic import generate_fecs
+
+
+@pytest.fixture(scope="module")
+def world():
+    backbone = generate_backbone(
+        BackboneParams(regions=4, routers_per_group=2, parallel_links=2, prefixes_per_region=2)
+    )
+    fecs = generate_fecs(backbone)
+    initial = backbone.simulator().snapshot(fecs, name="initial")
+    return backbone, initial
+
+
+def assert_connected(stream: ChangeStream) -> None:
+    previous = stream.initial
+    for epoch in stream:
+        assert epoch.pre is previous, epoch.epoch_id
+        previous = epoch.post
+
+
+def test_rolling_drain_shape_and_expectations(world):
+    backbone, initial = world
+    stream = rolling_drain_stream(backbone, initial, epochs=8, rotation=2, seed=13)
+    assert len(stream) == 8
+    assert [epoch.kind for epoch in stream] == ["drain", "restore"] * 4
+    assert stream.expect_holds
+    assert_connected(stream)
+    # Restores return to previously seen snapshots (the recurrence the
+    # session caches): epoch 1 restores epoch 0's pre, and cycle 2 reuses
+    # cycle 1's drained snapshot and spec instances outright.
+    assert stream.epochs[1].post is stream.epochs[0].pre
+    assert stream.epochs[4].post is stream.epochs[0].post
+    assert stream.epochs[4].spec is stream.epochs[0].spec
+    # Snapshots share one copy-on-write store.
+    assert all(epoch.post.store is initial.store for epoch in stream)
+
+
+def test_rolling_drain_is_seeded(world):
+    backbone, initial = world
+    first = rolling_drain_stream(backbone, initial, epochs=6, rotation=2, seed=13)
+    second = rolling_drain_stream(backbone, initial, epochs=6, rotation=2, seed=13)
+    other = rolling_drain_stream(backbone, initial, epochs=6, rotation=2, seed=14)
+    assert [epoch.description for epoch in first] == [epoch.description for epoch in second]
+    assert [epoch.post.graph_ref(fec_id) for epoch in first for fec_id in initial.fec_ids()] == [
+        epoch.post.graph_ref(fec_id) for epoch in second for fec_id in initial.fec_ids()
+    ]
+    assert [epoch.description for epoch in first] != [epoch.description for epoch in other]
+
+
+def test_rolling_drain_verdicts_match_expectations(world):
+    backbone, initial = world
+    stream = rolling_drain_stream(
+        backbone, initial, epochs=6, rotation=2, seed=13, buggy_epochs={2}
+    )
+    assert not stream.expect_holds
+    assert [epoch.expect_holds for epoch in stream] == [True, True, False, True, True, True]
+    for epoch in stream:
+        report = verify_change(epoch.pre, epoch.post, epoch.spec)
+        assert report.holds == epoch.expect_holds, epoch.epoch_id
+
+
+def test_prefix_migration_waves(world):
+    backbone, initial = world
+    stream = prefix_migration_stream(backbone, initial, waves=2, seed=13)
+    assert len(stream) == 2
+    assert_connected(stream)
+    dropped: set[str] = set()
+    for epoch in stream:
+        report = verify_change(epoch.pre, epoch.post, epoch.spec)
+        assert report.holds == epoch.expect_holds, epoch.epoch_id
+        wave_dropped = {
+            fec_id
+            for fec_id in epoch.post.fec_ids()
+            if epoch.post.graph_ref(fec_id) != epoch.pre.graph_ref(fec_id)
+        }
+        assert wave_dropped, "each wave must migrate something"
+        assert not wave_dropped & dropped, "waves are disjoint"
+        dropped |= wave_dropped
+    buggy = prefix_migration_stream(backbone, initial, waves=2, seed=13, buggy_waves={0})
+    report = verify_change(buggy.epochs[0].pre, buggy.epochs[0].post, buggy.epochs[0].spec)
+    assert not report.holds and not buggy.epochs[0].expect_holds
+
+
+def test_flapping_alternates_between_two_states(world):
+    backbone, initial = world
+    stream = flapping_link_stream(backbone, initial, flaps=5, seed=13)
+    assert [epoch.kind for epoch in stream] == [
+        "flap-down",
+        "flap-up",
+        "flap-down",
+        "flap-up",
+        "flap-down",
+    ]
+    assert_connected(stream)
+    assert stream.epochs[2].post is stream.epochs[0].post
+    assert stream.epochs[2].spec is stream.epochs[0].spec
+    for epoch in stream:
+        assert verify_change(epoch.pre, epoch.post, epoch.spec).holds, epoch.epoch_id
+
+
+def test_generate_stream_profile(world):
+    profile = StreamProfile(
+        num_fecs=300, regions=4, epochs=4, rotation=2, prefixes_per_region=2, seed=13
+    )
+    stream = generate_stream(profile)
+    assert len(stream) == 4
+    assert len(stream.initial) == 300
+    # Scale-style duplication: distinct behaviours ≪ classes.
+    assert stream.initial.distinct_graph_count() < len(stream.initial) // 4
+    assert stream.expect_holds
+    assert_connected(stream)
+
+
+def test_profile_validation():
+    with pytest.raises(WorkloadError):
+        StreamProfile(num_fecs=0)
+    with pytest.raises(WorkloadError):
+        StreamProfile(epochs=0)
+    with pytest.raises(WorkloadError):
+        StreamProfile(regions=4, rotation=5)
+
+
+def test_rotation_bounds(world):
+    backbone, initial = world
+    with pytest.raises(WorkloadError):
+        rolling_drain_stream(backbone, initial, epochs=2, rotation=9, seed=13)
