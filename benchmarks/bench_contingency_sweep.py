@@ -1,0 +1,125 @@
+"""Contingency-sweep throughput: shared-session sweeps vs naive per-contingency cost.
+
+"Does the drain still hold under any single link failure?"  Answered
+naively, every contingency pays a full verification: its own routing
+recompute, its own snapshot pair, its own sweep over every distinct
+(spec, pre graph, post graph) combination.  This benchmark drives the
+CI-sized backbone drain (the ``scale`` workload's 20k-FEC backbone,
+verified at the group granularity the paper's Figure 1 change reasons at)
+through one :class:`~repro.verifier.contingency.ContingencySweep`:
+
+* **failure model** — every single-link-bundle failure, plus the
+  planned-maintenance severance of each region interconnect.  Single
+  failures are mostly absorbed by parallel redundancy (their group-level
+  graphs are baseline graphs — the "most failures don't touch most FECs'
+  graphs" regime); severed interconnects genuinely reroute transit, so the
+  sweep also proves new behaviour is discovered, checked once and reused.
+* **the dedup headline** — ``naive_checks`` (unique pairs summed per
+  contingency: what independent one-shot runs would each execute) over
+  ``executed_checks`` (what the shared session actually ran).  CI gates
+  this ratio as a hard floor of 10x: losing cross-contingency interning,
+  the session verdict cache or the derivation's baseline-trace reuse
+  collapses it toward 1x.
+
+Environment knobs (all optional):
+
+* ``SWEEP_FECS`` — classes per contingency snapshot (default 20000);
+* ``SWEEP_JSON`` — write the measured record to this path, in the format
+  ``benchmarks/check_perf_regression.py --sweep`` consumes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import time
+
+import pytest
+
+from repro.verifier import single_link_failures
+from repro.workloads.contingencies import (
+    drain_sweep_scenario,
+    interconnect_maintenance_sets,
+)
+from repro.workloads.scale import ScaleProfile, scale_backbone
+
+
+def _peak_rss_mb() -> float:
+    # ru_maxrss is KiB on Linux (bytes on macOS; the benchmark targets Linux CI).
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+@pytest.fixture(scope="module")
+def sweep_inputs():
+    num_fecs = int(os.environ.get("SWEEP_FECS", "20000"))
+    backbone = scale_backbone(ScaleProfile(num_fecs=num_fecs))
+    scenario = drain_sweep_scenario(backbone, num_fecs=num_fecs)
+    contingencies = single_link_failures(backbone.topology)
+    contingencies += interconnect_maintenance_sets(backbone)
+    return backbone, scenario, contingencies
+
+
+def test_contingency_sweep_dedup(sweep_inputs):
+    backbone, scenario, contingencies = sweep_inputs
+
+    started = time.perf_counter()
+    sweep = scenario.sweep(contingencies).run()
+    sweep_seconds = time.perf_counter() - started
+
+    assert sweep.holds, sweep.summary()
+    assert not sweep.expectation_mismatches
+    baseline_report = sweep.results[0].report
+    print()
+    print(
+        f"contingency sweep: {sweep.contingencies} contingencies x "
+        f"{baseline_report.total_fecs} FECs "
+        f"({sweep.distinct_graphs} distinct graphs sweep-wide)"
+    )
+    print(
+        f"  naive cost:    {sweep.naive_checks} unique pair checks "
+        f"(~{sweep.naive_checks // max(1, sweep.contingencies)} per contingency)"
+    )
+    print(
+        f"  executed:      {sweep.executed_checks} "
+        f"({sweep.cached_checks} served from the shared session cache)"
+    )
+    print(f"  dedup ratio:   {sweep.dedup_ratio:.1f}x")
+    print(
+        f"  wall: {sweep_seconds:.2f}s "
+        f"(derive {sweep.derive_seconds:.2f}s / check {sweep.check_seconds:.2f}s, "
+        f"{sweep.contingencies / sweep_seconds:.1f} contingencies/s)"
+    )
+    print(f"  peak RSS: {_peak_rss_mb():.0f} MB")
+
+    # The acceptance bar: the sweep executes at least 10x fewer distinct
+    # checks than contingencies x unique-pairs-per-contingency.
+    assert sweep.dedup_ratio >= 10.0, (
+        f"dedup ratio {sweep.dedup_ratio:.1f}x below the 10x bar"
+    )
+    # Non-degenerate: the maintenance severances must have exhibited (and
+    # the sweep verified) genuinely new forwarding behaviour beyond the
+    # baseline contingency's checks.
+    assert sweep.executed_checks > baseline_report.unique_checks
+
+    json_path = os.environ.get("SWEEP_JSON")
+    if json_path:
+        with open(json_path, "w") as handle:
+            json.dump(
+                {
+                    "fec_count": baseline_report.total_fecs,
+                    "contingencies": sweep.contingencies,
+                    "naive_checks": sweep.naive_checks,
+                    "executed_checks": sweep.executed_checks,
+                    "cached_checks": sweep.cached_checks,
+                    "dedup_ratio": sweep.dedup_ratio,
+                    "distinct_graphs": sweep.distinct_graphs,
+                    "sweep_seconds": sweep_seconds,
+                    "derive_seconds": sweep.derive_seconds,
+                    "check_seconds": sweep.check_seconds,
+                    "contingencies_per_sec": sweep.contingencies / sweep_seconds,
+                    "peak_rss_mb": _peak_rss_mb(),
+                },
+                handle,
+                indent=2,
+            )

@@ -16,7 +16,12 @@ Compares two measurement sources against the ``ci_baseline`` block of
 * the stream-throughput JSON written by ``bench_stream_throughput.py`` when
   ``STREAM_JSON`` is set (gated on the incremental-vs-cold speedup as a hard
   lower bound — losing the session's cross-epoch verdict cache drops the
-  speedup to ~1x — and on session epochs/sec within ``threshold``).
+  speedup to ~1x — and on session epochs/sec within ``threshold``);
+* the contingency-sweep JSON written by ``bench_contingency_sweep.py`` when
+  ``SWEEP_JSON`` is set (gated on the sweep-wide dedup ratio as a hard
+  lower bound — losing cross-contingency interning or the shared verdict
+  cache collapses it toward 1x — and on contingencies/sec within
+  ``threshold``).
 
 A measurement regresses when it exceeds ``threshold`` times its baseline
 (default 2x, absorbing CI-runner jitter while still catching an accidental
@@ -88,6 +93,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--benchmark-json", help="pytest-benchmark --benchmark-json output")
     parser.add_argument("--scale", help="scale-throughput JSON written via SCALE_JSON")
     parser.add_argument("--stream", help="stream-throughput JSON written via STREAM_JSON")
+    parser.add_argument("--sweep", help="contingency-sweep JSON written via SWEEP_JSON")
     parser.add_argument("--threshold", type=float, default=2.0, help="allowed slowdown factor")
     args = parser.parse_args(argv)
 
@@ -212,9 +218,52 @@ def main(argv: list[str] | None = None) -> int:
             if failure:
                 failures.append(failure)
 
+    if args.sweep:
+        measured_sweep = load_json(args.sweep)
+        baseline_sweep = baseline.get("sweep", {})
+        min_ratio = baseline_sweep.get("min_dedup_ratio")
+        if min_ratio is None:
+            print("error: baseline has no sweep.min_dedup_ratio", file=sys.stderr)
+            return 2
+        for axis in ("fec_count", "contingencies"):
+            expected = baseline_sweep.get(axis)
+            if expected is not None and measured_sweep.get(axis) != expected:
+                # A different population or failure-model size exhibits a
+                # different dedup regime; the ratio is not comparable.
+                print(
+                    f"error: sweep population mismatch: measured {axis} "
+                    f"{measured_sweep.get(axis)}, baseline expects {expected} "
+                    "(was SWEEP_FECS set?)",
+                    file=sys.stderr,
+                )
+                return 2
+        ratio = measured_sweep["dedup_ratio"]
+        verdict = "OK" if ratio >= min_ratio else "REGRESSION"
+        print(
+            f"  [{verdict}] sweep dedup ratio: measured {ratio:.2f}x, "
+            f"required >= {min_ratio:.1f}x (hard floor)"
+        )
+        compared += 1
+        if ratio < min_ratio:
+            failures.append(
+                f"sweep dedup ratio fell to {ratio:.2f}x (required >= {min_ratio:.1f}x)"
+            )
+        baseline_cps = baseline_sweep.get("contingencies_per_sec")
+        if baseline_cps is not None:
+            failure = check_lower_bound(
+                "sweep throughput (contingencies/sec)",
+                measured_sweep["contingencies_per_sec"],
+                baseline_cps,
+                args.threshold,
+            )
+            compared += 1
+            if failure:
+                failures.append(failure)
+
     if compared == 0:
         print(
-            "error: nothing compared (pass --cdf, --benchmark-json, --scale and/or --stream)",
+            "error: nothing compared "
+            "(pass --cdf, --benchmark-json, --scale, --stream and/or --sweep)",
             file=sys.stderr,
         )
         return 2

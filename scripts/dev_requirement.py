@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Print one dev-extra requirement from pyproject.toml (the version pin's
+single source of truth).
+
+CI jobs install pinned tools with::
+
+    pip install "$(python scripts/dev_requirement.py ruff)"
+
+so the workflow never carries its own copy of a version that
+``pyproject.toml`` already pins.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import tomllib
+from pathlib import Path
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1:
+        print("usage: dev_requirement.py <distribution-name>", file=sys.stderr)
+        return 2
+    name = argv[0].lower()
+    pyproject = Path(__file__).resolve().parent.parent / "pyproject.toml"
+    with open(pyproject, "rb") as handle:
+        dev = tomllib.load(handle)["project"]["optional-dependencies"]["dev"]
+    for requirement in dev:
+        requirement_name = re.split(r"[<>=~!\[ ]", requirement, maxsplit=1)[0]
+        if requirement_name.lower() == name:
+            print(requirement)
+            return 0
+    print(f"error: no dev requirement named {name!r} in {pyproject}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -11,7 +11,17 @@ Subcommands mirror the operator workflow described in the paper:
 * ``casestudy`` — replay the Figure 1 change iterations end to end;
 * ``stream`` — generate a rolling-maintenance change stream and verify it
   through one incremental :class:`~repro.verifier.session.VerificationSession`,
-  reporting per-epoch verdicts and the cumulative cache statistics.
+  reporting per-epoch verdicts and the cumulative cache statistics;
+* ``sweep`` — verify a change under a failure model (all single link
+  failures, k-link combinations, or planned-maintenance link sets) through
+  one shared :class:`~repro.verifier.contingency.ContingencySweep`,
+  reporting the most-violating contingencies and the sweep-wide dedup
+  ratio.
+
+Library errors (malformed inputs, missing files, unparsable specs) are
+reported as one-line ``error: ...`` messages with exit status 2; argparse
+usage errors also exit 2.  Exit status 1 means the verification itself
+found violations.
 """
 
 from __future__ import annotations
@@ -19,12 +29,25 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.errors import ReproError
 from repro.rela.locations import Granularity
 from repro.rela.parser import parse_program
 from repro.snapshots.pathdiff import path_diff
 from repro.snapshots.snapshot import Snapshot
-from repro.verifier import VerificationOptions, VerificationSession, verify_change
+from repro.verifier import (
+    VerificationOptions,
+    VerificationSession,
+    k_link_failures,
+    single_link_failures,
+    verify_change,
+)
 from repro.workloads.backbone import BackboneParams, generate_backbone
+from repro.workloads.contingencies import (
+    decommission_sweep_scenario,
+    drain_sweep_scenario,
+    interconnect_maintenance_sets,
+    refactor_sweep_scenario,
+)
 from repro.workloads.figure1 import build_scenario
 from repro.workloads.stream import (
     StreamProfile,
@@ -156,6 +179,84 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0 if session.stream.holds else 1
 
 
+_SWEEP_SCENARIOS = {
+    "drain": drain_sweep_scenario,
+    "refactor": refactor_sweep_scenario,
+    "decommission": decommission_sweep_scenario,
+}
+
+
+def _parse_link(text: str) -> tuple[str, str]:
+    """Parse a ``routerA~routerB`` link-bundle name."""
+    parts = text.split("~")
+    if len(parts) != 2 or not parts[0] or not parts[1]:
+        raise argparse.ArgumentTypeError(
+            f"link {text!r} is not of the form routerA~routerB"
+        )
+    return (parts[0], parts[1])
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    parser: argparse.ArgumentParser = args.parser
+    if args.k is not None and args.failures != "k":
+        parser.error("--k only applies to --failures k")
+    if args.limit is not None and args.failures != "k":
+        parser.error("--limit only applies to --failures k")
+    if args.candidate_links and args.failures == "maintenance":
+        parser.error("--candidate-links conflicts with --failures maintenance "
+                     "(maintenance sets are derived from the region interconnects)")
+
+    params = BackboneParams(
+        regions=args.regions,
+        routers_per_group=args.routers_per_group,
+        parallel_links=args.parallel_links,
+        prefixes_per_region=args.prefixes_per_region,
+        seed=args.seed,
+    )
+    backbone = generate_backbone(params)
+    scenario = _SWEEP_SCENARIOS[args.scenario](
+        backbone,
+        num_fecs=args.fecs,
+        granularity=Granularity(args.granularity),
+        buggy=args.buggy,
+        seed=args.seed,
+    )
+    candidates = args.candidate_links or None
+    if args.failures == "single":
+        contingencies = single_link_failures(backbone.topology, candidates=candidates)
+    elif args.failures == "k":
+        contingencies = k_link_failures(
+            backbone.topology, args.k if args.k is not None else 2,
+            candidates=candidates, limit=args.limit,
+        )
+    else:
+        contingencies = interconnect_maintenance_sets(backbone)
+    if args.with_maintenance and args.failures != "maintenance":
+        contingencies = contingencies + interconnect_maintenance_sets(backbone)
+
+    options = VerificationOptions(
+        granularity=scenario.granularity, workers=args.workers
+    )
+    sweep = scenario.sweep(contingencies, options=options).run()
+    for result in sweep.results:
+        if args.show_contingencies or not result.holds:
+            print(f"[{result.contingency}] {result.report.summary()}")
+    worst = sweep.most_violating(args.max_rows)
+    if worst:
+        print("most-violating contingencies:")
+        for result in worst:
+            print(
+                f"  {result.contingency}: {result.report.violating_fecs} violating classes"
+            )
+    for result in sweep.expectation_mismatches:
+        print(
+            f"warning: {result.contingency.contingency_id} expected "
+            f"holds={result.expected_holds} but verified holds={result.holds}"
+        )
+    print(sweep.summary())
+    return 0 if sweep.holds else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -228,14 +329,83 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--show-counterexamples", action="store_true")
     stream.add_argument("--max-rows", type=int, default=8)
     stream.set_defaults(func=_cmd_stream)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="verify a change under a failure model (what-if contingency sweep)",
+    )
+    sweep.add_argument(
+        "--scenario",
+        default="drain",
+        choices=sorted(_SWEEP_SCENARIOS),
+        help="change under test (see repro.workloads.contingencies)",
+    )
+    sweep.add_argument(
+        "--buggy", action="store_true", help="inject the scenario's bug variant"
+    )
+    sweep.add_argument("--fecs", type=int, default=2000, help="traffic classes per snapshot")
+    sweep.add_argument("--regions", type=int, default=6)
+    sweep.add_argument("--routers-per-group", type=int, default=2)
+    sweep.add_argument("--parallel-links", type=int, default=2)
+    sweep.add_argument("--prefixes-per-region", type=int, default=2)
+    sweep.add_argument(
+        "--granularity", default="group", choices=[g.value for g in Granularity]
+    )
+    sweep.add_argument("--seed", type=int, default=59)
+    sweep.add_argument(
+        "--failures",
+        default="single",
+        choices=["single", "k", "maintenance"],
+        help="failure model: every single link, k-link combinations, or "
+        "planned-maintenance interconnect severances",
+    )
+    sweep.add_argument(
+        "--k", type=int, default=None, help="links failed together (with --failures k)"
+    )
+    sweep.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="cap the k-combination enumeration (with --failures k)",
+    )
+    sweep.add_argument(
+        "--candidate-links",
+        type=_parse_link,
+        nargs="*",
+        default=None,
+        metavar="A~B",
+        help="restrict single/k failures to these link bundles",
+    )
+    sweep.add_argument(
+        "--with-maintenance",
+        action="store_true",
+        help="append the planned-maintenance interconnect severances",
+    )
+    sweep.add_argument("--workers", type=int, default=1)
+    sweep.add_argument(
+        "--show-contingencies",
+        action="store_true",
+        help="print every contingency's report line (failing ones always print)",
+    )
+    sweep.add_argument("--max-rows", type=int, default=8)
+    sweep.set_defaults(func=_cmd_sweep, parser=sweep)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Library and I/O failures exit 2 with a one-line message instead of a
+    traceback: the CLI's inputs (snapshot files, spec programs, workload
+    parameters) are user data, and a typo in them is not a crash.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,7 +15,7 @@ from collections.abc import Iterable, Iterator
 from repro.errors import RoutingError
 from repro.network.addressing import Prefix, PrefixTable
 from repro.network.bgp import SelectedRoutes
-from repro.network.igp import equal_cost_next_hops
+from repro.network.igp import IgpCostCache
 from repro.network.topology import Topology
 
 
@@ -101,7 +101,9 @@ class Fib:
         return clone
 
 
-def build_fibs(topology: Topology, selected: SelectedRoutes) -> Fib:
+def build_fibs(
+    topology: Topology, selected: SelectedRoutes, *, drop_unreachable: bool = False
+) -> Fib:
     """Derive FIBs from BGP route selection.
 
     For each router and prefix with selected routes:
@@ -111,17 +113,25 @@ def build_fibs(topology: Topology, selected: SelectedRoutes) -> Fib:
       eBGP) forward to the adjacent external neighbor;
     * routes exiting elsewhere in the AS forward along all equal-cost IGP
       next hops toward the exit router (hot-potato ECMP).
+
+    A route whose exit is IGP-unreachable is an error on a healthy network
+    (``drop_unreachable=False``, the default: selection should never pick
+    it).  Under a failure contingency it is real life — the exit got cut
+    off — so ``drop_unreachable=True`` skips such routes, and a router left
+    with no viable route at all installs a *drop* entry, blackholing the
+    traffic the way a real FIB with no matching route does.
     """
     fib = Fib()
     # IGP next-hop resolution happens inside the router's own AS: traffic
     # headed to an exit elsewhere in the AS must not detour through another
-    # AS to get there.
-    intra_as: dict[int, Topology] = {}
+    # AS to get there.  One memoized cost cache per AS keeps this at one
+    # Dijkstra per (AS, router) instead of two per selected route.
+    intra_as: dict[int, IgpCostCache] = {}
 
-    def as_topology(asn: int) -> Topology:
+    def as_costs(asn: int) -> IgpCostCache:
         if asn not in intra_as:
             members = [router.name for router in topology.routers_in_asn(asn)]
-            intra_as[asn] = topology.subset(members, name=f"as-{asn}")
+            intra_as[asn] = IgpCostCache(topology.subset(members, name=f"as-{asn}"))
         return intra_as[asn]
 
     for router, by_prefix in selected.items():
@@ -135,8 +145,10 @@ def build_fibs(topology: Topology, selected: SelectedRoutes) -> Fib:
                 elif route.exit_router == router and route.learned_from is not None:
                     next_hops.add(route.learned_from)
                 else:
-                    hops = equal_cost_next_hops(as_topology(asn), router, route.exit_router)
+                    hops = as_costs(asn).equal_cost_next_hops(router, route.exit_router)
                     if not hops:
+                        if drop_unreachable:
+                            continue
                         raise RoutingError(
                             f"router {router!r} has no IGP path toward exit "
                             f"{route.exit_router!r} for {prefix}"

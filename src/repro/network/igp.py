@@ -69,3 +69,50 @@ def equal_cost_next_hops(topology: Topology, source: str, target: str) -> set[st
 def all_pairs_costs(topology: Topology) -> dict[str, dict[str, int]]:
     """Shortest-path costs between every router pair (used by simulations)."""
     return {router.name: shortest_path_costs(topology, router.name) for router in topology}
+
+
+class IgpCostCache:
+    """Memoized single-source IGP costs over one (immutable) topology.
+
+    :func:`equal_cost_next_hops` runs two fresh Dijkstras per call, which is
+    fine for a one-off query but quadratically wasteful inside
+    :func:`~repro.network.fib.build_fibs` (one call per router × prefix ×
+    selected route) and prohibitive for contingency sweeps that rebuild FIBs
+    once per failed link.  The cache runs at most one Dijkstra per distinct
+    source ever queried and answers next-hop queries from the cached maps.
+    The topology must not gain links while a cache is alive.
+    """
+
+    __slots__ = ("topology", "_costs")
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        self._costs: dict[str, dict[str, int]] = {}
+
+    def costs_from(self, source: str) -> dict[str, int]:
+        """Memoized :func:`shortest_path_costs` from ``source``."""
+        costs = self._costs.get(source)
+        if costs is None:
+            costs = shortest_path_costs(self.topology, source)
+            self._costs[source] = costs
+        return costs
+
+    def cost(self, source: str, target: str) -> int | None:
+        """Minimal IGP cost between two routers, ``None`` when disconnected."""
+        return self.costs_from(source).get(target)
+
+    def equal_cost_next_hops(self, source: str, target: str) -> set[str]:
+        """As :func:`equal_cost_next_hops`, but from the cached cost maps."""
+        if source == target:
+            return set()
+        total = self.costs_from(source).get(target)
+        if total is None:
+            return set()
+        target_costs = self.costs_from(target)
+        next_hops: set[str] = set()
+        for neighbor in self.topology.neighbors(source):
+            edge = self.topology.link_cost(source, neighbor)
+            remaining = target_costs.get(neighbor)
+            if remaining is not None and edge + remaining == total:
+                next_hops.add(neighbor)
+        return next_hops

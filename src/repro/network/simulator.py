@@ -12,11 +12,23 @@ Two entry points are provided:
 * :func:`trace_forwarding` — dataplane-only tracing over an explicit
   :class:`~repro.network.fib.Fib`, used by workloads that handcraft FIBs
   (such as the Figure 1 case study) and by tests.
+
+The simulator is also the substrate of *contingency sweeps* (what-if
+verification under failures, :mod:`repro.verifier.contingency`):
+:meth:`Simulator.under_failure` derives a simulator over the topology with
+a set of link bundles failed (recomputing BGP/IGP/FIB state lazily, with
+unreachable exits degrading to dropped traffic instead of errors), and
+:meth:`Simulator.derive_snapshot` re-traces **only** the traffic classes
+whose forwarding the failure can actually change: a class whose baseline
+trace visits only routers with identical FIB decisions under the failure
+provably forwards identically, so its baseline graph object is reused —
+which also makes cross-contingency interning an identity hit.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.automata.alphabet import DROP
@@ -28,6 +40,7 @@ from repro.network.topology import Topology
 from repro.rela.locations import Granularity
 from repro.snapshots.fec import FlowEquivalenceClass
 from repro.snapshots.forwarding_graph import ForwardingGraph
+from repro.snapshots.graphstore import GraphStore
 from repro.snapshots.snapshot import Snapshot
 
 
@@ -57,7 +70,21 @@ def trace_forwarding(
     send traffic to the special ``drop`` sink.
     """
     options = options or TraceOptions()
-    destination = Prefix.coerce(destination)
+    router_graph = _trace_router_graph(
+        topology, fib, ingress, Prefix.coerce(destination), max_hops=options.max_hops
+    )
+    return _convert_router_graph(topology, router_graph, options.granularity)
+
+
+def _trace_router_graph(
+    topology: Topology,
+    fib: Fib,
+    ingress: str,
+    destination: Prefix,
+    *,
+    max_hops: int = 1024,
+) -> ForwardingGraph:
+    """The router-level FIB trace (the granularity-independent core)."""
     if not topology.has_router(ingress):
         raise RoutingError(f"unknown ingress router {ingress!r}")
 
@@ -69,7 +96,7 @@ def trace_forwarding(
     queue: deque[str] = deque([ingress])
     hops = 0
     dropped = False
-    while queue and hops < options.max_hops:
+    while queue and hops < max_hops:
         router = queue.popleft()
         if router in visited:
             continue
@@ -101,10 +128,16 @@ def trace_forwarding(
         router_graph.add_node(DROP)
         router_graph.sources.add(DROP)
         router_graph.sinks.add(DROP)
+    return router_graph
 
-    if options.granularity is Granularity.ROUTER:
+
+def _convert_router_graph(
+    topology: Topology, router_graph: ForwardingGraph, granularity: Granularity
+) -> ForwardingGraph:
+    """Coarsen or expand a router-level trace to the requested granularity."""
+    if granularity is Granularity.ROUTER:
         return router_graph
-    if options.granularity is Granularity.GROUP:
+    if granularity is Granularity.GROUP:
         mapping = {router.name: router.group for router in topology}
         return router_graph.coarsen(mapping, Granularity.GROUP)
     return _expand_to_interfaces(topology, router_graph)
@@ -182,13 +215,33 @@ def _expand_to_interfaces(topology: Topology, router_graph: ForwardingGraph) -> 
 
 
 class Simulator:
-    """The full control-plane + dataplane simulation pipeline."""
+    """The full control-plane + dataplane simulation pipeline.
 
-    def __init__(self, topology: Topology, config: NetworkConfig):
+    ``drop_unreachable`` selects the failure-mode FIB semantics (see
+    :func:`~repro.network.fib.build_fibs`): simulators produced by
+    :meth:`under_failure` blackhole traffic whose exits were cut off instead
+    of raising, because that is what the failed network would do.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: NetworkConfig,
+        *,
+        drop_unreachable: bool = False,
+    ):
         self.topology = topology
         self.config = config
+        self.drop_unreachable = drop_unreachable
         self._selected: SelectedRoutes | None = None
         self._fib: Fib | None = None
+        # Trace memoization: classes that differ only in source prefix or
+        # metadata share one trace and one graph object, and derived
+        # contingency snapshots reuse baseline graphs by identity.  Cached
+        # graphs may get frozen by snapshot interning; they are never
+        # mutated here.
+        self._router_traces: dict[tuple[str, str], ForwardingGraph] = {}
+        self._traces: dict[tuple[str, str, Granularity], ForwardingGraph] = {}
 
     # ------------------------------------------------------------------
     # Control plane
@@ -202,8 +255,65 @@ class Simulator:
     def fib(self) -> Fib:
         """The FIBs derived from the routing computation (cached)."""
         if self._fib is None:
-            self._fib = build_fibs(self.topology, self.compute_routes())
+            self._fib = build_fibs(
+                self.topology, self.compute_routes(), drop_unreachable=self.drop_unreachable
+            )
         return self._fib
+
+    # ------------------------------------------------------------------
+    # Contingencies
+    # ------------------------------------------------------------------
+    def under_failure(self, failed_links: Iterable[tuple[str, str]]) -> "Simulator":
+        """A simulator over this topology with the given link bundles failed.
+
+        This is the failure-aware recompute entry point of contingency
+        sweeps: the derived simulator shares the (unmutated) configuration,
+        recomputes BGP routes / IGP costs / FIBs over the failed topology on
+        first use, and installs drop entries where the failure cut a route's
+        exit off (``drop_unreachable=True``) rather than rejecting the
+        network as malformed.
+        """
+        return Simulator(
+            self.topology.without_links(failed_links),
+            self.config,
+            drop_unreachable=True,
+        )
+
+    def router_trace(self, ingress: str, destination: Prefix | str) -> ForwardingGraph:
+        """Memoized router-level FIB trace of one (ingress, destination)."""
+        destination = Prefix.coerce(destination)
+        key = (ingress, str(destination))
+        graph = self._router_traces.get(key)
+        if graph is None:
+            graph = _trace_router_graph(self.topology, self.fib(), ingress, destination)
+            self._router_traces[key] = graph
+        return graph
+
+    def trace_unchanged(
+        self, baseline: "Simulator", ingress: str, destination: Prefix | str
+    ) -> bool:
+        """Whether this simulator provably forwards a class as ``baseline`` does.
+
+        Sound reuse criterion for contingency derivation: the baseline's
+        router-level trace visits a known router set, and a FIB trace is a
+        pure function of the FIB decisions at the visited routers (the BFS
+        is deterministic).  If every visited router keeps an identical FIB
+        entry for the destination, the failed network traces the identical
+        graph — including at interface granularity, because an unchanged
+        entry can only point over surviving bundles (the failed topology
+        cannot produce next hops across removed adjacencies) and failures
+        remove whole bundles, never individual members.
+        """
+        destination = Prefix.coerce(destination)
+        base_graph = baseline.router_trace(ingress, destination)
+        fib = self.fib()
+        base_fib = baseline.fib()
+        for node in base_graph.nodes:
+            if node == DROP:
+                continue
+            if fib.lookup(node, destination) != base_fib.lookup(node, destination):
+                return False
+        return True
 
     # ------------------------------------------------------------------
     # Dataplane
@@ -215,14 +325,16 @@ class Simulator:
         *,
         granularity: Granularity = Granularity.ROUTER,
     ) -> ForwardingGraph:
-        """Forwarding graph of one traffic class."""
-        return trace_forwarding(
-            self.topology,
-            self.fib(),
-            ingress,
-            destination,
-            options=TraceOptions(granularity=granularity),
-        )
+        """Forwarding graph of one traffic class (memoized)."""
+        destination = Prefix.coerce(destination)
+        key = (ingress, str(destination), granularity)
+        graph = self._traces.get(key)
+        if graph is None:
+            graph = _convert_router_graph(
+                self.topology, self.router_trace(ingress, destination), granularity
+            )
+            self._traces[key] = graph
+        return graph
 
     def snapshot(
         self,
@@ -230,6 +342,7 @@ class Simulator:
         *,
         name: str = "snapshot",
         granularity: Granularity = Granularity.ROUTER,
+        store: GraphStore | None = None,
     ) -> Snapshot:
         """Simulate all traffic classes and assemble a snapshot.
 
@@ -237,15 +350,54 @@ class Simulator:
         only in source prefix or metadata share one trace *and* one graph
         object, and the snapshot's interning store collapses any remaining
         cross-destination duplicates — a 10^5-class backbone stores each
-        distinct forwarding behaviour exactly once.
+        distinct forwarding behaviour exactly once.  Passing ``store``
+        interns into a shared (e.g. sweep-wide) store instead of a fresh
+        per-snapshot one.
         """
-        snapshot = Snapshot(name=name, granularity=granularity)
-        traced: dict[tuple[str, str], ForwardingGraph] = {}
+        if store is None:
+            snapshot = Snapshot(name=name, granularity=granularity)
+        else:
+            snapshot = Snapshot.with_shared_store(store, name=name, granularity=granularity)
         for fec in fecs:
-            key = (fec.ingress, str(fec.dst_prefix))
-            graph = traced.get(key)
-            if graph is None:
-                graph = self.trace(fec.ingress, fec.dst_prefix, granularity=granularity)
-                traced[key] = graph
-            snapshot.add(fec, graph)
+            snapshot.add(fec, self.trace(fec.ingress, fec.dst_prefix, granularity=granularity))
         return snapshot
+
+    def derive_snapshot(
+        self,
+        baseline: "Simulator",
+        base_snapshot: Snapshot,
+        *,
+        name: str | None = None,
+        combos: dict[tuple[str, str], list[str]] | None = None,
+    ) -> Snapshot:
+        """``base_snapshot`` as this (failed) simulator would have traced it.
+
+        Copy-on-write derivation for contingency sweeps: classes whose
+        baseline traces are provably unaffected (:meth:`trace_unchanged`)
+        keep their baseline graph objects — and therefore their interned
+        refs, so cross-contingency dedup is an identity hit — and only the
+        affected (ingress, destination) combinations are re-traced.
+        ``combos`` optionally passes the precomputed ``(ingress, dst) →
+        fec ids`` grouping so a sweep does not regroup per contingency.
+        """
+        derived = base_snapshot.copy(name=name or f"{base_snapshot.name}-derived")
+        if combos is None:
+            combos = group_fec_combos(base_snapshot.fecs())
+        granularity = base_snapshot.granularity
+        for (ingress, destination), fec_ids in combos.items():
+            if self.trace_unchanged(baseline, ingress, destination):
+                continue
+            graph = self.trace(ingress, destination, granularity=granularity)
+            for fec_id in fec_ids:
+                derived.replace(fec_id, graph)
+        return derived
+
+
+def group_fec_combos(
+    fecs: Iterable[FlowEquivalenceClass],
+) -> dict[tuple[str, str], list[str]]:
+    """Group FEC ids by their (ingress, destination prefix) trace key."""
+    combos: dict[tuple[str, str], list[str]] = {}
+    for fec in fecs:
+        combos.setdefault((fec.ingress, str(fec.dst_prefix)), []).append(fec.fec_id)
+    return combos

@@ -73,6 +73,11 @@ class Topology:
         self._routers: dict[str, Router] = {}
         self._links: list[Link] = []
         self._adjacency: dict[str, set[str]] = {}
+        # Bundle index: unordered router pair -> its parallel link members.
+        # Maintained incrementally (links are only ever added), it makes
+        # ``links_between``/``link_cost`` O(#members) instead of O(#links),
+        # which is what every Dijkstra edge relaxation pays.
+        self._bundles: dict[frozenset[str], list[Link]] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -106,6 +111,7 @@ class Topology:
         self._links.extend(created)
         self._adjacency[a].add(b)
         self._adjacency[b].add(a)
+        self._bundles.setdefault(frozenset((a, b)), []).extend(created)
         return created
 
     # ------------------------------------------------------------------
@@ -145,11 +151,17 @@ class Topology:
 
     def links_between(self, a: str, b: str) -> list[Link]:
         """All parallel link members between two routers (either direction)."""
-        return [
-            link
-            for link in self._links
-            if (link.a == a and link.b == b) or (link.a == b and link.b == a)
-        ]
+        return list(self._bundles.get(frozenset((a, b)), ()))
+
+    def link_bundles(self) -> list[tuple[str, str]]:
+        """All connected router pairs, as sorted ``(a, b)`` tuples.
+
+        One entry per *bundle* (parallel members collapse): this is the unit
+        failure models enumerate, since failing a single member of a bundle
+        leaves router-level forwarding unchanged (IGP costs take the minimum
+        over surviving members of the same cost).
+        """
+        return sorted(tuple(sorted(pair)) for pair in self._bundles)
 
     def link_cost(self, a: str, b: str) -> int:
         """The minimum IGP cost among parallel members between two routers."""
@@ -254,3 +266,39 @@ class Topology:
         for (a, b, cost), members in bundles.items():
             sub.add_link(a, b, members=members, cost=cost)
         return sub
+
+    def without_links(
+        self, failed: Iterable[tuple[str, str]], *, name: str | None = None
+    ) -> "Topology":
+        """The topology with the given link bundles failed (removed).
+
+        ``failed`` names unordered router pairs; *every* parallel member of a
+        named pair is removed, modelling the failure (or planned drain) of
+        the whole physical bundle.  Routers are never removed — an isolated
+        router simply has no adjacency, and the routing layers turn that
+        into dropped traffic.  Naming a pair with no links is an error: a
+        contingency that fails a non-existent link is a typo, not a no-op.
+        """
+        gone = {frozenset(pair) for pair in failed}
+        for pair in gone:
+            if len(pair) != 2 or pair not in self._bundles:
+                a, b = sorted(pair) if len(pair) == 2 else (next(iter(pair)),) * 2
+                raise TopologyError(f"no link between {a!r} and {b!r} to fail")
+        derived = Topology(name=name or f"{self.name}-failed")
+        for router in self._routers.values():
+            derived.add_router(
+                router.name,
+                group=router.group,
+                region=router.region,
+                asn=router.asn,
+                tier=router.tier,
+            )
+        for pair, members in self._bundles.items():
+            if pair in gone:
+                continue
+            for link in members:
+                derived._links.append(link)
+                derived._adjacency[link.a].add(link.b)
+                derived._adjacency[link.b].add(link.a)
+                derived._bundles.setdefault(pair, []).append(link)
+        return derived

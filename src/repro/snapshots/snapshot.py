@@ -42,6 +42,26 @@ class Snapshot:
     # ------------------------------------------------------------------
     # Population
     # ------------------------------------------------------------------
+    @classmethod
+    def with_shared_store(
+        cls,
+        store: GraphStore,
+        *,
+        name: str = "snapshot",
+        granularity: Granularity = Granularity.ROUTER,
+    ) -> "Snapshot":
+        """An empty snapshot interning into a caller-owned (shared) store.
+
+        Contingency sweeps intern every derived snapshot into one
+        cross-contingency store, so identical forwarding behaviours resolve
+        to identical refs *across* contingencies — the unit the sweep's
+        verdict dedup counts on.  Sharing is safe because interned graphs
+        are frozen; refs remain local to ``store``.
+        """
+        snapshot = cls(name=name, granularity=granularity)
+        snapshot._store = store
+        return snapshot
+
     def add(self, fec: FlowEquivalenceClass, graph: ForwardingGraph) -> None:
         """Record the forwarding graph of one traffic class.
 

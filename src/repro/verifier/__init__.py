@@ -1,5 +1,15 @@
 """The Rela relational verification engine (paper Section 6)."""
 
+from repro.verifier.contingency import (
+    Contingency,
+    ContingencyResult,
+    ContingencySweep,
+    SweepReport,
+    baseline_contingency,
+    k_link_failures,
+    maintenance_link_sets,
+    single_link_failures,
+)
 from repro.verifier.counterexample import (
     BranchViolation,
     Counterexample,
@@ -22,6 +32,14 @@ __all__ = [
     "verify_change",
     "VerificationSession",
     "verify_stream",
+    "Contingency",
+    "ContingencyResult",
+    "ContingencySweep",
+    "SweepReport",
+    "baseline_contingency",
+    "single_link_failures",
+    "k_link_failures",
+    "maintenance_link_sets",
     "VerificationOptions",
     "VerificationReport",
     "StreamReport",

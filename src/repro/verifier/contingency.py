@@ -1,0 +1,439 @@
+"""What-if contingency sweeps: k-failure verification under change.
+
+The paper verifies that a proposed change preserves relational properties
+between two snapshots of the *healthy* network.  Operators ask a second
+question in the same breath: does the change stay safe when the network is
+degraded — "does the drain still hold under any single link failure?"
+Answering it naively multiplies the whole verification pipeline by the
+number of contingencies: every failed link means a fresh routing
+computation, a fresh snapshot pair and a fresh sweep over every flow
+equivalence class.
+
+This module turns that blowup into a dedup problem, which the interned
+:class:`~repro.snapshots.graphstore.GraphStore` and the
+:class:`~repro.verifier.session.VerificationSession` verdict cache already
+know how to solve:
+
+1. **Failure models** enumerate contingencies — all single-link failures
+   (:func:`single_link_failures`), all k-link combinations over a candidate
+   set (:func:`k_link_failures`), or explicit planned-maintenance link sets
+   (:func:`maintenance_link_sets`).  The unit of failure is a whole link
+   *bundle* (an unordered router pair): failing one parallel member never
+   changes router-level forwarding.
+2. **Derivation** builds each contingency's pre-change snapshot via the
+   simulator's failure-aware entry points
+   (:meth:`~repro.network.simulator.Simulator.under_failure` +
+   :meth:`~repro.network.simulator.Simulator.derive_snapshot`): BGP/IGP/FIB
+   state is recomputed once per contingency, but only the traffic classes
+   whose baseline traces the failure can actually touch are re-traced —
+   everything else reuses the baseline graph objects.  The change under
+   test is then applied to the degraded snapshot, exactly as it would land
+   on the degraded network.
+3. **Shared interning**: every derived snapshot interns into one
+   cross-contingency :class:`~repro.snapshots.graphstore.GraphStore`, so a
+   forwarding behaviour exhibited under many contingencies resolves to one
+   ref sweep-wide.
+4. **One session**: a single :class:`~repro.verifier.session.VerificationSession`
+   (rebased per contingency) drives the whole sweep, so each distinct
+   ``(context, spec key, pre ref, post ref)`` verdict is computed once and
+   served from cache for every other contingency exhibiting it.  Most
+   failures do not touch most classes' graphs, so the sweep executes a
+   small multiple of one contingency's unique checks instead of
+   ``contingencies × unique-pairs-per-contingency`` — the
+   :attr:`SweepReport.dedup_ratio` headline, gated in CI.
+
+Per-contingency reports are byte-identical to naive one-shot
+``verify_change`` runs over independently simulated snapshots (pinned by
+``tests/verifier/test_contingency_sweep.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from repro.errors import VerificationError
+from repro.network.bgp import NetworkConfig
+from repro.network.simulator import Simulator, group_fec_combos
+from repro.network.topology import Topology
+from repro.rela.locations import Granularity, LocationDB
+from repro.rela.pspec import SpecPolicy
+from repro.rela.spec import RelaSpec
+from repro.snapshots.fec import FlowEquivalenceClass
+from repro.snapshots.graphstore import GraphStore
+from repro.snapshots.snapshot import Snapshot
+from repro.verifier.engine import VerificationOptions
+from repro.verifier.report import VerificationReport
+from repro.verifier.session import VerificationSession
+
+#: An unordered router pair naming one link bundle.
+LinkPair = tuple[str, str]
+
+#: The change under test, as a transform of a (possibly degraded) pre-change
+#: snapshot.  May return just the post snapshot, or ``(post, expect_holds)``
+#: when the workload knows whether the change complies *on that snapshot*
+#: (buggy variants are only spec-visible under contingencies that leave
+#: detectable traffic behind).
+ChangeFn = Callable[[Snapshot], "Snapshot | tuple[Snapshot, bool]"]
+
+
+def _canonical_pair(pair: Iterable[str]) -> LinkPair:
+    a, b = sorted(pair)
+    return (a, b)
+
+
+@dataclass(frozen=True, slots=True)
+class Contingency:
+    """One network condition to verify the change under."""
+
+    contingency_id: str
+    #: Failed link bundles, as canonical sorted pairs; empty = the healthy
+    #: network (the baseline contingency).
+    failed_links: tuple[LinkPair, ...] = ()
+    description: str = ""
+
+    @property
+    def is_baseline(self) -> bool:
+        return not self.failed_links
+
+    def __str__(self) -> str:
+        if self.is_baseline:
+            return self.contingency_id
+        failed = ", ".join(f"{a}~{b}" for a, b in self.failed_links)
+        return f"{self.contingency_id} [{failed}]"
+
+
+def baseline_contingency() -> Contingency:
+    """The no-failure contingency (the healthy network)."""
+    return Contingency(contingency_id="baseline", description="no failure")
+
+
+def single_link_failures(
+    topology: Topology, *, candidates: Iterable[LinkPair] | None = None
+) -> list[Contingency]:
+    """Every single-link-bundle failure (over ``candidates`` if given)."""
+    pairs = _candidate_pairs(topology, candidates)
+    return [
+        Contingency(
+            contingency_id=f"single-{a}~{b}",
+            failed_links=((a, b),),
+            description=f"link {a}~{b} down",
+        )
+        for a, b in pairs
+    ]
+
+
+def k_link_failures(
+    topology: Topology,
+    k: int,
+    *,
+    candidates: Iterable[LinkPair] | None = None,
+    limit: int | None = None,
+) -> list[Contingency]:
+    """Every ``k``-combination of link-bundle failures over a candidate set.
+
+    Combinations are enumerated in deterministic sorted order; ``limit``
+    truncates the (combinatorially explosive) enumeration to its first N
+    entries.  ``k=1`` degenerates to :func:`single_link_failures`.
+    """
+    if k < 1:
+        raise VerificationError("k-link failure models need k >= 1")
+    pairs = _candidate_pairs(topology, candidates)
+    if k > len(pairs):
+        raise VerificationError(
+            f"cannot fail {k} links over a candidate set of {len(pairs)}"
+        )
+    contingencies: list[Contingency] = []
+    for combo in combinations(pairs, k):
+        if limit is not None and len(contingencies) >= limit:
+            break
+        tag = "+".join(f"{a}~{b}" for a, b in combo)
+        contingencies.append(
+            Contingency(
+                contingency_id=f"k{k}-{tag}",
+                failed_links=combo,
+                description=f"links {tag} down",
+            )
+        )
+    return contingencies
+
+
+def maintenance_link_sets(
+    link_sets: Iterable[Iterable[LinkPair]], *, prefix: str = "maint"
+) -> list[Contingency]:
+    """Explicit planned-maintenance contingencies, one per drained link set."""
+    contingencies: list[Contingency] = []
+    for index, link_set in enumerate(link_sets):
+        failed = tuple(sorted(_canonical_pair(pair) for pair in link_set))
+        if not failed:
+            raise VerificationError("a maintenance link set cannot be empty")
+        tag = "+".join(f"{a}~{b}" for a, b in failed)
+        contingencies.append(
+            Contingency(
+                contingency_id=f"{prefix}-{index}",
+                failed_links=failed,
+                description=f"maintenance set {index}: {tag} drained",
+            )
+        )
+    return contingencies
+
+
+def _candidate_pairs(
+    topology: Topology, candidates: Iterable[LinkPair] | None
+) -> list[LinkPair]:
+    if candidates is None:
+        return topology.link_bundles()
+    pairs = sorted({_canonical_pair(pair) for pair in candidates})
+    bundles = set(topology.link_bundles())
+    unknown = [pair for pair in pairs if pair not in bundles]
+    if unknown:
+        raise VerificationError(f"candidate links not in the topology: {unknown}")
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# Sweep results
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class ContingencyResult:
+    """The verification outcome of the change under one contingency."""
+
+    contingency: Contingency
+    report: VerificationReport
+    #: The workload's compliance expectation on this contingency's snapshot
+    #: (None when the change transform does not state one).
+    expected_holds: bool | None = None
+    #: Seconds spent deriving this contingency's snapshots (routing
+    #: recompute, affected-trace re-tracing, change application).
+    derive_seconds: float = 0.0
+
+    @property
+    def holds(self) -> bool:
+        return self.report.holds
+
+
+@dataclass(slots=True)
+class SweepReport:
+    """Aggregate outcome of a contingency sweep.
+
+    Beyond the per-contingency verdicts, the report quantifies how much of
+    the naive ``contingencies × unique-pairs-per-contingency`` work the
+    cross-contingency dedup absorbed: :attr:`naive_checks` is what
+    independent one-shot runs would each have executed,
+    :attr:`executed_checks` is what the shared session actually ran, and
+    :attr:`dedup_ratio` is their quotient (CI gates it as a hard floor).
+    """
+
+    results: list[ContingencyResult] = field(default_factory=list)
+    #: Wall-clock seconds for the whole sweep, including baseline snapshot
+    #: simulation and per-contingency derivation.
+    elapsed_seconds: float = 0.0
+    #: Distinct graphs in the shared cross-contingency store at sweep end.
+    distinct_graphs: int = 0
+
+    def record(self, result: ContingencyResult) -> None:
+        self.results.append(result)
+
+    @property
+    def contingencies(self) -> int:
+        return len(self.results)
+
+    @property
+    def holds(self) -> bool:
+        """True when the change held under every contingency."""
+        return all(result.holds for result in self.results)
+
+    @property
+    def violating_contingencies(self) -> int:
+        return sum(1 for result in self.results if not result.holds)
+
+    @property
+    def expectation_mismatches(self) -> list[ContingencyResult]:
+        """Results whose verdict contradicts the workload's expectation."""
+        return [
+            result
+            for result in self.results
+            if result.expected_holds is not None and result.holds != result.expected_holds
+        ]
+
+    @property
+    def total_fecs(self) -> int:
+        """Flow-class checks across all contingencies (with repeats)."""
+        return sum(result.report.total_fecs for result in self.results)
+
+    @property
+    def naive_checks(self) -> int:
+        """Distinct checks summed per contingency — the no-dedup cost."""
+        return sum(result.report.unique_checks for result in self.results)
+
+    @property
+    def executed_checks(self) -> int:
+        """Distinct checks the shared session actually executed."""
+        return sum(result.report.executed_checks for result in self.results)
+
+    @property
+    def cached_checks(self) -> int:
+        return sum(result.report.cached_checks for result in self.results)
+
+    @property
+    def dedup_ratio(self) -> float:
+        """How many times cheaper the sweep was than independent runs."""
+        if self.executed_checks == 0:
+            return float("inf") if self.naive_checks else 1.0
+        return self.naive_checks / self.executed_checks
+
+    @property
+    def derive_seconds(self) -> float:
+        return sum(result.derive_seconds for result in self.results)
+
+    @property
+    def check_seconds(self) -> float:
+        return sum(result.report.elapsed_seconds for result in self.results)
+
+    def most_violating(self, count: int = 5) -> list[ContingencyResult]:
+        """The contingencies with the most violating flow classes, worst first."""
+        violating = [result for result in self.results if not result.holds]
+        violating.sort(
+            key=lambda result: (-result.report.violating_fecs, result.contingency.contingency_id)
+        )
+        return violating[:count]
+
+    def summary(self) -> str:
+        """One-line sweep summary with the dedup headline."""
+        verdict = (
+            "PASS" if self.holds else f"FAIL ({self.violating_contingencies} contingencies)"
+        )
+        ratio = self.dedup_ratio
+        ratio_text = "inf" if ratio == float("inf") else f"{ratio:.1f}x"
+        return (
+            f"{verdict}: {self.contingencies} contingencies, {self.total_fecs} FEC checks, "
+            f"{self.executed_checks} executed / {self.cached_checks} cached of "
+            f"{self.naive_checks} per-contingency unique checks "
+            f"(dedup {ratio_text}, {self.distinct_graphs} distinct graphs, "
+            f"{self.elapsed_seconds:.2f}s)"
+        )
+
+
+# ----------------------------------------------------------------------
+# The sweep driver
+# ----------------------------------------------------------------------
+class ContingencySweep:
+    """Verify one change under a family of failure contingencies.
+
+    Parameters
+    ----------
+    topology, config:
+        The network under study (the simulator substrate).
+    fecs:
+        The traffic classes every contingency snapshot covers.
+    change:
+        The change under test, as a snapshot transform (see :data:`ChangeFn`).
+        It is applied to each contingency's *degraded* pre-change snapshot,
+        exactly as the change automation would act on the degraded network.
+    spec:
+        The Rela spec (or prefix-guarded policy) the change must satisfy
+        under every contingency.  One instance, shared sweep-wide, so the
+        session can share compiled forms and cached verdicts.
+    contingencies:
+        Failure model output (see :func:`single_link_failures` and friends).
+        The healthy-network baseline is prepended unless already present or
+        ``include_baseline=False``.
+    db, options, granularity:
+        As for :func:`~repro.verifier.engine.verify_change`.  Passing the
+        topology's location database keeps the alphabet signature stable
+        across contingencies, which maximizes compiled-spec and verdict
+        reuse (it is a performance knob only — reports are identical either
+        way).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: NetworkConfig,
+        fecs: list[FlowEquivalenceClass],
+        change: ChangeFn,
+        spec: RelaSpec | SpecPolicy,
+        contingencies: Iterable[Contingency],
+        *,
+        db: LocationDB | None = None,
+        options: VerificationOptions | None = None,
+        granularity: Granularity = Granularity.ROUTER,
+        include_baseline: bool = True,
+    ) -> None:
+        self.topology = topology
+        self.config = config
+        self.fecs = fecs
+        self.change = change
+        self.spec = spec
+        self.db = db
+        self.options = options
+        self.granularity = granularity
+        self.contingencies = list(contingencies)
+        if include_baseline and not any(c.is_baseline for c in self.contingencies):
+            self.contingencies.insert(0, baseline_contingency())
+        if not self.contingencies:
+            raise VerificationError("a contingency sweep needs at least one contingency")
+
+    def run(self) -> SweepReport:
+        """Run the sweep and return the aggregate report."""
+        started = time.perf_counter()
+        store = GraphStore()
+        base_sim = Simulator(self.topology, self.config)
+
+        derive_started = time.perf_counter()
+        base_pre = base_sim.snapshot(
+            self.fecs, name="sweep-pre", granularity=self.granularity, store=store
+        )
+        combos = group_fec_combos(self.fecs)
+        base_derive_seconds = time.perf_counter() - derive_started
+
+        session = VerificationSession(
+            base_pre, self.spec, db=self.db, options=self.options
+        )
+        sweep = SweepReport()
+        for contingency in self.contingencies:
+            derive_started = time.perf_counter()
+            if contingency.is_baseline:
+                pre = base_pre
+            else:
+                failed_sim = base_sim.under_failure(contingency.failed_links)
+                pre = failed_sim.derive_snapshot(
+                    base_sim,
+                    base_pre,
+                    name=f"sweep-pre@{contingency.contingency_id}",
+                    combos=combos,
+                )
+            post, expected = self._apply_change(pre, contingency)
+            derive_seconds = time.perf_counter() - derive_started
+            if contingency.is_baseline:
+                derive_seconds += base_derive_seconds
+
+            session.rebase(pre)
+            report = session.advance(post, self.spec)
+            sweep.record(
+                ContingencyResult(
+                    contingency=contingency,
+                    report=report,
+                    expected_holds=expected,
+                    derive_seconds=derive_seconds,
+                )
+            )
+        sweep.distinct_graphs = len(store)
+        sweep.elapsed_seconds = time.perf_counter() - started
+        return sweep
+
+    def _apply_change(
+        self, pre: Snapshot, contingency: Contingency
+    ) -> tuple[Snapshot, bool | None]:
+        outcome = self.change(pre)
+        if isinstance(outcome, Snapshot):
+            return outcome, None
+        post, expected = outcome
+        if not isinstance(post, Snapshot):
+            raise VerificationError(
+                f"change transform returned {type(post).__name__}, expected a Snapshot "
+                f"(contingency {contingency.contingency_id})"
+            )
+        return post, bool(expected)

@@ -340,6 +340,19 @@ class VerificationSession:
         self.stream.record(report)
         return report
 
+    def rebase(self, snapshot: Snapshot) -> None:
+        """Make ``snapshot`` current without verifying a change.
+
+        Contingency sweeps verify *unordered pairs* through one session —
+        each contingency's (pre, post) is a fresh branch off the baseline,
+        not a continuation of the previous contingency's post state.
+        ``rebase`` repositions the session (re-pinning graph refs, honouring
+        the memory budgets) so the next :meth:`advance` verifies from
+        ``snapshot``; the verdict cache and compiled contexts carry over,
+        which is the whole point.
+        """
+        self._rotate(snapshot, self._localizer(snapshot.store))
+
     # ------------------------------------------------------------------
     # Memory management
     # ------------------------------------------------------------------

@@ -1,6 +1,14 @@
-"""Synthetic workloads: backbone, traffic, change scenarios, change streams, Figure 1."""
+"""Synthetic workloads: backbone, traffic, changes, streams, contingency sweeps, Figure 1."""
 
 from repro.workloads.backbone import Backbone, BackboneParams, generate_backbone
+from repro.workloads.contingencies import (
+    SweepScenario,
+    decommission_sweep_scenario,
+    drain_sweep_scenario,
+    generate_sweep_scenarios,
+    interconnect_maintenance_sets,
+    refactor_sweep_scenario,
+)
 from repro.workloads.changes import (
     ChangeScenario,
     generate_change_dataset,
@@ -16,6 +24,7 @@ from repro.workloads.scale import (
     generate_scale_change,
     generate_scale_snapshot,
     scale_backbone,
+    scale_fec_list,
 )
 from repro.workloads.stream import (
     ChangeStream,
@@ -43,8 +52,15 @@ __all__ = [
     "generate_change_dataset",
     "ScaleProfile",
     "scale_backbone",
+    "scale_fec_list",
     "generate_scale_snapshot",
     "generate_scale_change",
+    "SweepScenario",
+    "drain_sweep_scenario",
+    "refactor_sweep_scenario",
+    "decommission_sweep_scenario",
+    "generate_sweep_scenarios",
+    "interconnect_maintenance_sets",
     "ChangeStream",
     "StreamEpoch",
     "StreamProfile",

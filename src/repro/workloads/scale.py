@@ -70,21 +70,14 @@ def scale_backbone(profile: ScaleProfile | None = None) -> Backbone:
     return generate_backbone(profile.backbone_params())
 
 
-def generate_scale_snapshot(
-    backbone: Backbone,
-    *,
-    num_fecs: int,
-    name: str = "pre",
-) -> Snapshot:
-    """A ``num_fecs``-class snapshot with realistic graph duplication.
+def scale_fec_list(backbone: Backbone, *, num_fecs: int) -> list[FlowEquivalenceClass]:
+    """The scale workload's traffic classes, without simulating them.
 
     Classes are distributed round-robin over every (source region, ingress
     router, destination region) combination, all aimed at the destination
-    region's first customer prefix; :meth:`Simulator.snapshot` memoizes
-    traces by (ingress, destination), so each combination is simulated
-    **once** and every class of the combination shares that one interned
-    graph.  Distinct graphs therefore scale with the topology, not with
-    ``num_fecs`` — the regime the paper's 10^6-class network exhibits.
+    region's first customer prefix.  Contingency sweeps consume the raw
+    class list (they re-simulate it once per failure); snapshot builders
+    pass it to :meth:`Simulator.snapshot`.
     """
     regions = backbone.regions()
     combos: list[tuple[str, str, str]] = []
@@ -110,6 +103,24 @@ def generate_scale_snapshot(
                 metadata={"src_region": src_region, "dst_region": dst_region},
             )
         )
+    return fecs
+
+
+def generate_scale_snapshot(
+    backbone: Backbone,
+    *,
+    num_fecs: int,
+    name: str = "pre",
+) -> Snapshot:
+    """A ``num_fecs``-class snapshot with realistic graph duplication.
+
+    :meth:`Simulator.snapshot` memoizes traces by (ingress, destination),
+    so each :func:`scale_fec_list` combination is simulated **once** and
+    every class of the combination shares that one interned graph.
+    Distinct graphs therefore scale with the topology, not with
+    ``num_fecs`` — the regime the paper's 10^6-class network exhibits.
+    """
+    fecs = scale_fec_list(backbone, num_fecs=num_fecs)
     return backbone.simulator().snapshot(fecs, name=name, granularity=Granularity.ROUTER)
 
 

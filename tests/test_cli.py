@@ -1,4 +1,11 @@
-"""Smoke tests for the command-line interface."""
+"""Smoke and error-path tests for the command-line interface.
+
+Exit-code contract: 0 = verified and holds, 1 = verified and violations
+found, 2 = the run itself failed (missing files, unparsable specs, invalid
+workload parameters, conflicting flags).  Library and I/O failures print a
+one-line ``error: ...`` to stderr instead of a traceback; argparse flag
+conflicts raise ``SystemExit(2)`` with a usage message.
+"""
 
 from __future__ import annotations
 
@@ -123,6 +130,174 @@ def test_stream_flapping_profile(capsys):
     assert code == 0
     assert "[flapping-e003]" in out
     assert out.splitlines()[-1].startswith("PASS")
+
+
+def test_sweep_smoke(capsys):
+    code = main(
+        [
+            "sweep",
+            "--fecs",
+            "120",
+            "--regions",
+            "3",
+            "--candidate-links",
+            "r0-agg0~r0-core0",
+            "r0-border0~r1-border0",
+            "--seed",
+            "7",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert out.splitlines()[-1].startswith("PASS: 3 contingencies")
+    assert "dedup" in out
+
+
+def test_sweep_buggy_reports_most_violating(capsys):
+    code = main(
+        [
+            "sweep",
+            "--scenario",
+            "refactor",
+            "--buggy",
+            "--fecs",
+            "120",
+            "--regions",
+            "3",
+            "--candidate-links",
+            "r0-agg0~r0-core0",
+            "--seed",
+            "7",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "most-violating contingencies:" in out
+    assert out.splitlines()[-1].startswith("FAIL")
+
+
+# ----------------------------------------------------------------------
+# Error paths
+# ----------------------------------------------------------------------
+def test_verify_missing_snapshot_file(snapshot_files, capsys, tmp_path):
+    code = main(
+        [
+            "verify",
+            str(tmp_path / "does-not-exist.json"),
+            str(snapshot_files["post"]),
+            str(snapshot_files["spec"]),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 2
+    assert captured.err.startswith("error:")
+    assert "does-not-exist.json" in captured.err
+
+
+def test_verify_malformed_snapshot_json(snapshot_files, capsys, tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"name": "x", "granularity": "router"')  # truncated
+    code = main(
+        ["verify", str(bad), str(snapshot_files["post"]), str(snapshot_files["spec"])]
+    )
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "error:" in captured.err and "JSON" in captured.err
+
+
+def test_verify_bad_spec_text(snapshot_files, capsys, tmp_path):
+    bad_spec = tmp_path / "broken.rela"
+    bad_spec.write_text("spec change = { this is not rela ;\n")
+    code = main(
+        ["verify", str(snapshot_files["pre"]), str(snapshot_files["post"]), str(bad_spec)]
+    )
+    captured = capsys.readouterr()
+    assert code == 2
+    assert captured.err.startswith("error:")
+
+
+def test_verify_unknown_spec_name(snapshot_files, capsys):
+    code = main(
+        [
+            "verify",
+            str(snapshot_files["pre"]),
+            str(snapshot_files["post"]),
+            str(snapshot_files["spec"]),
+            "--spec-name",
+            "nope",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "unknown spec" in captured.err
+
+
+def test_pathdiff_missing_file(capsys, tmp_path):
+    code = main(["pathdiff", str(tmp_path / "a.json"), str(tmp_path / "b.json")])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert captured.err.startswith("error:")
+
+
+def test_stream_invalid_profile(capsys):
+    code = main(["stream", "--fecs", "10", "--regions", "4", "--epochs", "0"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "at least one epoch" in captured.err
+
+
+def test_sweep_k_flag_conflicts_with_single_failures(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["sweep", "--k", "2"])
+    assert excinfo.value.code == 2
+    assert "--k only applies to --failures k" in capsys.readouterr().err
+
+
+def test_sweep_limit_flag_conflicts_with_single_failures(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["sweep", "--limit", "3"])
+    assert excinfo.value.code == 2
+    assert "--limit only applies" in capsys.readouterr().err
+
+
+def test_sweep_candidates_conflict_with_maintenance(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(
+            [
+                "sweep",
+                "--failures",
+                "maintenance",
+                "--candidate-links",
+                "r0-agg0~r0-core0",
+            ]
+        )
+    assert excinfo.value.code == 2
+    assert "conflicts with --failures maintenance" in capsys.readouterr().err
+
+
+def test_sweep_malformed_candidate_link(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["sweep", "--candidate-links", "not-a-link"])
+    assert excinfo.value.code == 2
+    assert "routerA~routerB" in capsys.readouterr().err
+
+
+def test_sweep_drain_rejects_interface_granularity(capsys):
+    code = main(
+        ["sweep", "--fecs", "60", "--regions", "3", "--granularity", "interface"]
+    )
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "interface-level" in captured.err
+
+
+def test_sweep_unknown_candidate_link(capsys):
+    code = main(
+        ["sweep", "--fecs", "60", "--regions", "3", "--candidate-links", "a~b"]
+    )
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "candidate links not in the topology" in captured.err
 
 
 def test_stream_prefix_migration_profile(capsys):

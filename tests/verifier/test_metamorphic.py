@@ -1,0 +1,226 @@
+"""Metamorphic properties of the verifier (hypothesis).
+
+Verification is a statement about path *languages*, so its outcome must be
+invariant under a consistent relabeling of the world: renaming every
+location through one bijection (applied to both snapshots **and** to the
+spec) and permuting flow-equivalence-class identifiers cannot change which
+classes violate, which branches they violate, or — modulo the same
+renaming — the witness paths reported.  These tests generate random small
+snapshot pairs, apply random relabelings, and compare the two runs.
+
+Witness-set equality is asserted on preserve-only specs, whose relation
+images are finite path sets: with generous witness bounds the reported
+sets are the *complete* differences, so they must map exactly through the
+renaming.  (Specs built on ``any`` have infinite expected languages; their
+truncated witness enumeration is deterministic per alphabet but not
+renaming-invariant, so for the general spec shape the invariant covers
+verdicts, violating classes and per-branch counts.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.rela import any_hops, any_of, atomic, locs, nochange, seq  # noqa: E402
+from repro.snapshots import FlowEquivalenceClass, build_snapshot  # noqa: E402
+from repro.verifier import VerificationOptions, verify_change  # noqa: E402
+
+NODES = [f"x{i}" for i in range(6)]
+FEC_IDS = [f"f{i}" for i in range(5)]
+
+#: Generous bounds so small-language witness sets are never truncated.
+EXHAUSTIVE = VerificationOptions(max_witnesses=200, max_paths=400)
+
+
+#: Fixed topological order for generated paths (the *base* universe order,
+#: not the renamed one): every path's hops strictly ascend in this order,
+#: so any union of paths is a DAG and every path language is finite — the
+#: precondition for witness sets being complete rather than a truncated,
+#: enumeration-order-dependent sample.
+_RANK = {node: index for index, node in enumerate(NODES)}
+
+
+def path_strategy():
+    return (
+        st.lists(st.sampled_from(NODES), min_size=1, max_size=4, unique=True)
+        .map(lambda nodes: tuple(sorted(nodes, key=_RANK.__getitem__)))
+    )
+
+
+def paths_strategy():
+    return st.lists(path_strategy(), min_size=1, max_size=3, unique=True)
+
+
+@st.composite
+def snapshot_pair(draw):
+    """Random (pre, post) path sets for 2-5 FECs; post may drift per FEC."""
+    count = draw(st.integers(min_value=2, max_value=len(FEC_IDS)))
+    pre: dict[str, list[tuple[str, ...]]] = {}
+    post: dict[str, list[tuple[str, ...]]] = {}
+    for fec_id in FEC_IDS[:count]:
+        pre[fec_id] = draw(paths_strategy())
+        if draw(st.booleans()):
+            post[fec_id] = pre[fec_id]
+        else:
+            post[fec_id] = draw(paths_strategy())
+    return pre, post
+
+
+def relabeling(draw):
+    node_map = dict(zip(NODES, draw(st.permutations(NODES))))
+    fec_map = dict(zip(FEC_IDS, draw(st.permutations(FEC_IDS))))
+    return node_map, fec_map
+
+
+def build_world(pre_paths, post_paths, node_map, fec_map):
+    """Snapshots + per-FEC objects under a (possibly identity) relabeling."""
+    fecs = {
+        fec_id: FlowEquivalenceClass(
+            fec_map[fec_id], dst_prefix="203.0.113.0/24", ingress="edge"
+        )
+        for fec_id in pre_paths
+    }
+
+    def map_path(path):
+        return tuple(node_map[node] for node in path)
+
+    pre = build_snapshot(
+        "pre",
+        [(fecs[fec_id], [map_path(p) for p in paths]) for fec_id, paths in pre_paths.items()],
+    )
+    post = build_snapshot(
+        "post",
+        [(fecs[fec_id], [map_path(p) for p in paths]) for fec_id, paths in post_paths.items()],
+    )
+    return pre, post, fecs
+
+
+IDENTITY_NODES = {node: node for node in NODES}
+IDENTITY_FECS = {fec_id: fec_id for fec_id in FEC_IDS}
+
+
+@st.composite
+def metamorphic_case(draw):
+    pre_paths, post_paths = draw(snapshot_pair())
+    node_map, fec_map = relabeling(draw)
+    return pre_paths, post_paths, node_map, fec_map
+
+
+def shift_spec(from_node: str, to_node: str):
+    shift = atomic(
+        seq(any_hops(), locs({from_node}), any_hops()),
+        any_of(seq(any_hops(), locs({to_node}), any_hops())),
+        name="shift",
+    )
+    return shift.else_(nochange())
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(case=metamorphic_case(), endpoints=st.tuples(st.sampled_from(NODES), st.sampled_from(NODES)))
+def test_verdicts_and_branch_counts_invariant_under_relabeling(case, endpoints):
+    """Shift-else-nochange: verdict, violating set and branch counts map."""
+    pre_paths, post_paths, node_map, fec_map = case
+    from_node, to_node = endpoints
+
+    base_pre, base_post, _ = build_world(
+        pre_paths, post_paths, IDENTITY_NODES, IDENTITY_FECS
+    )
+    base = verify_change(
+        base_pre, base_post, shift_spec(from_node, to_node), options=EXHAUSTIVE
+    )
+
+    mapped_pre, mapped_post, mapped_fecs = build_world(
+        pre_paths, post_paths, node_map, fec_map
+    )
+    mapped = verify_change(
+        mapped_pre,
+        mapped_post,
+        shift_spec(node_map[from_node], node_map[to_node]),
+        options=EXHAUSTIVE,
+    )
+
+    assert mapped.holds == base.holds
+    assert mapped.total_fecs == base.total_fecs
+    assert mapped.violating_fecs == base.violating_fecs
+    # Branch names are relabeling-independent, so the counts map directly.
+    assert dict(mapped.branch_violation_counts) == dict(base.branch_violation_counts)
+    assert {ce.fec_id for ce in mapped.counterexamples} == {
+        fec_map[ce.fec_id] for ce in base.counterexamples
+    }
+    # The per-class forwarding paths attached to counterexamples are finite
+    # graph enumerations: they must map exactly through the renaming.
+    mapped_by_id = {ce.fec_id: ce for ce in mapped.counterexamples}
+    for ce in base.counterexamples:
+        twin = mapped_by_id[fec_map[ce.fec_id]]
+        assert twin.fec_description == str(mapped_fecs[ce.fec_id])
+        assert twin.pre_paths == sorted(
+            tuple(node_map[node] for node in path) for path in ce.pre_paths
+        )
+        assert twin.post_paths == sorted(
+            tuple(node_map[node] for node in path) for path in ce.post_paths
+        )
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(case=metamorphic_case())
+def test_witness_sets_invariant_under_relabeling(case):
+    """Preserve-only specs: the full report, witness sets included, maps."""
+    pre_paths, post_paths, node_map, fec_map = case
+
+    base_pre, base_post, _ = build_world(
+        pre_paths, post_paths, IDENTITY_NODES, IDENTITY_FECS
+    )
+    base = verify_change(base_pre, base_post, nochange(), options=EXHAUSTIVE)
+
+    mapped_pre, mapped_post, mapped_fecs = build_world(
+        pre_paths, post_paths, node_map, fec_map
+    )
+    mapped = verify_change(mapped_pre, mapped_post, nochange(), options=EXHAUSTIVE)
+
+    assert mapped.holds == base.holds
+    assert dict(mapped.branch_violation_counts) == dict(base.branch_violation_counts)
+
+    def mapped_facts(report, node_mapping, fec_mapping):
+        return {
+            fec_mapping[ce.fec_id]: {
+                "pre": sorted(
+                    tuple(node_mapping[node] for node in path) for path in ce.pre_paths
+                ),
+                "post": sorted(
+                    tuple(node_mapping[node] for node in path) for path in ce.post_paths
+                ),
+                "violations": sorted(
+                    (
+                        violation.branch,
+                        tuple(
+                            sorted(
+                                tuple(node_mapping[node] for node in path)
+                                for path in violation.expected
+                            )
+                        ),
+                        tuple(
+                            sorted(
+                                tuple(node_mapping[node] for node in path)
+                                for path in violation.observed
+                            )
+                        ),
+                    )
+                    for violation in ce.violations
+                ),
+            }
+            for ce in report.counterexamples
+        }
+
+    assert mapped_facts(mapped, IDENTITY_NODES, IDENTITY_FECS) == mapped_facts(
+        base, node_map, fec_map
+    )
+    for ce in mapped.counterexamples:
+        assert ce.fec_description == str(mapped_fecs[_invert(fec_map)[ce.fec_id]])
+
+
+def _invert(mapping: dict[str, str]) -> dict[str, str]:
+    return {value: key for key, value in mapping.items()}
