@@ -60,7 +60,7 @@ def sweep_inputs():
     return backbone, scenario, contingencies
 
 
-def test_contingency_sweep_dedup(sweep_inputs):
+def test_contingency_sweep_dedup(sweep_inputs, guard_cost_per_check):
     backbone, scenario, contingencies = sweep_inputs
 
     started = time.perf_counter()
@@ -102,6 +102,19 @@ def test_contingency_sweep_dedup(sweep_inputs):
     # baseline contingency's checks.
     assert sweep.executed_checks > baseline_report.unique_checks
 
+    # What arming the resilience deadline guard would cost this sweep: the
+    # calibrated per-check figure (conftest.guard_cost_per_check) scaled by
+    # the checks actually executed, relative to the sweep's check phase.
+    # The guard is paid once per *executed* check, so the sweep's dedup
+    # makes it even cheaper here than in the one-shot scale run.
+    guard_overhead_pct = (
+        guard_cost_per_check * sweep.executed_checks / sweep.check_seconds * 100.0
+    )
+    print(
+        f"  resilience guard overhead: {guard_overhead_pct:+.2f}% of the check phase "
+        f"({guard_cost_per_check * 1e6:.1f} us/check x {sweep.executed_checks} executed checks)"
+    )
+
     json_path = os.environ.get("SWEEP_JSON")
     if json_path:
         with open(json_path, "w") as handle:
@@ -118,6 +131,7 @@ def test_contingency_sweep_dedup(sweep_inputs):
                     "derive_seconds": sweep.derive_seconds,
                     "check_seconds": sweep.check_seconds,
                     "contingencies_per_sec": sweep.contingencies / sweep_seconds,
+                    "guard_overhead_pct": guard_overhead_pct,
                     "peak_rss_mb": _peak_rss_mb(),
                 },
                 handle,

@@ -12,7 +12,10 @@ Compares two measurement sources against the ``ci_baseline`` block of
 * the scale-throughput JSON written by ``bench_scale_throughput.py`` when
   ``SCALE_JSON`` is set (gated on FECs/sec — a *lower* bound, so losing the
   interned dedup-first path, which would divide throughput by orders of
-  magnitude, fails the gate);
+  magnitude, fails the gate — and, when the baseline lists
+  ``scale.max_guard_overhead_pct``, on the resilience guard overhead as an
+  *absolute* ceiling: arming per-check deadlines/retries must stay ~free on
+  the fault-free fast path);
 * the stream-throughput JSON written by ``bench_stream_throughput.py`` when
   ``STREAM_JSON`` is set (gated on the incremental-vs-cold speedup as a hard
   lower bound — losing the session's cross-epoch verdict cache drops the
@@ -20,8 +23,9 @@ Compares two measurement sources against the ``ci_baseline`` block of
 * the contingency-sweep JSON written by ``bench_contingency_sweep.py`` when
   ``SWEEP_JSON`` is set (gated on the sweep-wide dedup ratio as a hard
   lower bound — losing cross-contingency interning or the shared verdict
-  cache collapses it toward 1x — and on contingencies/sec within
-  ``threshold``).
+  cache collapses it toward 1x — on contingencies/sec within ``threshold``,
+  and on the sweep's resilience guard overhead when the baseline lists
+  ``sweep.max_guard_overhead_pct``).
 
 A measurement regresses when it exceeds ``threshold`` times its baseline
 (default 2x, absorbing CI-runner jitter while still catching an accidental
@@ -82,6 +86,43 @@ def check_lower_bound(
             f"(allowed >= {1 / threshold:.2f}x)"
         )
     return None
+
+
+def check_guard_overhead(
+    kind: str, measured: dict, baseline: dict
+) -> tuple[int, list[str]]:
+    """Gate the resilience guard's fast-path overhead, when the baseline lists it.
+
+    The ceiling (``max_guard_overhead_pct``) is absolute, deliberately NOT
+    scaled by ``--threshold``: the measurement composes a calibrated
+    per-check guard cost with the workload's own check counts, so it is
+    deterministic — anything past the ceiling is real fast-path cost (e.g.
+    the guard armed per FEC instead of per unique check).
+    """
+    max_overhead = baseline.get("max_guard_overhead_pct")
+    if max_overhead is None:
+        return 0, []
+    overhead = measured.get("guard_overhead_pct")
+    if overhead is None:
+        print(
+            f"  [MISSING] {kind} guard overhead: baseline gates "
+            "max_guard_overhead_pct but measurement lacks guard_overhead_pct"
+        )
+        return 0, [
+            f"{kind} guard_overhead_pct missing from measurement "
+            "(baseline gates max_guard_overhead_pct)"
+        ]
+    verdict = "OK" if overhead <= max_overhead else "REGRESSION"
+    print(
+        f"  [{verdict}] {kind} resilience guard overhead: measured "
+        f"{overhead:+.2f}%, ceiling {max_overhead:.1f}% (absolute)"
+    )
+    if overhead > max_overhead:
+        return 1, [
+            f"{kind} resilience guard overhead rose to {overhead:.2f}% "
+            f"(ceiling {max_overhead:.1f}%)"
+        ]
+    return 1, []
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -174,6 +215,11 @@ def main(argv: list[str] | None = None) -> int:
         compared += 1
         if failure:
             failures.append(failure)
+        guard_compared, guard_failures = check_guard_overhead(
+            "scale", measured_scale, baseline_scale
+        )
+        compared += guard_compared
+        failures.extend(guard_failures)
 
     if args.stream:
         measured_stream = load_json(args.stream)
@@ -259,6 +305,11 @@ def main(argv: list[str] | None = None) -> int:
             compared += 1
             if failure:
                 failures.append(failure)
+        guard_compared, guard_failures = check_guard_overhead(
+            "sweep", measured_sweep, baseline_sweep
+        )
+        compared += guard_compared
+        failures.extend(guard_failures)
 
     if compared == 0:
         print(

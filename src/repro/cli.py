@@ -18,18 +18,34 @@ Subcommands mirror the operator workflow described in the paper:
   reporting the most-violating contingencies and the sweep-wide dedup
   ratio.
 
-Library errors (malformed inputs, missing files, unparsable specs) are
-reported as one-line ``error: ...`` messages with exit status 2; argparse
-usage errors also exit 2.  Exit status 1 means the verification itself
-found violations.
+Exit codes form a contract the change-automation callers script against
+(also printed in ``--help``):
+
+* ``0`` — the specification holds (every class proven);
+* ``1`` — violations found;
+* ``2`` — usage or library error (malformed inputs, missing files,
+  unparsable specs: one-line ``error: ...`` message, no traceback);
+* ``3`` — degraded run: verification completed without finding a
+  violation, but some checks ended *unknown* (crashes, timeouts) or
+  execution fell back to serial after repeated worker-pool loss —
+  the verdict is not a proof;
+* ``4`` — unrecoverable execution failure: the worker pool was lost
+  beyond recovery, or ``--no-degrade`` aborted a run that would have
+  had to degrade;
+* ``130`` — interrupted (Ctrl-C), no traceback.
+
+The ``verify``/``stream``/``sweep`` commands share the resilience knobs
+``--check-timeout``, ``--max-retries`` and ``--no-degrade`` (see
+:mod:`repro.verifier.runtime`).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from concurrent.futures.process import BrokenProcessPool
 
-from repro.errors import ReproError
+from repro.errors import DegradedExecutionError, ReproError
 from repro.rela.locations import Granularity
 from repro.rela.parser import parse_program
 from repro.snapshots.pathdiff import path_diff
@@ -57,6 +73,36 @@ from repro.workloads.stream import (
     rolling_drain_stream,
 )
 from repro.workloads.traffic import generate_fecs
+
+
+def _report_exit(verdict: str, degraded: bool) -> int:
+    """Map a three-valued verdict onto the CLI exit-code contract."""
+    if verdict == "violated":
+        return 1
+    if degraded or verdict == "unknown":
+        return 3
+    return 0
+
+
+def _print_failed_checks(report, max_rows: int) -> None:
+    """One line per unknown-verdict class (honest-degradation output)."""
+    for failure in report.failed_checks[:max_rows]:
+        print(
+            f"  unknown: {failure.fec_description} "
+            f"({failure.reason} after {failure.attempts} attempts: {failure.detail})"
+        )
+    omitted = len(report.failed_checks) - max_rows
+    if omitted > 0:
+        print(f"  ... and {omitted} more unknown classes")
+
+
+def _resilience_kwargs(args: argparse.Namespace) -> dict:
+    """The VerificationOptions fields the shared resilience flags control."""
+    return {
+        "check_timeout": args.check_timeout,
+        "max_retries": args.max_retries,
+        "allow_degraded": not args.no_degrade,
+    }
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -97,13 +143,17 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         program = parse_program(handle.read())
     spec = program.spec(args.spec_name)
     options = VerificationOptions(
-        granularity=Granularity(args.granularity), workers=args.workers
+        granularity=Granularity(args.granularity),
+        workers=args.workers,
+        **_resilience_kwargs(args),
     )
     report = verify_change(pre, post, spec, options=options)
     print(report.summary())
-    if not report.holds:
+    if report.violating_fecs:
         print(report.table(max_rows=args.max_rows))
-    return 0 if report.holds else 1
+    if report.failed_checks:
+        _print_failed_checks(report, args.max_rows)
+    return _report_exit(report.verdict, report.degraded)
 
 
 def _cmd_casestudy(args: argparse.Namespace) -> int:
@@ -158,7 +208,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             stream = flapping_link_stream(
                 backbone, initial, flaps=args.epochs, seed=args.seed
             )
-    options = VerificationOptions(workers=args.workers)
+    options = VerificationOptions(workers=args.workers, **_resilience_kwargs(args))
     session = VerificationSession(
         stream.initial,
         options=options,
@@ -173,10 +223,12 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             else "no checks"
         )
         print(f"[{epoch.epoch_id}] {report.summary()} [{cache}]")
-        if not report.holds and args.show_counterexamples:
+        if report.violating_fecs and args.show_counterexamples:
             print(report.table(max_rows=args.max_rows))
+        if report.failed_checks:
+            _print_failed_checks(report, args.max_rows)
     print(session.stream.summary())
-    return 0 if session.stream.holds else 1
+    return _report_exit(session.stream.verdict, session.stream.degraded)
 
 
 _SWEEP_SCENARIOS = {
@@ -235,7 +287,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         contingencies = contingencies + interconnect_maintenance_sets(backbone)
 
     options = VerificationOptions(
-        granularity=scenario.granularity, workers=args.workers
+        granularity=scenario.granularity,
+        workers=args.workers,
+        **_resilience_kwargs(args),
     )
     sweep = scenario.sweep(contingencies, options=options).run()
     for result in sweep.results:
@@ -253,8 +307,55 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"warning: {result.contingency.contingency_id} expected "
             f"holds={result.expected_holds} but verified holds={result.holds}"
         )
+    unproven = sweep.unproven()
+    if unproven:
+        print("unproven contingencies (unknown verdicts):")
+        for result in unproven:
+            print(
+                f"  {result.contingency}: {result.report.unknown_fecs} classes unknown"
+            )
     print(sweep.summary())
-    return 0 if sweep.holds else 1
+    if sweep.violating_contingencies > 0:
+        return 1
+    if sweep.degraded:
+        return 3
+    return 0
+
+
+def _add_resilience_flags(command: argparse.ArgumentParser) -> None:
+    """The resilience knobs shared by verify / stream / sweep."""
+    group = command.add_argument_group("resilience")
+    group.add_argument(
+        "--check-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per FEC check; an over-budget check is retried, "
+        "then recorded as an unknown verdict (default: unlimited)",
+    )
+    group.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retries per check for transient failures/timeouts, and worker "
+        "deaths tolerated per check before it is declared poisonous (default: 2)",
+    )
+    group.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="abort with exit code 4 instead of recording unknown verdicts or "
+        "falling back to serial execution after repeated worker-pool loss",
+    )
+
+
+_EXIT_CODE_HELP = (
+    "exit codes: 0 = specification holds; 1 = violations found; "
+    "2 = usage or library error; 3 = degraded run (some checks ended unknown "
+    "or execution fell back to serial; no violation found); "
+    "4 = unrecoverable execution failure (worker pool lost beyond recovery, "
+    "or --no-degrade aborted a degrading run); 130 = interrupted"
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -262,6 +363,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="rela-repro",
         description="Relational network verification (Rela) reproduction toolkit",
+        epilog=_EXIT_CODE_HELP,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -290,6 +392,7 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--granularity", default="router", choices=[g.value for g in Granularity])
     verify.add_argument("--workers", type=int, default=1)
     verify.add_argument("--max-rows", type=int, default=20)
+    _add_resilience_flags(verify)
     verify.set_defaults(func=_cmd_verify)
 
     casestudy = sub.add_parser("casestudy", help="replay the Figure 1 change iterations")
@@ -328,6 +431,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stream.add_argument("--show-counterexamples", action="store_true")
     stream.add_argument("--max-rows", type=int, default=8)
+    _add_resilience_flags(stream)
     stream.set_defaults(func=_cmd_stream)
 
     sweep = sub.add_parser(
@@ -388,21 +492,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="print every contingency's report line (failing ones always print)",
     )
     sweep.add_argument("--max-rows", type=int, default=8)
+    _add_resilience_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep, parser=sweep)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point.
+    """CLI entry point (see the module docstring for the exit-code contract).
 
     Library and I/O failures exit 2 with a one-line message instead of a
     traceback: the CLI's inputs (snapshot files, spec programs, workload
-    parameters) are user data, and a typo in them is not a crash.
+    parameters) are user data, and a typo in them is not a crash.  Ctrl-C
+    exits 130 without a traceback; resilience failures the runtime could
+    not absorb (an unrecoverable worker-pool loss, or a ``--no-degrade``
+    run that would have had to degrade) exit 4.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except BrokenProcessPool as error:
+        print(f"error: worker pool failed unrecoverably: {error}", file=sys.stderr)
+        return 4
+    except DegradedExecutionError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 4
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

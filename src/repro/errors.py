@@ -58,5 +58,21 @@ class VerificationError(ReproError):
     """The verification engine was invoked with inconsistent inputs."""
 
 
+class CheckTimeoutError(ReproError):
+    """A single per-FEC check exceeded its wall-clock budget
+    (``VerificationOptions.check_timeout``) and was interrupted."""
+
+
+class WorkerCrashError(ReproError):
+    """A worker process died (OOM kill, hard crash, injected fault) while a
+    check was in flight, or an in-process check simulated such a death."""
+
+
+class DegradedExecutionError(ReproError):
+    """Resilient execution would have had to degrade (record an ``unknown``
+    verdict or fall back to serial execution) but degradation was disabled
+    (``VerificationOptions.allow_degraded=False`` / ``--no-degrade``)."""
+
+
 class WorkloadError(ReproError):
     """A synthetic workload generator received invalid parameters."""

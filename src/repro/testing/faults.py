@@ -1,0 +1,150 @@
+"""Deterministic fault injection for the verification runtime.
+
+The resilience layer (:mod:`repro.verifier.runtime`) survives worker
+crashes, hung checks and transient errors — claims that are only testable
+if those failures can be produced *on demand and reproducibly*.  A
+:class:`FaultPlan` is a picklable schedule of failures keyed by flow
+equivalence class and attempt number, installed through
+``VerificationOptions.fault_plan`` and applied by the runtime at the
+``_check_one_fec`` seam (worker-side and serial alike):
+
+* ``error`` — raise :class:`InjectedFault` (a transient check exception);
+* ``crash`` — kill the hosting worker process with ``os._exit`` (the
+  parent observes ``BrokenProcessPool``); on the serial path, where a real
+  exit would take the whole interpreter down, raise
+  :class:`~repro.errors.WorkerCrashError` instead so the schedule stays
+  runnable on every execution path;
+* ``hang`` — sleep past the per-check deadline so the SIGALRM guard fires
+  (only meaningful with ``check_timeout`` set — an unguarded hang really
+  does sleep for ``delay`` seconds).
+
+Every fault carries an ``attempts`` bound: the fault fires while the
+check's *total* attempt number (prior pool-crash exposure + in-process
+retries) is ``<= attempts``, then stops.  ``attempts=1`` models a
+transient failure that a single retry (or pool rebuild) clears;
+``attempts=POISON`` models a poison check that no retry budget survives.
+
+Plans are pure data — deterministic given their fields — so a faulted run
+is exactly reproducible, which is what the differential suite in
+``tests/verifier/test_fault_tolerance.py`` relies on: any fault schedule
+must yield either the byte-identical clean report or a report whose only
+difference is honestly-flagged ``unknown`` entries.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import WorkerCrashError
+
+#: ``attempts`` value modelling a poison check: no realistic retry budget
+#: outlasts it, so the runtime must give up and record an unknown verdict.
+POISON = 1_000_000
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by ``error`` faults.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: the runtime
+    must absorb arbitrary check exceptions, not just the library's own.
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class Fault:
+    """One fault rule: what fails, for which check, for how many attempts."""
+
+    #: ``"error"`` | ``"crash"`` | ``"hang"``.
+    kind: str
+    #: Flow equivalence class the rule applies to; ``None`` matches every check.
+    fec_id: str | None = None
+    #: The fault fires while the check's total attempt number is <= this.
+    attempts: int = 1
+    #: Seconds a ``hang`` sleeps (pick well past ``check_timeout``).
+    delay: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("error", "crash", "hang"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """A deterministic, picklable schedule of injected failures."""
+
+    faults: tuple[Fault, ...] = ()
+
+    def fault_for(self, fec_id: str, attempt: int) -> Fault | None:
+        """The first rule matching ``(fec_id, attempt)``, if any."""
+        for fault in self.faults:
+            if fault.fec_id is not None and fault.fec_id != fec_id:
+                continue
+            if attempt <= fault.attempts:
+                return fault
+        return None
+
+    def apply(self, fec_id: str, attempt: int, *, in_worker: bool) -> None:
+        """Fire the matching fault, if any (called at the check seam)."""
+        fault = self.fault_for(fec_id, attempt)
+        if fault is None:
+            return
+        if fault.kind == "error":
+            raise InjectedFault(
+                f"injected check error for {fec_id} (attempt {attempt})"
+            )
+        if fault.kind == "crash":
+            if in_worker:
+                # A hard worker death: no exception propagates, no result is
+                # returned, the parent sees BrokenProcessPool.
+                os._exit(17)
+            raise WorkerCrashError(
+                f"injected worker crash for {fec_id} (attempt {attempt})"
+            )
+        # "hang": sleep past the deadline; the runtime's SIGALRM guard is
+        # expected to interrupt this with CheckTimeoutError.
+        time.sleep(fault.delay)
+
+
+def seeded_fault_plan(
+    seed: int,
+    fec_ids: Sequence[str],
+    *,
+    error_rate: float = 0.1,
+    crash_rate: float = 0.05,
+    hang_rate: float = 0.0,
+    poison_rate: float = 0.0,
+    max_transient_attempts: int = 2,
+    hang_delay: float = 30.0,
+) -> FaultPlan:
+    """A reproducible random fault schedule over ``fec_ids``.
+
+    Each class independently draws at most one fault: an ``error``/
+    ``crash``/``hang`` that clears after 1..``max_transient_attempts``
+    attempts, or (with ``poison_rate``) a poison variant that never
+    clears.  The same ``(seed, fec_ids, rates)`` always yields the same
+    plan, so stress sweeps (``STRESS_FAULT_SEEDS``) are reproducible from
+    their seed alone.
+    """
+    rng = random.Random(seed)
+    faults: list[Fault] = []
+    for fec_id in sorted(fec_ids):
+        draw = rng.random()
+        kind: str | None = None
+        if draw < error_rate:
+            kind = "error"
+        elif draw < error_rate + crash_rate:
+            kind = "crash"
+        elif draw < error_rate + crash_rate + hang_rate:
+            kind = "hang"
+        if kind is None:
+            continue
+        if rng.random() < poison_rate:
+            attempts = POISON
+        else:
+            attempts = rng.randint(1, max(1, max_transient_attempts))
+        faults.append(Fault(kind=kind, fec_id=fec_id, attempts=attempts, delay=hang_delay))
+    return FaultPlan(faults=tuple(faults))

@@ -25,10 +25,20 @@ from repro.verifier.engine import (
     verify_change,
 )
 from repro.verifier.report import StreamReport, VerificationReport
+from repro.verifier.runtime import (
+    CheckFailure,
+    ExecutionResult,
+    ResilientPool,
+    execute_checks,
+)
 from repro.verifier.session import VerificationSession, verify_stream
 from repro.verifier.state_automata import StateAutomatonBuilder, build_alphabet
 
 __all__ = [
+    "CheckFailure",
+    "ExecutionResult",
+    "ResilientPool",
+    "execute_checks",
     "verify_change",
     "VerificationSession",
     "verify_stream",

@@ -213,6 +213,11 @@ class ContingencyResult:
     def holds(self) -> bool:
         return self.report.holds
 
+    @property
+    def verdict(self) -> str:
+        """Three-valued per-contingency verdict (see the epoch report)."""
+        return self.report.verdict
+
 
 @dataclass(slots=True)
 class SweepReport:
@@ -247,7 +252,29 @@ class SweepReport:
 
     @property
     def violating_contingencies(self) -> int:
-        return sum(1 for result in self.results if not result.holds)
+        """Contingencies with at least one *proven* violating flow class."""
+        return sum(1 for result in self.results if result.verdict == "violated")
+
+    @property
+    def unknown_contingencies(self) -> int:
+        """Contingencies the runtime could not fully prove (no violation
+        found, but some checks degraded to unknown verdicts)."""
+        return sum(1 for result in self.results if result.verdict == "unknown")
+
+    @property
+    def degraded(self) -> bool:
+        """True when any contingency ran degraded (failed checks/fallback)."""
+        return any(result.report.degraded for result in self.results)
+
+    @property
+    def failed_checks(self) -> int:
+        """Unknown-verdict flow-class results across the whole sweep."""
+        return sum(result.report.unknown_fecs for result in self.results)
+
+    def unproven(self) -> list[ContingencyResult]:
+        """The contingencies the sweep completed but could not prove —
+        the "119 verified, these 2 unknown" list operators act on."""
+        return [result for result in self.results if result.verdict == "unknown"]
 
     @property
     def expectation_mismatches(self) -> list[ContingencyResult]:
@@ -302,9 +329,14 @@ class SweepReport:
 
     def summary(self) -> str:
         """One-line sweep summary with the dedup headline."""
-        verdict = (
-            "PASS" if self.holds else f"FAIL ({self.violating_contingencies} contingencies)"
-        )
+        if self.holds:
+            verdict = "PASS"
+        elif self.violating_contingencies > 0:
+            verdict = f"FAIL ({self.violating_contingencies} contingencies)"
+        else:
+            verdict = f"UNKNOWN ({self.unknown_contingencies} contingencies unproven)"
+        if self.violating_contingencies > 0 and self.unknown_contingencies > 0:
+            verdict += f" [{self.unknown_contingencies} unproven]"
         ratio = self.dedup_ratio
         ratio_text = "inf" if ratio == float("inf") else f"{ratio:.1f}x"
         return (

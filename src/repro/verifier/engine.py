@@ -35,7 +35,11 @@ Three engine-level optimizations keep backbone-scale runs cheap:
   each graph crosses the process boundary exactly once, however many FECs
   share it.  Results are streamed back with ``as_completed`` (no
   head-of-line blocking); the report is sorted at the end so the output is
-  order-independent.
+  order-independent.  Since the resilience restructuring the execution
+  itself — serial and pooled, with per-check deadlines/retries, crash
+  recovery and graceful degradation — lives in
+  :mod:`repro.verifier.runtime`; this module contributes the check function
+  and the work-list layout.
 
 Since the session restructuring, the engine's *lifecycle* lives in
 :mod:`repro.verifier.session`: a :class:`~repro.verifier.session.VerificationSession`
@@ -49,8 +53,8 @@ the serial/worker execution of a deduplicated work list.
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.automata.alphabet import Alphabet
 from repro.automata.equivalence import compare
@@ -69,7 +73,11 @@ from repro.snapshots.forwarding_graph import ForwardingGraph
 from repro.snapshots.snapshot import Snapshot
 from repro.verifier.counterexample import BranchViolation, Counterexample, rewrite_hash
 from repro.verifier.report import VerificationReport
+from repro.verifier.runtime import ExecutionResult, execute_checks
 from repro.verifier.state_automata import StateAutomatonBuilder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.testing.faults import FaultPlan
 
 
 @dataclass(slots=True)
@@ -106,6 +114,33 @@ class VerificationOptions:
     #: oracle; deep ``else`` chains (30+ atomic branches) are intractable on
     #: the eager path.
     lazy_spec_compilation: bool = True
+    #: Wall-clock budget (seconds) for one FEC check; ``None`` disables the
+    #: per-check deadline.  Enforced with ``SIGALRM`` where available, on
+    #: the serial path and inside worker processes alike; a check that keeps
+    #: exceeding its budget is retried, then recorded as an *unknown*
+    #: :class:`~repro.verifier.runtime.CheckFailure`.
+    check_timeout: float | None = None
+    #: Retry budget per check for transient failures (exceptions, timeouts);
+    #: also bounds how many worker deaths a single check may cause before it
+    #: is declared poisonous.  0 disables retries.
+    max_retries: int = 2
+    #: Base of the exponential retry backoff in seconds (attempt *n* sleeps
+    #: ``retry_backoff * 2**(n-1)``, capped at 2s).  0 retries immediately.
+    retry_backoff: float = 0.05
+    #: Degrade gracefully: record failed checks as ``unknown`` outcomes and
+    #: fall back to serial execution after repeated pool loss.  Set False
+    #: (CLI ``--no-degrade``) to raise
+    #: :class:`~repro.errors.DegradedExecutionError` at the first check the
+    #: runtime cannot complete.
+    allow_degraded: bool = True
+    #: Worker-pool rebuilds tolerated after ``BrokenProcessPool`` before the
+    #: remaining work falls back to serial in-process execution.
+    max_pool_rebuilds: int = 8
+    #: Deterministic fault-injection schedule
+    #: (:class:`repro.testing.faults.FaultPlan`) applied at the check seam,
+    #: worker-side and serial alike.  Test/benchmark harness only; ``None``
+    #: (the default) injects nothing.
+    fault_plan: FaultPlan | None = None
 
 
 @dataclass(slots=True)
@@ -337,59 +372,6 @@ def _check_one_fec(
     )
 
 
-# Per-worker verification context, installed once by the pool initializer so
-# the compiled specs / builder / options / distinct-graph table are pickled
-# once per worker process instead of once per submitted batch.  Batches then
-# carry only ids into the table: each distinct graph crosses the process
-# boundary exactly once, however many FECs (or batches) reference it.
-_WORKER_CONTEXT: (
-    tuple[
-        dict[str, CompiledSpec],
-        StateAutomatonBuilder,
-        VerificationOptions,
-        list[ForwardingGraph],
-    ]
-    | None
-) = None
-
-
-def _init_worker(
-    compiled_specs: dict[str, CompiledSpec],
-    builder: StateAutomatonBuilder,
-    options: VerificationOptions,
-    graph_table: list[ForwardingGraph],
-) -> None:
-    global _WORKER_CONTEXT
-    _WORKER_CONTEXT = (compiled_specs, builder, options, graph_table)
-
-
-def _check_batch(
-    batch: list[tuple[str, str, int, int]],
-) -> list[tuple[str, Counterexample | None]]:
-    """Worker entry point: check a batch of (fec_id, spec_key, pre id, post id).
-
-    The description attached to each counterexample is a placeholder (the
-    FEC id); the parent process relabels failures with the real description,
-    so the all-pass case never formats one.
-    """
-    if _WORKER_CONTEXT is None:
-        raise VerificationError("worker process was not initialized")
-    compiled_specs, builder, options, graph_table = _WORKER_CONTEXT
-    results: list[tuple[str, Counterexample | None]] = []
-    for fec_id, spec_key, pre_id, post_id in batch:
-        counterexample = _check_one_fec(
-            compiled_specs[spec_key],
-            fec_id,
-            fec_id,
-            graph_table[pre_id],
-            graph_table[post_id],
-            builder,
-            options,
-        )
-        results.append((fec_id, counterexample))
-    return results
-
-
 def _relabel(
     counterexample: Counterexample, fec_id: str, fec_description: str
 ) -> Counterexample:
@@ -439,44 +421,28 @@ def _execute_unique_checks(
     compiled_specs: dict[str, CompiledSpec],
     builder: StateAutomatonBuilder,
     options: VerificationOptions,
-) -> dict[str, Counterexample | None]:
-    """Run the deduplicated work list and return outcomes by representative FEC.
+) -> ExecutionResult:
+    """Run the deduplicated work list through the fault-tolerant runtime.
 
     ``unique_work`` holds one ``(fec_id, spec_key, pre id, post id)`` item
     per distinct (spec, graph pair) combination, with ids indexing
-    ``graph_table``.  Serial runs index the table in-process; parallel runs
-    ship it to each worker once via the pool initializer and stream results
-    back with ``as_completed`` (callers restore determinism when folding
-    the outcomes into a report).
+    ``graph_table``.  Execution — serial or worker-pool, either way under
+    the per-check deadline/retry guard and the crash-recovery loop — lives
+    in :mod:`repro.verifier.runtime`; the returned
+    :class:`~repro.verifier.runtime.ExecutionResult` carries per-FEC
+    outcomes (pass, counterexample, or *unknown*
+    :class:`~repro.verifier.runtime.CheckFailure`) plus degradation
+    accounting for the report (callers restore determinism when folding
+    the outcomes in).
     """
-    outcomes: dict[str, Counterexample | None] = {}
-    if options.workers <= 1 or len(unique_work) <= 1:
-        for fec_id, spec_key, pre_id, post_id in unique_work:
-            outcomes[fec_id] = _check_one_fec(
-                compiled_specs[spec_key],
-                fec_id,
-                fec_id,
-                graph_table[pre_id],
-                graph_table[post_id],
-                builder,
-                options,
-            )
-        return outcomes
-
-    chunk_size = max(1, len(unique_work) // (options.workers * 4))
-    batches = [unique_work[i : i + chunk_size] for i in range(0, len(unique_work), chunk_size)]
-    with ProcessPoolExecutor(
-        max_workers=options.workers,
-        initializer=_init_worker,
-        initargs=(compiled_specs, builder, options, list(graph_table)),
-    ) as executor:
-        futures = [executor.submit(_check_batch, batch) for batch in batches]
-        # Stream results as workers finish instead of blocking on
-        # submission order; report finalization restores determinism.
-        for future in as_completed(futures):
-            for fec_id, counterexample in future.result():
-                outcomes[fec_id] = counterexample
-    return outcomes
+    return execute_checks(
+        unique_work,
+        graph_table,
+        compiled_specs,
+        builder,
+        options,
+        check_fn=_check_one_fec,
+    )
 
 
 def verify_change(

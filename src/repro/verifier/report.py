@@ -22,13 +22,23 @@ from dataclasses import dataclass, field
 
 from repro.rela.locations import Granularity
 from repro.verifier.counterexample import Counterexample
+from repro.verifier.runtime import CheckFailure
 
 
 @dataclass(slots=True)
 class VerificationReport:
-    """The outcome of verifying one change (one snapshot pair) against a spec."""
+    """The outcome of verifying one change (one snapshot pair) against a spec.
 
-    #: True when every flow equivalence class satisfies its governing spec.
+    Verdicts are three-valued.  :attr:`holds` stays the conservative boolean
+    it always was — True only when every class was *proven* to satisfy its
+    spec — while :attr:`verdict` distinguishes the two ways it can be False:
+    ``"violated"`` (a counterexample exists) versus ``"unknown"`` (no
+    violation found, but the resilience runtime could not complete every
+    check; the unprovable classes are listed in :attr:`failed_checks`).
+    """
+
+    #: True when every flow equivalence class was proven to satisfy its
+    #: governing spec (violations *and* unknown-verdict classes clear it).
     holds: bool = True
     #: Number of flow equivalence classes examined.
     total_fecs: int = 0
@@ -59,32 +69,67 @@ class VerificationReport:
     granularity: Granularity = Granularity.ROUTER
     #: Number of worker processes used (1 = serial).
     workers: int = 1
+    #: Classes whose checks the resilience runtime could not complete —
+    #: honest *unknown* verdicts, one :class:`CheckFailure` each.
+    failed_checks: list[CheckFailure] = field(default_factory=list)
+    #: Number of classes with an unknown verdict (``len(failed_checks)``
+    #: after folding, kept as a counter for symmetry with
+    #: :attr:`violating_fecs`).
+    unknown_fecs: int = 0
+    #: True when execution degraded: some check failed, or the worker pool
+    #: was abandoned for the serial fallback.
+    degraded: bool = False
+    #: Worker pools rebuilt after ``BrokenProcessPool`` during this run.
+    pool_rebuilds: int = 0
+    #: In-process retry attempts consumed across all checks.
+    retried_checks: int = 0
+    #: True when repeated pool loss forced serial in-process execution.
+    serial_fallback: bool = False
 
     @property
     def executed_checks(self) -> int:
         """Distinct checks that actually ran in this epoch (non-cached)."""
         return self.unique_checks - self.cached_checks
 
-    def record(self, counterexample: Counterexample | None) -> None:
+    @property
+    def verdict(self) -> str:
+        """Three-valued verdict: ``"holds"`` / ``"violated"`` / ``"unknown"``.
+
+        ``"violated"`` wins over ``"unknown"`` when both apply: a found
+        counterexample is decisive regardless of what else went wrong.
+        """
+        if self.holds:
+            return "holds"
+        if self.violating_fecs > 0:
+            return "violated"
+        return "unknown"
+
+    def record(self, outcome: Counterexample | CheckFailure | None) -> None:
         """Fold one per-FEC result into the report."""
         self.total_fecs += 1
-        if counterexample is None:
+        if outcome is None:
             return
         self.holds = False
+        if isinstance(outcome, CheckFailure):
+            self.unknown_fecs += 1
+            self.failed_checks.append(outcome)
+            self.degraded = True
+            return
         self.violating_fecs += 1
-        self.counterexamples.append(counterexample)
-        for branch in counterexample.branches:
+        self.counterexamples.append(outcome)
+        for branch in outcome.branches:
             self.branch_violation_counts[branch] += 1
 
     def finalize(self) -> None:
         """Make the report independent of result arrival order.
 
         Parallel runs stream per-FEC results with ``as_completed``, so
-        :meth:`record` may be called in any order; sorting counterexamples by
-        FEC identifier gives every run (serial, parallel, memoized) the same
-        deterministic report.
+        :meth:`record` may be called in any order; sorting counterexamples
+        (and failed checks) by FEC identifier gives every run (serial,
+        parallel, memoized, degraded) the same deterministic report.
         """
         self.counterexamples.sort(key=lambda counterexample: counterexample.fec_id)
+        self.failed_checks.sort(key=lambda failure: failure.fec_id)
 
     def violations_for(self, branch: str) -> int:
         """Number of flow equivalence classes violating the named sub-spec."""
@@ -92,17 +137,29 @@ class VerificationReport:
 
     def summary(self) -> str:
         """One-line result summary."""
+        degraded_note = ""
+        if self.unknown_fecs:
+            degraded_note = f"; {self.unknown_fecs} classes unknown (checks failed)"
+        elif self.degraded:
+            degraded_note = "; degraded execution (serial fallback)"
         if self.holds:
             return (
                 f"PASS: all {self.total_fecs} flow equivalence classes satisfy the "
-                f"specification ({self.elapsed_seconds:.2f}s, {self.granularity.value}-level)"
+                f"specification{degraded_note} "
+                f"({self.elapsed_seconds:.2f}s, {self.granularity.value}-level)"
+            )
+        if self.violating_fecs == 0:
+            return (
+                f"UNKNOWN: {self.unknown_fecs} of {self.total_fecs} flow equivalence "
+                f"classes could not be checked (no violations found) "
+                f"({self.elapsed_seconds:.2f}s, {self.granularity.value}-level)"
             )
         per_branch = ", ".join(
             f"{branch}: {count}" for branch, count in sorted(self.branch_violation_counts.items())
         )
         return (
             f"FAIL: {self.violating_fecs} of {self.total_fecs} flow equivalence classes "
-            f"violate the specification ({per_branch}) "
+            f"violate the specification ({per_branch}){degraded_note} "
             f"({self.elapsed_seconds:.2f}s, {self.granularity.value}-level)"
         )
 
@@ -150,6 +207,8 @@ class StreamReport:
     max_retained_reports: int | None = None
     _epochs: int = 0
     _violating_epochs: int = 0
+    _degraded_epochs: int = 0
+    _unknown_fecs: int = 0
     _total_fecs: int = 0
     _unique_checks: int = 0
     _cached_checks: int = 0
@@ -163,8 +222,11 @@ class StreamReport:
                 del self.epoch_reports[:overflow]
         self.elapsed_seconds += report.elapsed_seconds
         self._epochs += 1
-        if not report.holds:
+        if report.violating_fecs > 0:
             self._violating_epochs += 1
+        if report.degraded:
+            self._degraded_epochs += 1
+        self._unknown_fecs += report.unknown_fecs
         self._total_fecs += report.total_fecs
         self._unique_checks += report.unique_checks
         self._cached_checks += report.cached_checks
@@ -176,13 +238,38 @@ class StreamReport:
 
     @property
     def holds(self) -> bool:
-        """True when every epoch satisfied its specification."""
-        return self._violating_epochs == 0
+        """True when every epoch *proved* its specification (no violations
+        and no degraded epochs with unknown verdicts)."""
+        return self._violating_epochs == 0 and self._degraded_epochs == 0
+
+    @property
+    def verdict(self) -> str:
+        """Three-valued stream verdict: ``"holds"``/``"violated"``/``"unknown"``."""
+        if self._violating_epochs > 0:
+            return "violated"
+        if self._degraded_epochs > 0:
+            return "unknown"
+        return "holds"
 
     @property
     def violating_epochs(self) -> int:
         """Number of epochs with at least one violating flow class."""
         return self._violating_epochs
+
+    @property
+    def degraded(self) -> bool:
+        """True when any epoch ran degraded (failed checks or fallback)."""
+        return self._degraded_epochs > 0
+
+    @property
+    def degraded_epochs(self) -> int:
+        """Number of epochs that ran degraded."""
+        return self._degraded_epochs
+
+    @property
+    def unknown_fecs(self) -> int:
+        """Unknown-verdict flow-class results across all epochs."""
+        return self._unknown_fecs
 
     @property
     def total_fecs(self) -> int:
@@ -220,7 +307,14 @@ class StreamReport:
 
     def summary(self) -> str:
         """One-line cumulative summary of the stream so far."""
-        verdict = "PASS" if self.holds else f"FAIL ({self.violating_epochs} epochs)"
+        if self.holds:
+            verdict = "PASS"
+        elif self._violating_epochs > 0:
+            verdict = f"FAIL ({self.violating_epochs} epochs)"
+        else:
+            verdict = f"UNKNOWN ({self.degraded_epochs} degraded epochs)"
+        if self._violating_epochs > 0 and self._degraded_epochs > 0:
+            verdict += f" [{self.degraded_epochs} degraded]"
         return (
             f"{verdict}: {self.epochs} epochs, {self.total_fecs} FEC checks, "
             f"{self.executed_checks} executed / {self.cached_checks} cached of "

@@ -1,0 +1,597 @@
+"""Fault-tolerant execution runtime for the verification engine.
+
+The engine's parallel path used to call ``future.result()`` bare: one
+worker death (OOM kill), one pathological check that hangs, or one
+poisonous payload aborted a whole verification, stream epoch or
+100+-contingency sweep with a raw traceback.  A verification *service*
+must degrade instead of die — and, just as importantly, must report
+partial failure honestly rather than conflate it with "holds".  This
+module is that layer; the engine, session and sweep stack all execute
+their deduplicated work lists through it.
+
+Three mechanisms, composed:
+
+1. **A resilient pool.**  :func:`execute_checks` wraps
+   ``ProcessPoolExecutor`` so that ``BrokenProcessPool`` is a recoverable
+   event: completed results are kept, the pool is rebuilt (workers are
+   re-initialized from the same graph table), and only the unfinished
+   batches are re-submitted.  Because a crash kills a whole batch without
+   naming the guilty check, crashed batches are **bisected** across
+   rebuilds until the poison check is isolated in a batch of one; that
+   singleton is then retried in a dedicated single-worker pool (precise
+   attribution: if *that* pool breaks, the check is the killer) up to the
+   retry budget before being given up on.
+
+2. **Per-check timeouts and retries.**  Every check — serial or
+   worker-side — runs under a wall-clock deadline
+   (``VerificationOptions.check_timeout``, enforced with
+   ``signal.setitimer``/``SIGALRM`` where available) and a bounded retry
+   loop with exponential backoff (``max_retries``, ``retry_backoff``) for
+   transient failures.  Worker processes run batches on their main
+   thread, so the SIGALRM guard works in workers exactly as it does
+   serially.
+
+3. **Graceful degradation.**  A check that exhausts its retries or
+   deadline becomes a first-class :class:`CheckFailure` outcome — an
+   honest *unknown* verdict — instead of an exception; after repeated
+   pool failures (``max_pool_rebuilds``) the remaining work falls back to
+   serial in-process execution.  Reports grow a ``degraded`` flag and
+   ``failed_checks`` accounting, so a sweep over 119 contingencies
+   completes and names the two it could not prove.  Operators who prefer
+   abortion over degradation set ``allow_degraded=False`` (CLI
+   ``--no-degrade``), which turns the first would-be-unknown into a
+   :class:`~repro.errors.DegradedExecutionError`.
+
+Fault injection (:mod:`repro.testing.faults`) plugs in at the same seam
+every real failure passes through: ``options.fault_plan`` ships to
+workers with the rest of the options and is applied inside the deadline
+guard, immediately before the check body.  The differential suite
+(``tests/verifier/test_fault_tolerance.py``) uses it to assert the
+resilience contract: any fault schedule yields either the byte-identical
+clean report or a report whose only difference is honestly-flagged
+``unknown`` entries.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from collections.abc import Callable, Generator, Sequence
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import (
+    CheckTimeoutError,
+    DegradedExecutionError,
+    VerificationError,
+    WorkerCrashError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.snapshots.forwarding_graph import ForwardingGraph
+    from repro.verifier.counterexample import Counterexample
+    from repro.verifier.engine import CompiledSpec, VerificationOptions
+    from repro.verifier.state_automata import StateAutomatonBuilder
+
+#: One deduplicated work item: ``(fec_id, spec_key, pre table id, post table id)``.
+WorkItem = tuple[str, str, int, int]
+
+#: The per-check callable the runtime executes (the engine's ``_check_one_fec``).
+CheckFn = Callable[..., "Counterexample | None"]
+
+
+@dataclass(frozen=True, slots=True)
+class CheckFailure:
+    """A check the runtime could not complete: an honest *unknown* verdict.
+
+    Recorded in place of a pass/counterexample when a check exhausted its
+    retry budget (``reason="error"``), its wall-clock deadline
+    (``"timeout"``), or repeatedly killed its worker (``"crash"``).
+    Unlike a :class:`~repro.verifier.counterexample.Counterexample` this
+    is *not* evidence of violation — it marks the verdict unknown, and
+    reports carrying one are flagged ``degraded``.
+    """
+
+    fec_id: str
+    fec_description: str
+    #: ``"timeout"`` | ``"crash"`` | ``"error"``.
+    reason: str
+    detail: str = ""
+    #: Total attempts consumed (in-process retries + pool-crash re-runs).
+    attempts: int = 1
+
+    def as_row(self) -> tuple[str, str, str, str]:
+        """Render in the counterexample-table layout (cause column only)."""
+        return (
+            self.fec_description,
+            "?",
+            "?",
+            f"unknown: {self.reason} after {self.attempts} attempts ({self.detail})",
+        )
+
+
+#: What one check resolves to: pass, violation, or unknown.
+Outcome = "Counterexample | CheckFailure | None"
+
+
+@dataclass(slots=True)
+class ExecutionResult:
+    """What :func:`execute_checks` hands back to the engine/session layer."""
+
+    #: Per-representative-FEC outcomes (pass / counterexample / failure).
+    outcomes: dict[str, Any] = field(default_factory=dict)
+    #: True when any check failed or execution fell back to serial.
+    degraded: bool = False
+    #: Number of :class:`CheckFailure` outcomes recorded.
+    failed_checks: int = 0
+    #: Worker pools rebuilt after ``BrokenProcessPool`` (0 = no crashes).
+    pool_rebuilds: int = 0
+    #: In-process retry attempts consumed across all checks.
+    retried_checks: int = 0
+    #: True when repeated pool failures forced the serial in-process fallback.
+    serial_fallback: bool = False
+
+
+# ----------------------------------------------------------------------
+# The per-check guard: deadline + bounded retry with backoff
+# ----------------------------------------------------------------------
+@contextmanager
+def _deadline(seconds: float | None) -> Generator[None, None, None]:
+    """Interrupt the enclosed block with :class:`CheckTimeoutError`.
+
+    Uses ``SIGALRM``/``setitimer``, so it is a no-op on platforms without
+    it (Windows) and off the main thread — per-check timeouts are
+    best-effort by nature; the pytest-level global timeout in CI is the
+    backstop of last resort.  Worker processes execute batches on their
+    main thread, so the guard is fully effective there.
+    """
+    if (
+        not seconds
+        or seconds <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum: int, frame: Any) -> None:
+        raise CheckTimeoutError(f"check exceeded its {seconds:.3g}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+#: Ceiling on one backoff sleep, so a misconfigured base cannot stall a run.
+_MAX_BACKOFF_SECONDS = 2.0
+
+
+def _run_one(
+    check_fn: CheckFn,
+    item: WorkItem,
+    compiled_specs: dict[str, CompiledSpec],
+    builder: StateAutomatonBuilder,
+    options: VerificationOptions,
+    graph_table: Sequence[ForwardingGraph],
+    prior_attempts: dict[str, int],
+    *,
+    in_worker: bool,
+) -> tuple[Any, int]:
+    """One guarded check: deadline + retry/backoff; never raises for a
+    check-level failure (returns a :class:`CheckFailure` instead).
+
+    ``prior_attempts`` carries the check's pool-crash exposure from the
+    parent process, so the attempt numbering the fault plan (and the
+    failure record) sees is global across worker generations, not local
+    to this process.  Returns ``(outcome, retries_used)``.
+    """
+    fec_id, spec_key, pre_id, post_id = item
+    fault_plan = options.fault_plan
+    base = prior_attempts.get(fec_id, 0)
+    max_attempts = 1 + max(0, options.max_retries)
+    reason, detail = "error", "check never ran"
+    for attempt in range(1, max_attempts + 1):
+        if attempt > 1 and options.retry_backoff > 0:
+            time.sleep(
+                min(options.retry_backoff * (2 ** (attempt - 2)), _MAX_BACKOFF_SECONDS)
+            )
+        try:
+            with _deadline(options.check_timeout):
+                if fault_plan is not None:
+                    fault_plan.apply(fec_id, base + attempt, in_worker=in_worker)
+                outcome = check_fn(
+                    compiled_specs[spec_key],
+                    fec_id,
+                    fec_id,
+                    graph_table[pre_id],
+                    graph_table[post_id],
+                    builder,
+                    options,
+                )
+            return outcome, attempt - 1
+        except CheckTimeoutError as error:
+            reason, detail = "timeout", str(error)
+        except WorkerCrashError as error:
+            # Only reachable in-process (a worker-side crash kills the
+            # worker outright); treated like any other retryable failure.
+            reason, detail = "crash", str(error)
+        except Exception as error:  # noqa: BLE001 - absorbing arbitrary check failures is the job
+            reason, detail = "error", f"{type(error).__name__}: {error}"
+    failure = CheckFailure(
+        fec_id=fec_id,
+        fec_description=fec_id,
+        reason=reason,
+        detail=detail,
+        attempts=base + max_attempts,
+    )
+    return failure, max_attempts - 1
+
+
+# ----------------------------------------------------------------------
+# Worker-side machinery
+# ----------------------------------------------------------------------
+# Per-worker verification context, installed once by the pool initializer
+# so the compiled specs / builder / options / distinct-graph table are
+# pickled once per worker process instead of once per submitted batch.
+_WORKER_CONTEXT: (
+    tuple[
+        CheckFn,
+        dict[str, "CompiledSpec"],
+        "StateAutomatonBuilder",
+        "VerificationOptions",
+        list["ForwardingGraph"],
+        dict[str, int],
+    ]
+    | None
+) = None
+
+
+def _init_worker(
+    check_fn: CheckFn,
+    compiled_specs: dict[str, CompiledSpec],
+    builder: StateAutomatonBuilder,
+    options: VerificationOptions,
+    graph_table: list[ForwardingGraph],
+    prior_attempts: dict[str, int],
+) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = (
+        check_fn,
+        compiled_specs,
+        builder,
+        options,
+        graph_table,
+        prior_attempts,
+    )
+
+
+def _check_batch(batch: list[WorkItem]) -> list[tuple[str, Any, int]]:
+    """Worker entry point: run a batch of guarded checks.
+
+    Each item is independently guarded, so one failing check degrades to a
+    :class:`CheckFailure` entry without poisoning its batch siblings; the
+    only batch-lethal event left is a hard worker death, which the parent
+    observes as ``BrokenProcessPool`` and handles by rebuild + bisection.
+    """
+    if _WORKER_CONTEXT is None:
+        raise VerificationError("worker process was not initialized")
+    check_fn, compiled_specs, builder, options, graph_table, prior = _WORKER_CONTEXT
+    results: list[tuple[str, Any, int]] = []
+    for item in batch:
+        outcome, retries = _run_one(
+            check_fn,
+            item,
+            compiled_specs,
+            builder,
+            options,
+            graph_table,
+            prior,
+            in_worker=True,
+        )
+        results.append((item[0], outcome, retries))
+    return results
+
+
+# ----------------------------------------------------------------------
+# Parent-side orchestration
+# ----------------------------------------------------------------------
+def _record(
+    result: ExecutionResult,
+    options: VerificationOptions,
+    fec_id: str,
+    outcome: Any,
+    retries: int,
+) -> None:
+    """Fold one outcome into the result, enforcing the degradation policy."""
+    result.retried_checks += retries
+    if isinstance(outcome, CheckFailure):
+        if not options.allow_degraded:
+            raise DegradedExecutionError(
+                f"check {fec_id} could not be completed "
+                f"({outcome.reason}: {outcome.detail}; {outcome.attempts} attempts) "
+                "and degraded execution is disabled"
+            )
+        result.degraded = True
+        result.failed_checks += 1
+    result.outcomes[fec_id] = outcome
+
+
+def _run_serial(
+    items: Sequence[WorkItem],
+    result: ExecutionResult,
+    options: VerificationOptions,
+    check_fn: CheckFn,
+    compiled_specs: dict[str, CompiledSpec],
+    builder: StateAutomatonBuilder,
+    graph_table: Sequence[ForwardingGraph],
+    prior_attempts: dict[str, int],
+) -> None:
+    for item in items:
+        outcome, retries = _run_one(
+            check_fn,
+            item,
+            compiled_specs,
+            builder,
+            options,
+            graph_table,
+            prior_attempts,
+            in_worker=False,
+        )
+        _record(result, options, item[0], outcome, retries)
+
+
+class ResilientPool:
+    """Run deduplicated work batches through a crash-surviving process pool.
+
+    The pool is a *strategy*, not a long-lived object: one instance drives
+    one work list to completion.  Its loop has three modes:
+
+    * **gang mode** — all pending batches share one pool; results stream
+      back with ``as_completed``.  On ``BrokenProcessPool`` the completed
+      results are kept, every unfinished batch is bisected (a crash kills
+      a whole batch without naming the guilty check), and a fresh pool is
+      built whose workers learn each check's crash exposure so far.
+    * **isolation mode** — once every unfinished batch is a singleton
+      *after at least one crash*, each suspect runs alone in a dedicated
+      single-worker pool: if that pool breaks, the check is the proven
+      killer and is retried up to ``max_retries`` times before being
+      recorded as a :class:`CheckFailure`.
+    * **serial fallback** — after ``max_pool_rebuilds`` gang-mode
+      rebuilds, the remaining work runs in-process (flagged
+      ``serial_fallback``/``degraded``), so repeated pool loss degrades
+      throughput instead of aborting the run.
+
+    All exit paths shut the executor down with ``cancel_futures=True`` —
+    a worker exception can no longer abandon in-flight futures during
+    context-manager teardown.
+    """
+
+    def __init__(
+        self,
+        options: VerificationOptions,
+        check_fn: CheckFn,
+        compiled_specs: dict[str, CompiledSpec],
+        builder: StateAutomatonBuilder,
+        graph_table: Sequence[ForwardingGraph],
+    ) -> None:
+        self.options = options
+        self.check_fn = check_fn
+        self.compiled_specs = compiled_specs
+        self.builder = builder
+        self.graph_table = list(graph_table)
+        #: Pool breakages each check was in flight for (parent-tracked, so
+        #: the count survives worker generations and reaches fresh workers
+        #: through the initializer).
+        self.crash_exposure: dict[str, int] = {}
+
+    def _initargs(self) -> tuple:
+        return (
+            self.check_fn,
+            self.compiled_specs,
+            self.builder,
+            self.options,
+            self.graph_table,
+            dict(self.crash_exposure),
+        )
+
+    def run(self, work: Sequence[WorkItem], result: ExecutionResult) -> None:
+        options = self.options
+        chunk_size = max(1, len(work) // (options.workers * 4))
+        batches = [
+            list(work[i : i + chunk_size]) for i in range(0, len(work), chunk_size)
+        ]
+        while batches:
+            if result.pool_rebuilds > max(0, options.max_pool_rebuilds):
+                self._serial_fallback(batches, result)
+                return
+            if result.pool_rebuilds > 0 and all(len(batch) == 1 for batch in batches):
+                self._run_isolated([batch[0] for batch in batches], result)
+                return
+            broken = self._gang_round(batches, result)
+            if not broken:
+                return
+            result.pool_rebuilds += 1
+            batches = self._bisect_unfinished(batches, result)
+
+    def _gang_round(
+        self, batches: list[list[WorkItem]], result: ExecutionResult
+    ) -> bool:
+        """One shared-pool round; returns True when the pool broke."""
+        executor = ProcessPoolExecutor(
+            max_workers=self.options.workers,
+            initializer=_init_worker,
+            initargs=self._initargs(),
+        )
+        try:
+            try:
+                futures = {
+                    executor.submit(_check_batch, batch): batch for batch in batches
+                }
+            except BrokenProcessPool:
+                return True
+            for future in as_completed(futures):
+                try:
+                    triples = future.result()
+                except BrokenProcessPool:
+                    return True
+                except Exception as error:  # noqa: BLE001 - batch-level failure, pool intact
+                    # The batch failed without killing the pool (e.g. an
+                    # unpicklable result): degrade its unfinished items,
+                    # keep draining the other futures.
+                    for item in futures[future]:
+                        if item[0] in result.outcomes:
+                            continue
+                        failure = CheckFailure(
+                            fec_id=item[0],
+                            fec_description=item[0],
+                            reason="error",
+                            detail=f"batch execution failed: "
+                            f"{type(error).__name__}: {error}",
+                        )
+                        _record(result, self.options, item[0], failure, 0)
+                    continue
+                for fec_id, outcome, retries in triples:
+                    _record(result, self.options, fec_id, outcome, retries)
+            return False
+        finally:
+            # The lifecycle guarantee: pending futures are cancelled on
+            # every exit path (clean drain, broken pool, degradation
+            # policy abort), never abandoned to interpreter teardown.
+            executor.shutdown(cancel_futures=True)
+
+    def _bisect_unfinished(
+        self, batches: list[list[WorkItem]], result: ExecutionResult
+    ) -> list[list[WorkItem]]:
+        """Halve every batch the crash left unfinished, tracking exposure."""
+        next_batches: list[list[WorkItem]] = []
+        for batch in batches:
+            remaining = [item for item in batch if item[0] not in result.outcomes]
+            if not remaining:
+                continue
+            for item in remaining:
+                self.crash_exposure[item[0]] = self.crash_exposure.get(item[0], 0) + 1
+            if len(remaining) == 1:
+                next_batches.append(remaining)
+            else:
+                mid = (len(remaining) + 1) // 2
+                next_batches.append(remaining[:mid])
+                next_batches.append(remaining[mid:])
+        return next_batches
+
+    def _run_isolated(
+        self, items: Sequence[WorkItem], result: ExecutionResult
+    ) -> None:
+        """Run crash suspects one at a time, each in its own pool.
+
+        With exactly one check in flight, a broken pool *is* attribution:
+        the check killed its worker.  Retried up to ``max_retries`` total
+        crashes (counting gang-mode exposure), then recorded as unknown.
+        """
+        retry_budget = max(0, self.options.max_retries)
+        for item in items:
+            fec_id = item[0]
+            while fec_id not in result.outcomes:
+                executor = ProcessPoolExecutor(
+                    max_workers=1, initializer=_init_worker, initargs=self._initargs()
+                )
+                try:
+                    triples = executor.submit(_check_batch, [item]).result()
+                except BrokenProcessPool:
+                    result.pool_rebuilds += 1
+                    crashes = self.crash_exposure.get(fec_id, 0) + 1
+                    self.crash_exposure[fec_id] = crashes
+                    if crashes > retry_budget:
+                        failure = CheckFailure(
+                            fec_id=fec_id,
+                            fec_description=fec_id,
+                            reason="crash",
+                            detail=f"worker process died {crashes} times "
+                            "running this check",
+                            attempts=crashes,
+                        )
+                        _record(result, self.options, fec_id, failure, 0)
+                    continue
+                finally:
+                    executor.shutdown(cancel_futures=True)
+                for fec, outcome, retries in triples:
+                    _record(result, self.options, fec, outcome, retries)
+
+    def _serial_fallback(
+        self, batches: list[list[WorkItem]], result: ExecutionResult
+    ) -> None:
+        """Give up on worker pools for this run; finish in-process."""
+        remaining = [
+            item
+            for batch in batches
+            for item in batch
+            if item[0] not in result.outcomes
+        ]
+        if not self.options.allow_degraded:
+            raise DegradedExecutionError(
+                f"worker pool failed {result.pool_rebuilds} times; "
+                f"{len(remaining)} checks remain and degraded serial fallback "
+                "is disabled"
+            )
+        result.serial_fallback = True
+        result.degraded = True
+        _run_serial(
+            remaining,
+            result,
+            self.options,
+            self.check_fn,
+            self.compiled_specs,
+            self.builder,
+            self.graph_table,
+            self.crash_exposure,
+        )
+
+
+def execute_checks(
+    unique_work: Sequence[WorkItem],
+    graph_table: Sequence[ForwardingGraph],
+    compiled_specs: dict[str, CompiledSpec],
+    builder: StateAutomatonBuilder,
+    options: VerificationOptions,
+    check_fn: CheckFn | None = None,
+) -> ExecutionResult:
+    """Run the deduplicated work list with fault tolerance.
+
+    The drop-in successor of the engine's bare executor loop: serial runs
+    index the graph table in-process under the same deadline/retry guard
+    the workers use; parallel runs go through :class:`ResilientPool`.
+    Every work item is guaranteed an entry in ``outcomes`` — a pass, a
+    counterexample, or a :class:`CheckFailure` — unless degradation is
+    disabled, in which case the first failure raises
+    :class:`~repro.errors.DegradedExecutionError`.
+    """
+    if check_fn is None:
+        from repro.verifier.engine import _check_one_fec
+
+        check_fn = _check_one_fec
+    result = ExecutionResult()
+    if not unique_work:
+        return result
+    if options.workers <= 1 or len(unique_work) <= 1:
+        _run_serial(
+            unique_work,
+            result,
+            options,
+            check_fn,
+            compiled_specs,
+            builder,
+            graph_table,
+            {},
+        )
+        return result
+    ResilientPool(options, check_fn, compiled_specs, builder, graph_table).run(
+        unique_work, result
+    )
+    return result

@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import time
 from collections.abc import Iterable
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.automata.alphabet import Alphabet
 from repro.rela.locations import Granularity, LocationDB
@@ -63,6 +63,7 @@ from repro.verifier.engine import (
     compile_spec,
 )
 from repro.verifier.report import StreamReport, VerificationReport
+from repro.verifier.runtime import CheckFailure
 from repro.verifier.state_automata import StateAutomatonBuilder, build_alphabet
 
 #: Epoch-local identity of one check: ``(spec key, pre ref, post ref)`` when
@@ -248,7 +249,7 @@ class VerificationSession:
         guarded_specs = context.guarded_specs
 
         membership: list[tuple[str, MemoKey]] = []
-        outcomes: dict[MemoKey, Counterexample | None] = {}
+        outcomes: dict[MemoKey, Counterexample | CheckFailure | None] = {}
         to_check: list[tuple[str, str, int, int]] = []
         key_of_representative: dict[str, MemoKey] = {}
         seen_keys: set[MemoKey] = set()
@@ -311,23 +312,36 @@ class VerificationSession:
                 work, table, context.compiled_specs, context.builder, options
             )
             for fec_id, spec_key, pre_ref, post_ref in to_check:
-                counterexample = fresh[fec_id]
-                outcomes[key_of_representative[fec_id]] = counterexample
-                if memoize:
-                    self._verdicts[(cache_token, spec_key, pre_ref, post_ref)] = counterexample
+                outcome = fresh.outcomes[fec_id]
+                outcomes[key_of_representative[fec_id]] = outcome
+                # A CheckFailure is an *unknown* verdict, not a verdict: it
+                # must never enter the persistent cache (the next epoch —or a
+                # retry of this one— should re-execute the check, not be
+                # served a stale failure).
+                if memoize and not isinstance(outcome, CheckFailure):
+                    self._verdicts[(cache_token, spec_key, pre_ref, post_ref)] = outcome
+            report.degraded = fresh.degraded
+            report.pool_rebuilds = fresh.pool_rebuilds
+            report.retried_checks = fresh.retried_checks
+            report.serial_fallback = fresh.serial_fallback
 
         report.check_seconds = time.perf_counter() - check_started
 
         # Fold per-FEC results into the report.  Descriptions and relabeled
-        # counterexamples are built only for violating FECs, so the all-pass
-        # case stays allocation-free here.
+        # counterexamples are built only for violating/unknown FECs, so the
+        # all-pass case stays allocation-free here.
         for fec_id, memo_key in membership:
-            counterexample = outcomes[memo_key]
-            if counterexample is None:
+            outcome = outcomes[memo_key]
+            if outcome is None:
                 report.record(None)
                 continue
             fec = pre.fec(fec_id) if fec_id in pre else post.fec(fec_id)
-            report.record(_relabel(counterexample, fec_id, str(fec)))
+            if isinstance(outcome, CheckFailure):
+                report.record(
+                    replace(outcome, fec_id=fec_id, fec_description=str(fec))
+                )
+            else:
+                report.record(_relabel(outcome, fec_id, str(fec)))
 
         if not options.collect_counterexamples:
             # Timing-only runs keep the verdict and counts but drop the detail.

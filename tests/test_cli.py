@@ -319,3 +319,183 @@ def test_stream_prefix_migration_profile(capsys):
     out = capsys.readouterr().out
     assert code == 0
     assert out.splitlines()[-1].startswith("PASS")
+
+
+# ----------------------------------------------------------------------
+# Resilience exit codes (3 degraded, 4 unrecoverable, 130 interrupted)
+# ----------------------------------------------------------------------
+def test_help_documents_exit_codes(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert "exit codes:" in out
+    assert "3 = degraded run" in out
+    assert "130 = interrupted" in out
+
+
+def test_verify_resilience_flags_reach_the_options(snapshot_files, capsys, monkeypatch):
+    import repro.cli as cli_module
+    from repro.verifier import VerificationReport
+
+    captured_options = {}
+
+    def fake_verify_change(pre, post, spec, *, options=None, **kwargs):
+        captured_options["options"] = options
+        report = VerificationReport()
+        report.record(None)
+        return report
+
+    monkeypatch.setattr(cli_module, "verify_change", fake_verify_change)
+    code = main(
+        [
+            "verify",
+            str(snapshot_files["pre"]),
+            str(snapshot_files["post"]),
+            str(snapshot_files["spec"]),
+            "--check-timeout",
+            "2.5",
+            "--max-retries",
+            "5",
+            "--no-degrade",
+        ]
+    )
+    assert code == 0
+    options = captured_options["options"]
+    assert options.check_timeout == 2.5
+    assert options.max_retries == 5
+    assert options.allow_degraded is False
+
+
+def test_verify_degraded_run_exits_3(snapshot_files, capsys, monkeypatch):
+    import repro.cli as cli_module
+    from repro.verifier import CheckFailure, VerificationReport
+
+    def fake_verify_change(pre, post, spec, *, options=None, **kwargs):
+        report = VerificationReport()
+        report.record(None)
+        report.record(
+            CheckFailure(
+                fec_id="dns",
+                fec_description="dns 198.51.100.0/24@edge",
+                reason="timeout",
+                detail="check exceeded its 2s wall-clock budget",
+                attempts=3,
+            )
+        )
+        report.finalize()
+        return report
+
+    monkeypatch.setattr(cli_module, "verify_change", fake_verify_change)
+    code = main(
+        [
+            "verify",
+            str(snapshot_files["pre"]),
+            str(snapshot_files["post"]),
+            str(snapshot_files["spec"]),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 3
+    assert out.startswith("UNKNOWN")
+    assert "unknown: dns" in out
+    assert "timeout" in out
+
+
+def test_no_degrade_abort_exits_4(snapshot_files, capsys, monkeypatch):
+    import repro.cli as cli_module
+    from repro.errors import DegradedExecutionError
+
+    def fake_verify_change(pre, post, spec, *, options=None, **kwargs):
+        raise DegradedExecutionError(
+            "check web could not be completed and degraded execution is disabled"
+        )
+
+    monkeypatch.setattr(cli_module, "verify_change", fake_verify_change)
+    code = main(
+        [
+            "verify",
+            str(snapshot_files["pre"]),
+            str(snapshot_files["post"]),
+            str(snapshot_files["spec"]),
+            "--no-degrade",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 4
+    assert captured.err.startswith("error:")
+    assert "degraded execution is disabled" in captured.err
+
+
+def test_unrecoverable_pool_loss_exits_4(snapshot_files, capsys, monkeypatch):
+    from concurrent.futures.process import BrokenProcessPool
+
+    import repro.cli as cli_module
+
+    def fake_verify_change(pre, post, spec, *, options=None, **kwargs):
+        raise BrokenProcessPool("a child process terminated abruptly")
+
+    monkeypatch.setattr(cli_module, "verify_change", fake_verify_change)
+    code = main(
+        [
+            "verify",
+            str(snapshot_files["pre"]),
+            str(snapshot_files["post"]),
+            str(snapshot_files["spec"]),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 4
+    assert "worker pool failed unrecoverably" in captured.err
+
+
+def test_keyboard_interrupt_exits_130_without_traceback(
+    snapshot_files, capsys, monkeypatch
+):
+    import repro.cli as cli_module
+
+    def fake_verify_change(pre, post, spec, *, options=None, **kwargs):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(cli_module, "verify_change", fake_verify_change)
+    code = main(
+        [
+            "verify",
+            str(snapshot_files["pre"]),
+            str(snapshot_files["post"]),
+            str(snapshot_files["spec"]),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 130
+    assert captured.err.strip() == "interrupted"
+
+
+def test_verify_end_to_end_with_injected_timeout(snapshot_files, capsys, monkeypatch):
+    """A real (not monkeypatched) degraded verify: the engine's fault seam
+    is reached through the CLI by injecting a plan into the built options."""
+    import repro.cli as cli_module
+    from repro.testing.faults import POISON, Fault, FaultPlan
+    from repro.verifier import VerificationOptions
+
+    plan = FaultPlan((Fault(kind="error", fec_id="web", attempts=POISON),))
+    original_options = VerificationOptions
+
+    def options_with_plan(**kwargs):
+        kwargs.setdefault("fault_plan", plan)
+        kwargs.setdefault("retry_backoff", 0.0)
+        kwargs.setdefault("memoize_fec_checks", False)
+        return original_options(**kwargs)
+
+    monkeypatch.setattr(cli_module, "VerificationOptions", options_with_plan)
+    code = main(
+        [
+            "verify",
+            str(snapshot_files["pre"]),
+            str(snapshot_files["post"]),
+            str(snapshot_files["spec"]),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 3
+    assert "unknown: " in out
