@@ -27,4 +27,5 @@ bench:
 		benchmarks/bench_scale_throughput.py \
 		benchmarks/bench_stream_throughput.py \
 		benchmarks/bench_contingency_sweep.py \
+		benchmarks/bench_gate.py \
 		-q -s --benchmark-disable

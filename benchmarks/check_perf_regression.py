@@ -25,7 +25,13 @@ Compares two measurement sources against the ``ci_baseline`` block of
   lower bound — losing cross-contingency interning or the shared verdict
   cache collapses it toward 1x — on contingencies/sec within ``threshold``,
   and on the sweep's resilience guard overhead when the baseline lists
-  ``sweep.max_guard_overhead_pct``).
+  ``sweep.max_guard_overhead_pct``);
+* the gate-overhead JSON written by ``bench_gate.py`` when ``GATE_JSON``
+  is set (gated on gate scoring as a percentage of sweep wall-clock, an
+  *absolute* ceiling like the guard overhead: risk assessment is pure
+  post-processing over artifacts the sweep already produced, so anything
+  past the ceiling means the analytics layer started re-running checks or
+  re-deriving state).
 
 A measurement regresses when it exceeds ``threshold`` times its baseline
 (default 2x, absorbing CI-runner jitter while still catching an accidental
@@ -135,6 +141,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", help="scale-throughput JSON written via SCALE_JSON")
     parser.add_argument("--stream", help="stream-throughput JSON written via STREAM_JSON")
     parser.add_argument("--sweep", help="contingency-sweep JSON written via SWEEP_JSON")
+    parser.add_argument("--gate", help="gate-overhead JSON written via GATE_JSON")
     parser.add_argument("--threshold", type=float, default=2.0, help="allowed slowdown factor")
     args = parser.parse_args(argv)
 
@@ -311,10 +318,46 @@ def main(argv: list[str] | None = None) -> int:
         compared += guard_compared
         failures.extend(guard_failures)
 
+    if args.gate:
+        measured_gate = load_json(args.gate)
+        baseline_gate = baseline.get("gate", {})
+        max_overhead = baseline_gate.get("max_gate_overhead_pct")
+        if max_overhead is None:
+            print("error: baseline has no gate.max_gate_overhead_pct", file=sys.stderr)
+            return 2
+        for axis in ("fec_count", "contingencies"):
+            expected = baseline_gate.get(axis)
+            if expected is not None and measured_gate.get(axis) != expected:
+                # Scoring cost is relative to the sweep's wall-clock, which a
+                # different population changes; the percentage is only
+                # meaningful against the population it was calibrated on.
+                print(
+                    f"error: gate population mismatch: measured {axis} "
+                    f"{measured_gate.get(axis)}, baseline expects {expected} "
+                    "(was GATE_FECS set?)",
+                    file=sys.stderr,
+                )
+                return 2
+        overhead = measured_gate["gate_overhead_pct"]
+        # Absolute ceiling, deliberately NOT scaled by --threshold: scoring
+        # is deterministic post-processing, so crossing the ceiling is real
+        # added work in the analytics layer, not runner jitter.
+        verdict = "OK" if overhead <= max_overhead else "REGRESSION"
+        print(
+            f"  [{verdict}] gate scoring overhead: measured {overhead:.3f}% "
+            f"of sweep wall-clock, ceiling {max_overhead:.1f}% (absolute)"
+        )
+        compared += 1
+        if overhead > max_overhead:
+            failures.append(
+                f"gate scoring overhead rose to {overhead:.3f}% "
+                f"(ceiling {max_overhead:.1f}%)"
+            )
+
     if compared == 0:
         print(
             "error: nothing compared "
-            "(pass --cdf, --benchmark-json, --scale, --stream and/or --sweep)",
+            "(pass --cdf, --benchmark-json, --scale, --stream, --sweep and/or --gate)",
             file=sys.stderr,
         )
         return 2

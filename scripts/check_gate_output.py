@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Validate a ``repro gate --json`` document (the repro-gate/v1 schema).
+
+CI's gate job pipes the gate's JSON output into this script to assert that
+the machine-readable contract holds before anything downstream scripts
+against it:
+
+    code=0; python -m repro.cli gate --json sweep ... > gate.json || code=$?
+    python scripts/check_gate_output.py gate.json \
+        --expect-decision pass --expect-exit "$code"
+
+Checks performed:
+
+* the document parses and carries ``schema: repro-gate/v1``;
+* every required field is present with the right shape (decision in the
+  four-way vocabulary, exit_code consistent with the decision, reasons a
+  non-empty list of strings, risk block with tier/score/signals);
+* the risk score is in [0, 1] and the tier matches its score band;
+* ``--expect-decision``/``--expect-exit``, when given, match the document
+  (``--expect-exit`` doubles as a check that the CLI's actual exit code
+  agrees with the one recorded in the JSON).
+
+Exits 0 when every check passes, 1 with a list of failures otherwise.
+Stdlib only — CI runs it before any dev dependency is installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DECISIONS = ("pass", "conditional", "hold", "block")
+DECISION_EXIT_CODES = {"pass": 0, "conditional": 3, "hold": 5, "block": 5}
+TIERS = ("negligible", "low", "moderate", "high", "critical")
+#: Score floors for each tier above ``negligible`` (mirrors repro.analytics.risk).
+TIER_FLOORS = (("critical", 0.80), ("high", 0.50), ("moderate", 0.25), ("low", 0.05))
+MODES = ("verify", "sweep")
+
+
+def _tier_for_score(score: float) -> str:
+    for tier, floor in TIER_FLOORS:
+        if score >= floor:
+            return tier
+    return "negligible"
+
+
+def _check_string_list(value: object, name: str, failures: list[str]) -> None:
+    if not isinstance(value, list) or not all(isinstance(item, str) for item in value):
+        failures.append(f"{name} must be a list of strings, got {value!r}")
+
+
+def validate(document: object) -> list[str]:
+    """Every schema violation in the document (empty = valid)."""
+    failures: list[str] = []
+    if not isinstance(document, dict):
+        return [f"top-level value must be an object, got {type(document).__name__}"]
+
+    if document.get("schema") != "repro-gate/v1":
+        failures.append(f"schema must be 'repro-gate/v1', got {document.get('schema')!r}")
+
+    decision = document.get("decision")
+    if decision not in DECISIONS:
+        failures.append(f"decision must be one of {DECISIONS}, got {decision!r}")
+    exit_code = document.get("exit_code")
+    if not isinstance(exit_code, int):
+        failures.append(f"exit_code must be an integer, got {exit_code!r}")
+    elif decision in DECISIONS and exit_code != DECISION_EXIT_CODES[decision]:
+        failures.append(
+            f"exit_code {exit_code} inconsistent with decision {decision!r} "
+            f"(expected {DECISION_EXIT_CODES[decision]})"
+        )
+
+    reasons = document.get("reasons")
+    _check_string_list(reasons, "reasons", failures)
+    if isinstance(reasons, list) and not reasons:
+        failures.append("reasons must not be empty")
+    _check_string_list(document.get("conditions"), "conditions", failures)
+    if decision == "conditional" and not document.get("conditions"):
+        failures.append("a conditional decision must list its conditions")
+
+    mode = document.get("mode")
+    if mode not in MODES:
+        failures.append(f"mode must be one of {MODES}, got {mode!r}")
+    verdict = document.get("verdict")
+    if not isinstance(verdict, dict):
+        failures.append(f"verdict must be an object, got {verdict!r}")
+    elif verdict.get("verdict") not in ("holds", "violated", "unknown"):
+        failures.append(f"verdict.verdict invalid: {verdict.get('verdict')!r}")
+
+    risk = document.get("risk")
+    if not isinstance(risk, dict):
+        failures.append(f"risk must be an object, got {risk!r}")
+        return failures
+    score = risk.get("score")
+    if not isinstance(score, (int, float)) or not 0.0 <= score <= 1.0:
+        failures.append(f"risk.score must be a number in [0, 1], got {score!r}")
+    tier = risk.get("tier")
+    if tier not in TIERS:
+        failures.append(f"risk.tier must be one of {TIERS}, got {tier!r}")
+    elif isinstance(score, (int, float)) and tier != _tier_for_score(score):
+        failures.append(
+            f"risk.tier {tier!r} does not match score {score} "
+            f"(expected {_tier_for_score(score)!r})"
+        )
+    signals = risk.get("signals")
+    if not isinstance(signals, list) or not signals:
+        failures.append(f"risk.signals must be a non-empty list, got {signals!r}")
+    else:
+        for index, signal in enumerate(signals):
+            if not isinstance(signal, dict):
+                failures.append(f"risk.signals[{index}] must be an object")
+                continue
+            for key in ("name", "score", "weight", "factors"):
+                if key not in signal:
+                    failures.append(f"risk.signals[{index}] missing {key!r}")
+    for key in ("proven_violation", "fully_unknown"):
+        if not isinstance(risk.get(key), bool):
+            failures.append(f"risk.{key} must be a boolean, got {risk.get(key)!r}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("document", help="file holding the repro gate --json output")
+    parser.add_argument(
+        "--expect-decision",
+        choices=DECISIONS,
+        default=None,
+        help="fail unless the document's decision is exactly this",
+    )
+    parser.add_argument(
+        "--expect-exit",
+        type=int,
+        default=None,
+        help="fail unless the document's exit_code is exactly this "
+        "(pass the CLI's observed exit status to cross-check both)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        document = json.loads(Path(args.document).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"FAIL: cannot read gate document: {error}", file=sys.stderr)
+        return 1
+
+    failures = validate(document)
+    if isinstance(document, dict):
+        if args.expect_decision is not None and document.get("decision") != args.expect_decision:
+            failures.append(
+                f"expected decision {args.expect_decision!r}, got {document.get('decision')!r}"
+            )
+        if args.expect_exit is not None and document.get("exit_code") != args.expect_exit:
+            failures.append(
+                f"expected exit code {args.expect_exit}, got {document.get('exit_code')!r}"
+            )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: gate document valid — decision={document['decision']} "
+        f"exit={document['exit_code']} tier={document['risk']['tier']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Change-risk intelligence over verification artifacts (risk + safety gate).
+
+The analytics layer is strictly *downstream* of the verifier: it consumes
+:class:`~repro.verifier.report.VerificationReport`,
+:class:`~repro.verifier.contingency.SweepReport` and
+:class:`~repro.verifier.report.StreamReport` objects and never re-runs any
+check.  :mod:`repro.analytics.risk` scores a change from three proven
+signal families (blast radius, contingency fragility, history);
+:mod:`repro.analytics.gate` maps the assessment onto the graded
+``pass`` / ``conditional`` / ``hold`` / ``block`` decision the
+``repro gate`` CLI exposes to CI pipelines.
+"""
+
+from repro.analytics.gate import (
+    GateDecision,
+    SafetyGate,
+    SafetyGateDecision,
+    gate_report,
+    gate_sweep,
+)
+from repro.analytics.risk import (
+    ChangeHistory,
+    RiskAssessment,
+    RiskSignal,
+    RiskTier,
+    assess_report,
+    assess_sweep,
+    blast_radius_signal,
+    fec_region_index,
+    fragility_signal,
+    history_signal,
+    unknown_signal,
+)
+
+__all__ = [
+    "RiskTier",
+    "RiskSignal",
+    "RiskAssessment",
+    "ChangeHistory",
+    "assess_report",
+    "assess_sweep",
+    "blast_radius_signal",
+    "fragility_signal",
+    "history_signal",
+    "unknown_signal",
+    "fec_region_index",
+    "GateDecision",
+    "SafetyGate",
+    "SafetyGateDecision",
+    "gate_report",
+    "gate_sweep",
+]

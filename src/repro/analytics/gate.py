@@ -1,0 +1,238 @@
+"""Safety-gate decisions over risk assessments.
+
+A :class:`SafetyGate` turns a :class:`~repro.analytics.risk.RiskAssessment`
+into one of four graded decisions a CI pipeline can script against:
+
+* ``pass`` — every check proven, risk below the conditional threshold;
+  ship it (exit code 0);
+* ``conditional`` — no violation proven, but either some checks ended
+  unknown or the risk score crossed the conditional threshold; ship with
+  the listed conditions satisfied (exit code 3);
+* ``hold`` — no violation proven, but the risk score crossed the hold
+  threshold or *nothing* was proven at all; do not ship without operator
+  review (exit code 5);
+* ``block`` — a violation was proven somewhere (the report, or any
+  contingency of a sweep); do not ship (exit code 5).
+
+Decision rules, in order of precedence (each can only *escalate*, mirroring
+the risk layer's monotonicity):
+
+1. a **proven violation** anywhere ⇒ ``block``, unconditionally;
+2. a **fully-unknown** assessment (nothing proven) ⇒ at best ``hold`` —
+   absence of proof is never treated as proof of absence;
+3. otherwise the score decides: ``>= hold_at`` ⇒ ``hold``,
+   ``>= conditional_at`` ⇒ ``conditional``, below ⇒ ``pass``; with any
+   unknown verdicts present the decision is at least ``conditional``.
+
+Exit codes extend the CLI's verify/stream/sweep contract: ``0``/``3`` keep
+their "proven clean" / "not a full proof" meanings, and ``5`` — unused by
+the other subcommands — marks the two do-not-ship decisions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.analytics.risk import (
+    ChangeHistory,
+    RiskAssessment,
+    assess_report,
+    assess_sweep,
+)
+from repro.errors import AnalyticsError
+from repro.verifier.contingency import SweepReport
+from repro.verifier.report import VerificationReport
+
+
+class GateDecision(enum.StrEnum):
+    """Graded safety decision, ordered from most to least favourable."""
+
+    PASS = "pass"
+    CONDITIONAL = "conditional"
+    HOLD = "hold"
+    BLOCK = "block"
+
+    @property
+    def rank(self) -> int:
+        """Position in the escalation order (higher = less favourable)."""
+        return _DECISION_ORDER.index(self)
+
+    @property
+    def exit_code(self) -> int:
+        """The CLI exit code encoding this decision."""
+        return _EXIT_CODES[self]
+
+
+_DECISION_ORDER = (
+    GateDecision.PASS,
+    GateDecision.CONDITIONAL,
+    GateDecision.HOLD,
+    GateDecision.BLOCK,
+)
+
+#: The ``repro gate`` exit-code contract: 0 = pass, 3 = conditional,
+#: 5 = hold/block (2 stays the CLI-wide usage-error code).
+_EXIT_CODES = {
+    GateDecision.PASS: 0,
+    GateDecision.CONDITIONAL: 3,
+    GateDecision.HOLD: 5,
+    GateDecision.BLOCK: 5,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class SafetyGateDecision:
+    """One gate outcome: the decision, its assessment, and the reasons."""
+
+    decision: GateDecision
+    assessment: RiskAssessment
+    #: Why the gate decided what it decided (deterministic order).
+    reasons: tuple[str, ...]
+    #: For ``conditional``: what must be satisfied before shipping.
+    conditions: tuple[str, ...] = ()
+
+    @property
+    def exit_code(self) -> int:
+        return self.decision.exit_code
+
+    def to_dict(self) -> dict:
+        """The machine-readable form ``repro gate --json`` emits."""
+        return {
+            "schema": "repro-gate/v1",
+            "decision": str(self.decision),
+            "exit_code": self.exit_code,
+            "reasons": list(self.reasons),
+            "conditions": list(self.conditions),
+            "risk": self.assessment.to_dict(),
+        }
+
+    def summary(self) -> str:
+        """One-line decision summary."""
+        return (
+            f"gate: {str(self.decision).upper()} (exit {self.exit_code}) — "
+            f"{self.assessment.summary()}"
+        )
+
+    def table(self) -> str:
+        """Human-readable multi-line rendering (the ``repro gate`` output)."""
+        lines = [f"risk: {self.assessment.tier} (score {self.assessment.score:.2f})"]
+        for signal in self.assessment.signals:
+            factor_text = "; ".join(signal.factors)
+            lines.append(
+                f"  {signal.name:<12} {signal.score:.2f} x{signal.weight:.1f}  {factor_text}"
+            )
+        lines.append(f"decision: {self.decision} (exit {self.exit_code})")
+        for reason in self.reasons:
+            lines.append(f"  - {reason}")
+        if self.conditions:
+            lines.append("conditions:")
+            for condition in self.conditions:
+                lines.append(f"  * {condition}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True, slots=True)
+class SafetyGate:
+    """Threshold policy mapping risk assessments to gate decisions."""
+
+    #: Score at or above which a clean, fully-proven change still needs its
+    #: conditions satisfied before shipping.
+    conditional_at: float = 0.20
+    #: Score at or above which the change must not ship without review.
+    hold_at: float = 0.50
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.conditional_at <= self.hold_at <= 1.0):
+            raise AnalyticsError(
+                "gate thresholds must satisfy 0 < conditional_at <= hold_at <= 1 "
+                f"(got conditional_at={self.conditional_at}, hold_at={self.hold_at})"
+            )
+
+    def decide(self, assessment: RiskAssessment) -> SafetyGateDecision:
+        """Apply the decision rules (see the module docstring) in order."""
+        reasons: list[str] = []
+        conditions: list[str] = []
+        decision = GateDecision.PASS
+
+        if assessment.score >= self.hold_at:
+            decision = GateDecision.HOLD
+            reasons.append(
+                f"risk score {assessment.score:.2f} at or above the hold "
+                f"threshold {self.hold_at:.2f}"
+            )
+        elif assessment.score >= self.conditional_at:
+            decision = GateDecision.CONDITIONAL
+            reasons.append(
+                f"risk score {assessment.score:.2f} at or above the conditional "
+                f"threshold {self.conditional_at:.2f}"
+            )
+
+        if assessment.has_unknowns and decision.rank < GateDecision.CONDITIONAL.rank:
+            decision = GateDecision.CONDITIONAL
+            reasons.append(
+                f"{assessment.unknown_checks} checks ended unknown — the verdict "
+                "is not a full proof"
+            )
+        if assessment.fully_unknown:
+            # Nothing was proven at all: absence of proof can at best hold.
+            if decision.rank < GateDecision.HOLD.rank:
+                decision = GateDecision.HOLD
+            reasons.append("nothing proven: every check ended unknown")
+        if assessment.proven_violation:
+            decision = GateDecision.BLOCK
+            reasons = [
+                "proven violation: at least one flow class (or contingency) "
+                "violates the specification"
+            ]
+            conditions = []
+
+        if decision is GateDecision.CONDITIONAL:
+            if assessment.has_unknowns:
+                conditions.append(
+                    f"re-run the {assessment.unknown_checks} unknown checks to "
+                    "completion (raise --check-timeout / --max-retries)"
+                )
+            conditions.append("operator review of the listed risk factors")
+        if decision is GateDecision.PASS:
+            reasons.append(
+                f"all checks proven; risk score {assessment.score:.2f} below the "
+                f"conditional threshold {self.conditional_at:.2f}"
+            )
+
+        return SafetyGateDecision(
+            decision=decision,
+            assessment=assessment,
+            reasons=tuple(reasons),
+            conditions=tuple(conditions),
+        )
+
+
+def gate_report(
+    report: VerificationReport,
+    *,
+    gate: SafetyGate | None = None,
+    fec_regions=None,
+    total_regions: int | None = None,
+    history: ChangeHistory | None = None,
+) -> SafetyGateDecision:
+    """Assess one verification report and gate it in one call."""
+    assessment = assess_report(
+        report, fec_regions=fec_regions, total_regions=total_regions, history=history
+    )
+    return (gate or SafetyGate()).decide(assessment)
+
+
+def gate_sweep(
+    sweep: SweepReport,
+    *,
+    gate: SafetyGate | None = None,
+    fec_regions=None,
+    total_regions: int | None = None,
+    history: ChangeHistory | None = None,
+) -> SafetyGateDecision:
+    """Assess a contingency sweep and gate it in one call."""
+    assessment = assess_sweep(
+        sweep, fec_regions=fec_regions, total_regions=total_regions, history=history
+    )
+    return (gate or SafetyGate()).decide(assessment)

@@ -1,0 +1,458 @@
+"""Change-risk scoring over proven verification artifacts.
+
+The verifier answers *holds / violated / unknown* per change; operators ask
+a graded question before a change ships: how bad would it be, and how sure
+are we?  This module turns verification artifacts — never heuristics — into
+a :class:`RiskAssessment`: a deterministic score in ``[0, 1]``, a
+:class:`RiskTier`, and the per-signal factors that produced them.
+
+Three proven signal families (plus the cross-cutting unknowns signal):
+
+* **blast radius** (:func:`blast_radius_signal`) — how much of the network
+  a violation touches: violating-FEC count and fraction, distinct violated
+  sub-specs, and the affected-*region* spread derived from the per-FEC
+  verdicts plus the workload's region structure
+  (:meth:`repro.workloads.backbone.Backbone.location_regions` →
+  :func:`fec_region_index`);
+* **contingency fragility** (:func:`fragility_signal`) — the fraction of
+  k-failure contingencies that flip the verdict, seeded from the sweep's
+  :attr:`~repro.verifier.contingency.SweepReport.flipped_contingencies`,
+  :meth:`~repro.verifier.contingency.SweepReport.most_violating` and
+  :attr:`~repro.verifier.contingency.SweepReport.expectation_mismatches`;
+* **history** (:func:`history_signal`) — rolling outcome statistics a
+  :class:`~repro.verifier.session.VerificationSession` accumulates across a
+  stream's epochs (:meth:`~repro.verifier.session.VerificationSession.outcome_history`),
+  so a change class that violated before scores hotter than a
+  first-time-clean one.
+
+Signals combine by noisy-or (``1 - Π(1 - weight·score)``), which keeps the
+combined score in ``[0, 1]`` and — the property the gate's safety argument
+rests on — **monotone in every input**: more violating classes, more
+flipped contingencies or more unknown verdicts can never *lower* the score
+or the tier.  ``unknown`` verdicts (the resilience runtime's three-valued
+results) therefore raise risk, never lower it; the decision-level rule that
+a fully-unknown report can at best be *hold* lives in
+:mod:`repro.analytics.gate`.
+
+Everything here is pure arithmetic over report counters: assessing a report
+costs microseconds (gated in CI as <2% of sweep wall-clock,
+``benchmarks/bench_gate.py``) and the same artifacts always produce the
+same assessment.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.errors import AnalyticsError
+from repro.snapshots.fec import FlowEquivalenceClass
+from repro.verifier.contingency import SweepReport
+from repro.verifier.report import StreamReport, VerificationReport
+
+
+class RiskTier(enum.StrEnum):
+    """Graded risk, ordered from coolest to hottest."""
+
+    NEGLIGIBLE = "negligible"
+    LOW = "low"
+    MODERATE = "moderate"
+    HIGH = "high"
+    CRITICAL = "critical"
+
+    @property
+    def rank(self) -> int:
+        """Position in the tier order (higher = riskier)."""
+        return _TIER_ORDER.index(self)
+
+    @classmethod
+    def for_score(cls, score: float) -> RiskTier:
+        """The tier a combined risk score falls into (monotone in score)."""
+        for floor, tier in _TIER_FLOORS:
+            if score >= floor:
+                return tier
+        return cls.NEGLIGIBLE
+
+
+_TIER_ORDER = (
+    RiskTier.NEGLIGIBLE,
+    RiskTier.LOW,
+    RiskTier.MODERATE,
+    RiskTier.HIGH,
+    RiskTier.CRITICAL,
+)
+
+#: Score floors per tier, hottest first.  Scores are in [0, 1]; the floors
+#: are part of the documented contract (docs/ARCHITECTURE.md) rather than
+#: tuning knobs, so the gate's behaviour is predictable.
+_TIER_FLOORS = (
+    (0.80, RiskTier.CRITICAL),
+    (0.50, RiskTier.HIGH),
+    (0.25, RiskTier.MODERATE),
+    (0.05, RiskTier.LOW),
+)
+
+
+def _clamp(value: float) -> float:
+    return 0.0 if value <= 0.0 else 1.0 if value >= 1.0 else value
+
+
+def _noisy_or(parts: Iterable[float]) -> float:
+    """Combine ``[0, 1]`` evidence terms: any strong term dominates, every
+    term only ever raises the result (the monotonicity workhorse)."""
+    remaining = 1.0
+    for part in parts:
+        remaining *= 1.0 - _clamp(part)
+    return 1.0 - remaining
+
+
+@dataclass(frozen=True, slots=True)
+class RiskSignal:
+    """One scored signal family with its human-readable factors."""
+
+    name: str
+    #: Signal-local score in [0, 1].
+    score: float
+    #: Weight of this signal in the combined noisy-or (0..1].
+    weight: float
+    #: Human-readable contributions, deterministic order.
+    factors: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "score": round(self.score, 6),
+            "weight": self.weight,
+            "factors": list(self.factors),
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class ChangeHistory:
+    """Rolling outcome statistics of earlier changes of the same class."""
+
+    epochs: int = 0
+    violating_epochs: int = 0
+    degraded_epochs: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs < 0 or self.violating_epochs < 0 or self.degraded_epochs < 0:
+            raise AnalyticsError("history counters cannot be negative")
+        if max(self.violating_epochs, self.degraded_epochs) > self.epochs:
+            raise AnalyticsError("history counters cannot exceed the epoch count")
+
+    @classmethod
+    def from_stream(cls, stream: StreamReport) -> ChangeHistory:
+        """History from a session's cumulative stream report."""
+        return cls(
+            epochs=stream.epochs,
+            violating_epochs=stream.violating_epochs,
+            degraded_epochs=stream.degraded_epochs,
+        )
+
+    @classmethod
+    def from_counters(cls, counters: Mapping[str, int]) -> ChangeHistory:
+        """History from a session's ``outcome_history()`` counter dict."""
+        return cls(
+            epochs=int(counters.get("epochs", 0)),
+            violating_epochs=int(counters.get("violating_epochs", 0)),
+            degraded_epochs=int(counters.get("degraded_epochs", 0)),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class RiskAssessment:
+    """The scored risk of one proposed change."""
+
+    signals: tuple[RiskSignal, ...]
+    #: Combined noisy-or of the weighted signal scores, in [0, 1].
+    score: float
+    tier: RiskTier
+    #: True when any artifact carries a *proven* violation (a counterexample
+    #: on the report, or a violated contingency anywhere in a sweep).
+    proven_violation: bool
+    #: True when nothing was proven at all: every examined class (or every
+    #: contingency) ended with an unknown verdict.
+    fully_unknown: bool
+    #: Unknown-verdict class checks across all artifacts.
+    unknown_checks: int
+
+    @property
+    def has_unknowns(self) -> bool:
+        """True when any check ended unknown (the verdict is not a proof)."""
+        return self.unknown_checks > 0
+
+    def signal(self, name: str) -> RiskSignal:
+        """Look up one signal by name."""
+        for signal in self.signals:
+            if signal.name == name:
+                return signal
+        raise AnalyticsError(f"no signal named {name!r} in this assessment")
+
+    def to_dict(self) -> dict:
+        return {
+            "score": round(self.score, 6),
+            "tier": str(self.tier),
+            "proven_violation": self.proven_violation,
+            "fully_unknown": self.fully_unknown,
+            "unknown_checks": self.unknown_checks,
+            "signals": [signal.to_dict() for signal in self.signals],
+        }
+
+    def summary(self) -> str:
+        """One-line risk summary."""
+        parts = ", ".join(f"{signal.name} {signal.score:.2f}" for signal in self.signals)
+        return f"risk {self.tier} (score {self.score:.2f}; {parts})"
+
+
+#: Signal weights in the combined noisy-or.  Blast radius and fragility are
+#: full-weight (they carry proven violations); unknowns slightly less (they
+#: are absence of proof, not proof of violation — but still must be able to
+#: push a report toward hold on their own); history is capped low enough
+#: that a clean, fully-proven change with a bad track record lands at worst
+#: *conditional*, never hold (0.6 x max-signal 0.625 = 0.375 < the 0.5 hold
+#: threshold).
+_WEIGHTS = {
+    "blast-radius": 1.0,
+    "fragility": 1.0,
+    "unknowns": 0.9,
+    "history": 0.6,
+}
+
+
+def fec_region_index(
+    fecs: Iterable[FlowEquivalenceClass],
+    *,
+    location_regions: Mapping[str, str] | None = None,
+) -> dict[str, frozenset[str]]:
+    """Map each FEC id to the regions its traffic touches.
+
+    Regions come from the workload's FEC metadata (``src_region`` /
+    ``dst_region``, as the scale and traffic generators stamp them), falling
+    back to the ingress location resolved through a
+    :meth:`~repro.workloads.backbone.Backbone.location_regions` mapping.
+    FECs with no resolvable region are simply absent — blast-radius scoring
+    degrades to count/fraction evidence for them, it never guesses.
+    """
+    index: dict[str, frozenset[str]] = {}
+    for fec in fecs:
+        regions = set()
+        for key in ("src_region", "dst_region"):
+            value = fec.metadata.get(key)
+            if value:
+                regions.add(value)
+        if not regions and location_regions is not None and fec.ingress:
+            region = location_regions.get(fec.ingress)
+            if region:
+                regions.add(region)
+        if regions:
+            index[fec.fec_id] = frozenset(regions)
+    return index
+
+
+def blast_radius_signal(
+    report: VerificationReport,
+    *,
+    fec_regions: Mapping[str, frozenset[str]] | None = None,
+    total_regions: int | None = None,
+) -> RiskSignal:
+    """How much of the network the proven violations touch.
+
+    Evidence terms (each only ever raises the score): a floor for *any*
+    proven violation, the violating-class fraction, the distinct violated
+    sub-specs, and — when region metadata is available — the fraction of
+    regions the violating classes' traffic touches.
+    """
+    weight = _WEIGHTS["blast-radius"]
+    if report.total_fecs == 0:
+        return RiskSignal("blast-radius", 0.0, weight, ("no flow classes examined",))
+    if report.violating_fecs == 0:
+        return RiskSignal("blast-radius", 0.0, weight, ("no violating classes",))
+
+    fraction = report.violation_fraction
+    branches = report.violating_branches
+    branch_saturation = 1.0 - 1.0 / (1.0 + branches)
+    factors = [
+        f"{report.violating_fecs} of {report.total_fecs} flow classes violate",
+        f"{branches} sub-spec(s) violated",
+    ]
+
+    region_fraction = 0.0
+    if fec_regions and total_regions:
+        affected: set[str] = set()
+        for counterexample in report.counterexamples:
+            affected |= fec_regions.get(counterexample.fec_id, frozenset())
+        if affected:
+            region_fraction = min(1.0, len(affected) / total_regions)
+            factors.append(f"{len(affected)} of {total_regions} regions affected")
+
+    score = _noisy_or(
+        (0.4, 0.6 * fraction, 0.25 * branch_saturation, 0.5 * region_fraction)
+    )
+    return RiskSignal("blast-radius", score, weight, tuple(factors))
+
+
+def unknown_signal(
+    *,
+    unknown: int,
+    total: int,
+    degraded: bool = False,
+    scope: str = "checks",
+) -> RiskSignal:
+    """Risk from absence of proof: unknown verdicts and degraded execution.
+
+    Raising-only by construction: any unknown check puts a floor under the
+    score, the unknown fraction scales it, and a fully-unknown population
+    (nothing proven at all) pins it at 0.85 — high enough that the gate can
+    never call such a report better than *hold*.
+    """
+    weight = _WEIGHTS["unknowns"]
+    if unknown <= 0:
+        if degraded:
+            return RiskSignal(
+                "unknowns", 0.1, weight, ("degraded execution (serial fallback)",)
+            )
+        return RiskSignal("unknowns", 0.0, weight, (f"all {scope} proven",))
+    fraction = unknown / total if total else 1.0
+    score = _noisy_or((0.25, 0.6 * fraction))
+    factors = [f"{unknown} of {total} {scope} ended unknown"]
+    if total and unknown >= total:
+        score = max(score, 0.85)
+        factors.append(f"nothing proven: all {scope} ended unknown")
+    return RiskSignal("unknowns", score, weight, tuple(factors))
+
+
+def fragility_signal(sweep: SweepReport) -> RiskSignal:
+    """How fragile the change is under the sweep's failure model.
+
+    Seeded from the sweep's proven artifacts: the fraction of failure
+    contingencies that flip to a violated verdict
+    (:attr:`~repro.verifier.contingency.SweepReport.flip_fraction`), the
+    worst offenders from
+    :meth:`~repro.verifier.contingency.SweepReport.most_violating`, the
+    unknown contingencies, and any workload-expectation mismatches.
+    """
+    weight = _WEIGHTS["fragility"]
+    failures = sweep.failure_results
+    if not failures:
+        return RiskSignal("fragility", 0.0, weight, ("no failure contingencies swept",))
+
+    flipped = sweep.flipped_contingencies
+    flip_fraction = sweep.flip_fraction
+    unknown = sum(1 for result in failures if result.verdict == "unknown")
+    unknown_fraction = unknown / len(failures)
+    mismatches = len(sweep.expectation_mismatches)
+
+    factors = [f"{flipped} of {len(failures)} failure contingencies flip the verdict"]
+    for result in sweep.most_violating(3):
+        factors.append(
+            f"worst: {result.contingency.contingency_id} "
+            f"({result.report.violating_fecs} violating classes)"
+        )
+    if unknown:
+        factors.append(f"{unknown} failure contingencies unproven (unknown)")
+    if mismatches:
+        factors.append(f"{mismatches} expectation mismatches vs the workload")
+
+    score = _noisy_or(
+        (
+            0.4 if flipped else 0.0,
+            0.5 * flip_fraction,
+            0.3 * unknown_fraction,
+            0.2 if mismatches else 0.0,
+        )
+    )
+    return RiskSignal("fragility", score, weight, tuple(factors))
+
+
+def history_signal(history: ChangeHistory) -> RiskSignal:
+    """Risk carried over from earlier outcomes of the same change class."""
+    weight = _WEIGHTS["history"]
+    if history.epochs == 0:
+        return RiskSignal("history", 0.0, weight, ("no verification history",))
+    violation_rate = history.violating_epochs / history.epochs
+    degraded_rate = history.degraded_epochs / history.epochs
+    score = _noisy_or((0.5 * violation_rate, 0.25 * degraded_rate))
+    factors = [
+        f"{history.violating_epochs} of {history.epochs} past epochs violated",
+    ]
+    if history.degraded_epochs:
+        factors.append(f"{history.degraded_epochs} past epochs ran degraded")
+    return RiskSignal("history", score, weight, tuple(factors))
+
+
+def _combine(signals: Iterable[RiskSignal], **flags) -> RiskAssessment:
+    signals = tuple(signals)
+    score = _noisy_or(signal.weight * signal.score for signal in signals)
+    return RiskAssessment(
+        signals=signals, score=score, tier=RiskTier.for_score(score), **flags
+    )
+
+
+def assess_report(
+    report: VerificationReport,
+    *,
+    fec_regions: Mapping[str, frozenset[str]] | None = None,
+    total_regions: int | None = None,
+    history: ChangeHistory | None = None,
+) -> RiskAssessment:
+    """Assess one verification report (one ``verify`` run or stream epoch)."""
+    signals = [
+        blast_radius_signal(
+            report, fec_regions=fec_regions, total_regions=total_regions
+        ),
+        unknown_signal(
+            unknown=report.unknown_fecs,
+            total=report.total_fecs,
+            degraded=report.degraded,
+            scope="class checks",
+        ),
+    ]
+    if history is not None:
+        signals.append(history_signal(history))
+    return _combine(
+        signals,
+        proven_violation=report.violating_fecs > 0,
+        fully_unknown=report.total_fecs > 0 and report.unknown_fecs >= report.total_fecs,
+        unknown_checks=report.unknown_fecs,
+    )
+
+
+def assess_sweep(
+    sweep: SweepReport,
+    *,
+    fec_regions: Mapping[str, frozenset[str]] | None = None,
+    total_regions: int | None = None,
+    history: ChangeHistory | None = None,
+) -> RiskAssessment:
+    """Assess a contingency sweep: baseline blast radius + k-failure fragility.
+
+    Blast radius is scored on the healthy-network baseline contingency (the
+    change as it would land; the first result when the sweep ran without a
+    baseline); fragility and unknowns are scored sweep-wide.
+    """
+    if not sweep.results:
+        raise AnalyticsError("cannot assess an empty sweep report")
+    baseline = sweep.baseline_result or sweep.results[0]
+    signals = [
+        blast_radius_signal(
+            baseline.report, fec_regions=fec_regions, total_regions=total_regions
+        ),
+        fragility_signal(sweep),
+        unknown_signal(
+            unknown=sweep.failed_checks,
+            total=sweep.total_fecs,
+            degraded=sweep.degraded,
+            scope="class checks",
+        ),
+    ]
+    if history is not None:
+        signals.append(history_signal(history))
+    return _combine(
+        signals,
+        proven_violation=sweep.violating_contingencies > 0,
+        fully_unknown=bool(sweep.results)
+        and all(result.verdict == "unknown" for result in sweep.results),
+        unknown_checks=sweep.failed_checks,
+    )

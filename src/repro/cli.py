@@ -16,7 +16,13 @@ Subcommands mirror the operator workflow described in the paper:
   failures, k-link combinations, or planned-maintenance link sets) through
   one shared :class:`~repro.verifier.contingency.ContingencySweep`,
   reporting the most-violating contingencies and the sweep-wide dedup
-  ratio.
+  ratio;
+* ``gate`` — wrap ``verify`` or ``sweep`` in the risk/safety-gate layer
+  (:mod:`repro.analytics`): score the change from its proven verification
+  artifacts, print a human risk table (or ``--json`` machine output) and
+  encode the graded decision in the exit code — ``0`` = pass, ``3`` =
+  conditional, ``5`` = hold/block — so any CI pipeline can use the verdict
+  as a merge gate.
 
 Exit codes form a contract the change-automation callers script against
 (also printed in ``--help``):
@@ -34,17 +40,23 @@ Exit codes form a contract the change-automation callers script against
   had to degrade;
 * ``130`` — interrupted (Ctrl-C), no traceback.
 
-The ``verify``/``stream``/``sweep`` commands share the resilience knobs
-``--check-timeout``, ``--max-retries`` and ``--no-degrade`` (see
+``gate`` speaks its own graded contract on top: ``0`` = pass, ``3`` =
+conditional (ship once the listed conditions are satisfied), ``5`` =
+hold/block (do not ship); ``2``/``4``/``130`` keep their meanings.
+
+The ``verify``/``stream``/``sweep``/``gate`` commands share the resilience
+knobs ``--check-timeout``, ``--max-retries`` and ``--no-degrade`` (see
 :mod:`repro.verifier.runtime`).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from concurrent.futures.process import BrokenProcessPool
 
+from repro.analytics import fec_region_index, gate_report, gate_sweep
 from repro.errors import DegradedExecutionError, ReproError
 from repro.rela.locations import Granularity
 from repro.rela.parser import parse_program
@@ -136,7 +148,8 @@ def _cmd_pathdiff(args: argparse.Namespace) -> int:
     return 0 if len(diff) == 0 else 1
 
 
-def _cmd_verify(args: argparse.Namespace) -> int:
+def _run_verify(args: argparse.Namespace):
+    """Run one ``verify``-shaped check (shared with ``gate verify``)."""
     pre = Snapshot.from_json(args.pre)
     post = Snapshot.from_json(args.post)
     with open(args.spec, encoding="utf-8") as handle:
@@ -147,7 +160,11 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         workers=args.workers,
         **_resilience_kwargs(args),
     )
-    report = verify_change(pre, post, spec, options=options)
+    return verify_change(pre, post, spec, options=options)
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    report = _run_verify(args)
     print(report.summary())
     if report.violating_fecs:
         print(report.table(max_rows=args.max_rows))
@@ -248,7 +265,12 @@ def _parse_link(text: str) -> tuple[str, str]:
     return (parts[0], parts[1])
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
+def _run_sweep(args: argparse.Namespace):
+    """Build and run one ``sweep``-shaped run (shared with ``gate sweep``).
+
+    Returns ``(backbone, scenario, sweep_report)`` so callers that need the
+    region structure (the gate's blast-radius scoring) have it.
+    """
     parser: argparse.ArgumentParser = args.parser
     if args.k is not None and args.failures != "k":
         parser.error("--k only applies to --failures k")
@@ -291,7 +313,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         **_resilience_kwargs(args),
     )
-    sweep = scenario.sweep(contingencies, options=options).run()
+    return backbone, scenario, scenario.sweep(contingencies, options=options).run()
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    _, _, sweep = _run_sweep(args)
     for result in sweep.results:
         if args.show_contingencies or not result.holds:
             print(f"[{result.contingency}] {result.report.summary()}")
@@ -320,6 +346,55 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if sweep.degraded:
         return 3
     return 0
+
+
+def _emit_gate(decision, payload: dict, as_json: bool, summary_line: str) -> int:
+    """Print a gate decision (human table or machine JSON); return its exit code."""
+    if as_json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(summary_line)
+        print(decision.table())
+    return decision.exit_code
+
+
+def _cmd_gate_verify(args: argparse.Namespace) -> int:
+    report = _run_verify(args)
+    decision = gate_report(report)
+    payload = decision.to_dict()
+    payload["mode"] = "verify"
+    payload["verdict"] = {
+        "verdict": report.verdict,
+        "holds": report.holds,
+        "total_fecs": report.total_fecs,
+        "violating_fecs": report.violating_fecs,
+        "unknown_fecs": report.unknown_fecs,
+        "degraded": report.degraded,
+    }
+    return _emit_gate(decision, payload, args.json, report.summary())
+
+
+def _cmd_gate_sweep(args: argparse.Namespace) -> int:
+    backbone, scenario, sweep = _run_sweep(args)
+    fec_regions = fec_region_index(
+        scenario.fecs, location_regions=backbone.location_regions()
+    )
+    decision = gate_sweep(
+        sweep, fec_regions=fec_regions, total_regions=len(backbone.regions())
+    )
+    payload = decision.to_dict()
+    payload["mode"] = "sweep"
+    payload["verdict"] = {
+        "verdict": sweep.verdict,
+        "holds": sweep.holds,
+        "contingencies": sweep.contingencies,
+        "violating_contingencies": sweep.violating_contingencies,
+        "unknown_contingencies": sweep.unknown_contingencies,
+        "flipped_contingencies": sweep.flipped_contingencies,
+        "expectation_mismatches": len(sweep.expectation_mismatches),
+        "degraded": sweep.degraded,
+    }
+    return _emit_gate(decision, payload, args.json, sweep.summary())
 
 
 def _add_resilience_flags(command: argparse.ArgumentParser) -> None:
@@ -354,8 +429,90 @@ _EXIT_CODE_HELP = (
     "2 = usage or library error; 3 = degraded run (some checks ended unknown "
     "or execution fell back to serial; no violation found); "
     "4 = unrecoverable execution failure (worker pool lost beyond recovery, "
-    "or --no-degrade aborted a degrading run); 130 = interrupted"
+    "or --no-degrade aborted a degrading run); 130 = interrupted. "
+    "The gate subcommand encodes its graded decision instead: 0 = pass, "
+    "3 = conditional, 5 = hold/block"
 )
+
+_GATE_EXIT_CODE_HELP = (
+    "gate exit codes: 0 = pass (ship it); 2 = usage or library error; "
+    "3 = conditional (ship once the listed conditions are satisfied); "
+    "4 = unrecoverable execution failure; 5 = hold or block (do not ship); "
+    "130 = interrupted"
+)
+
+
+def _add_verify_arguments(command: argparse.ArgumentParser) -> None:
+    """The ``verify`` inputs and knobs (shared with ``gate verify``)."""
+    command.add_argument("pre")
+    command.add_argument("post")
+    command.add_argument("spec", help="Rela program file (textual syntax)")
+    command.add_argument("--spec-name", default="change", help="name of the spec to check")
+    command.add_argument(
+        "--granularity", default="router", choices=[g.value for g in Granularity]
+    )
+    command.add_argument("--workers", type=int, default=1)
+    command.add_argument("--max-rows", type=int, default=20)
+    _add_resilience_flags(command)
+
+
+def _add_sweep_arguments(command: argparse.ArgumentParser) -> None:
+    """The ``sweep`` workload and failure-model knobs (shared with ``gate sweep``)."""
+    command.add_argument(
+        "--scenario",
+        default="drain",
+        choices=sorted(_SWEEP_SCENARIOS),
+        help="change under test (see repro.workloads.contingencies)",
+    )
+    command.add_argument(
+        "--buggy", action="store_true", help="inject the scenario's bug variant"
+    )
+    command.add_argument("--fecs", type=int, default=2000, help="traffic classes per snapshot")
+    command.add_argument("--regions", type=int, default=6)
+    command.add_argument("--routers-per-group", type=int, default=2)
+    command.add_argument("--parallel-links", type=int, default=2)
+    command.add_argument("--prefixes-per-region", type=int, default=2)
+    command.add_argument(
+        "--granularity", default="group", choices=[g.value for g in Granularity]
+    )
+    command.add_argument("--seed", type=int, default=59)
+    command.add_argument(
+        "--failures",
+        default="single",
+        choices=["single", "k", "maintenance"],
+        help="failure model: every single link, k-link combinations, or "
+        "planned-maintenance interconnect severances",
+    )
+    command.add_argument(
+        "--k", type=int, default=None, help="links failed together (with --failures k)"
+    )
+    command.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="cap the k-combination enumeration (with --failures k)",
+    )
+    command.add_argument(
+        "--candidate-links",
+        type=_parse_link,
+        nargs="*",
+        default=None,
+        metavar="A~B",
+        help="restrict single/k failures to these link bundles",
+    )
+    command.add_argument(
+        "--with-maintenance",
+        action="store_true",
+        help="append the planned-maintenance interconnect severances",
+    )
+    command.add_argument("--workers", type=int, default=1)
+    command.add_argument(
+        "--show-contingencies",
+        action="store_true",
+        help="print every contingency's report line (failing ones always print)",
+    )
+    command.add_argument("--max-rows", type=int, default=8)
+    _add_resilience_flags(command)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -385,14 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
     diff.set_defaults(func=_cmd_pathdiff)
 
     verify = sub.add_parser("verify", help="verify a change against a Rela spec file")
-    verify.add_argument("pre")
-    verify.add_argument("post")
-    verify.add_argument("spec", help="Rela program file (textual syntax)")
-    verify.add_argument("--spec-name", default="change", help="name of the spec to check")
-    verify.add_argument("--granularity", default="router", choices=[g.value for g in Granularity])
-    verify.add_argument("--workers", type=int, default=1)
-    verify.add_argument("--max-rows", type=int, default=20)
-    _add_resilience_flags(verify)
+    _add_verify_arguments(verify)
     verify.set_defaults(func=_cmd_verify)
 
     casestudy = sub.add_parser("casestudy", help="replay the Figure 1 change iterations")
@@ -438,62 +588,32 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="verify a change under a failure model (what-if contingency sweep)",
     )
-    sweep.add_argument(
-        "--scenario",
-        default="drain",
-        choices=sorted(_SWEEP_SCENARIOS),
-        help="change under test (see repro.workloads.contingencies)",
-    )
-    sweep.add_argument(
-        "--buggy", action="store_true", help="inject the scenario's bug variant"
-    )
-    sweep.add_argument("--fecs", type=int, default=2000, help="traffic classes per snapshot")
-    sweep.add_argument("--regions", type=int, default=6)
-    sweep.add_argument("--routers-per-group", type=int, default=2)
-    sweep.add_argument("--parallel-links", type=int, default=2)
-    sweep.add_argument("--prefixes-per-region", type=int, default=2)
-    sweep.add_argument(
-        "--granularity", default="group", choices=[g.value for g in Granularity]
-    )
-    sweep.add_argument("--seed", type=int, default=59)
-    sweep.add_argument(
-        "--failures",
-        default="single",
-        choices=["single", "k", "maintenance"],
-        help="failure model: every single link, k-link combinations, or "
-        "planned-maintenance interconnect severances",
-    )
-    sweep.add_argument(
-        "--k", type=int, default=None, help="links failed together (with --failures k)"
-    )
-    sweep.add_argument(
-        "--limit",
-        type=int,
-        default=None,
-        help="cap the k-combination enumeration (with --failures k)",
-    )
-    sweep.add_argument(
-        "--candidate-links",
-        type=_parse_link,
-        nargs="*",
-        default=None,
-        metavar="A~B",
-        help="restrict single/k failures to these link bundles",
-    )
-    sweep.add_argument(
-        "--with-maintenance",
-        action="store_true",
-        help="append the planned-maintenance interconnect severances",
-    )
-    sweep.add_argument("--workers", type=int, default=1)
-    sweep.add_argument(
-        "--show-contingencies",
-        action="store_true",
-        help="print every contingency's report line (failing ones always print)",
-    )
-    sweep.add_argument("--max-rows", type=int, default=8)
-    _add_resilience_flags(sweep)
+    _add_sweep_arguments(sweep)
     sweep.set_defaults(func=_cmd_sweep, parser=sweep)
+
+    gate = sub.add_parser(
+        "gate",
+        help="verify (or sweep) a change and emit a graded safety decision",
+        description="Run a verification and map the result onto a graded "
+        "pass/conditional/hold/block safety decision for CI pipelines.",
+        epilog=_GATE_EXIT_CODE_HELP,
+    )
+    gate.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable repro-gate/v1 JSON document instead of a table",
+    )
+    gate_sub = gate.add_subparsers(dest="gate_command", required=True)
+    gate_verify_parser = gate_sub.add_parser(
+        "verify", help="gate a single pre/post/spec verification"
+    )
+    _add_verify_arguments(gate_verify_parser)
+    gate_verify_parser.set_defaults(func=_cmd_gate_verify)
+    gate_sweep_parser = gate_sub.add_parser(
+        "sweep", help="gate a synthetic contingency sweep scenario"
+    )
+    _add_sweep_arguments(gate_sweep_parser)
+    gate_sweep_parser.set_defaults(func=_cmd_gate_sweep, parser=gate_sweep_parser)
     return parser
 
 

@@ -76,3 +76,8 @@ class DegradedExecutionError(ReproError):
 
 class WorkloadError(ReproError):
     """A synthetic workload generator received invalid parameters."""
+
+
+class AnalyticsError(ReproError):
+    """The risk/gate analytics layer received inconsistent inputs
+    (an empty sweep, malformed thresholds, out-of-range scores)."""

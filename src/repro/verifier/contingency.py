@@ -251,6 +251,15 @@ class SweepReport:
         return all(result.holds for result in self.results)
 
     @property
+    def verdict(self) -> str:
+        """Three-valued sweep verdict: ``"holds"``/``"violated"``/``"unknown"``."""
+        if self.violating_contingencies > 0:
+            return "violated"
+        if self.unknown_contingencies > 0:
+            return "unknown"
+        return "holds"
+
+    @property
     def violating_contingencies(self) -> int:
         """Contingencies with at least one *proven* violating flow class."""
         return sum(1 for result in self.results if result.verdict == "violated")
@@ -275,6 +284,34 @@ class SweepReport:
         """The contingencies the sweep completed but could not prove —
         the "119 verified, these 2 unknown" list operators act on."""
         return [result for result in self.results if result.verdict == "unknown"]
+
+    @property
+    def baseline_result(self) -> ContingencyResult | None:
+        """The healthy-network contingency's result, when the sweep ran one."""
+        for result in self.results:
+            if result.contingency.is_baseline:
+                return result
+        return None
+
+    @property
+    def failure_results(self) -> list[ContingencyResult]:
+        """Results of the actual failure contingencies (baseline excluded)."""
+        return [result for result in self.results if not result.contingency.is_baseline]
+
+    @property
+    def flipped_contingencies(self) -> int:
+        """Failure contingencies with a proven-violated verdict — for a
+        change that holds on the healthy baseline, the contingencies that
+        *flip* its verdict (the risk layer's fragility numerator)."""
+        return sum(1 for result in self.failure_results if result.verdict == "violated")
+
+    @property
+    def flip_fraction(self) -> float:
+        """Fraction of failure contingencies with a violated verdict."""
+        failures = self.failure_results
+        if not failures:
+            return 0.0
+        return self.flipped_contingencies / len(failures)
 
     @property
     def expectation_mismatches(self) -> list[ContingencyResult]:

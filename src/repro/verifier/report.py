@@ -104,6 +104,25 @@ class VerificationReport:
             return "violated"
         return "unknown"
 
+    @property
+    def violating_branches(self) -> int:
+        """Distinct sub-specs with at least one violating flow class."""
+        return len(self.branch_violation_counts)
+
+    @property
+    def violation_fraction(self) -> float:
+        """Fraction of examined flow classes with a proven violation."""
+        if self.total_fecs == 0:
+            return 0.0
+        return self.violating_fecs / self.total_fecs
+
+    @property
+    def unknown_fraction(self) -> float:
+        """Fraction of examined flow classes with an unknown verdict."""
+        if self.total_fecs == 0:
+            return 0.0
+        return self.unknown_fecs / self.total_fecs
+
     def record(self, outcome: Counterexample | CheckFailure | None) -> None:
         """Fold one per-FEC result into the report."""
         self.total_fecs += 1
@@ -208,6 +227,7 @@ class StreamReport:
     _epochs: int = 0
     _violating_epochs: int = 0
     _degraded_epochs: int = 0
+    _unknown_epochs: int = 0
     _unknown_fecs: int = 0
     _total_fecs: int = 0
     _unique_checks: int = 0
@@ -226,6 +246,8 @@ class StreamReport:
             self._violating_epochs += 1
         if report.degraded:
             self._degraded_epochs += 1
+        if report.verdict == "unknown":
+            self._unknown_epochs += 1
         self._unknown_fecs += report.unknown_fecs
         self._total_fecs += report.total_fecs
         self._unique_checks += report.unique_checks
@@ -265,6 +287,26 @@ class StreamReport:
     def degraded_epochs(self) -> int:
         """Number of epochs that ran degraded."""
         return self._degraded_epochs
+
+    @property
+    def unknown_epochs(self) -> int:
+        """Epochs whose verdict ended ``"unknown"`` (degraded, no violation)."""
+        return self._unknown_epochs
+
+    @property
+    def violation_rate(self) -> float:
+        """Fraction of epochs so far with a proven violation — the rolling
+        outcome statistic the risk layer's *history* signal consumes."""
+        if self._epochs == 0:
+            return 0.0
+        return self._violating_epochs / self._epochs
+
+    @property
+    def degraded_rate(self) -> float:
+        """Fraction of epochs so far that ran degraded."""
+        if self._epochs == 0:
+            return 0.0
+        return self._degraded_epochs / self._epochs
 
     @property
     def unknown_fecs(self) -> int:

@@ -206,6 +206,23 @@ class VerificationSession:
         """Number of changes verified so far."""
         return self.stream.epochs
 
+    def outcome_history(self) -> dict[str, int]:
+        """Rolling outcome counters across every epoch this session verified.
+
+        The history hook the risk layer consumes
+        (:meth:`repro.analytics.risk.ChangeHistory.from_counters`): a change
+        class that violated or degraded in earlier epochs of the same
+        session scores hotter than a first-time-clean one.  Counters come
+        from the cumulative :class:`~repro.verifier.report.StreamReport`, so
+        they survive ``report_history`` trimming.
+        """
+        return {
+            "epochs": self.stream.epochs,
+            "violating_epochs": self.stream.violating_epochs,
+            "degraded_epochs": self.stream.degraded_epochs,
+            "unknown_epochs": self.stream.unknown_epochs,
+        }
+
     # ------------------------------------------------------------------
     # The epoch step
     # ------------------------------------------------------------------

@@ -88,6 +88,28 @@ class Backbone:
         """Routers where customer traffic enters a region (the agg tier)."""
         return self.routers_in(region, "agg")
 
+    def location_regions(self) -> dict[str, str]:
+        """Region of every location name a graph or FEC can mention.
+
+        Maps each router name *and* each router-group name to its region —
+        the region-metadata index the risk layer's blast-radius scoring uses
+        to turn violating flow classes into an affected-region spread
+        (:func:`repro.analytics.risk.fec_region_index`).  Works at router
+        and group granularity alike, since both kinds of names appear.
+        """
+        mapping: dict[str, str] = {}
+        for router in self.topology.routers():
+            if not router.region:
+                continue
+            mapping[router.name] = router.region
+            if router.group:
+                mapping.setdefault(router.group, router.region)
+        return mapping
+
+    def region_of(self, location: str) -> str | None:
+        """Region of one router or group name (``None`` when unknown)."""
+        return self.location_regions().get(location)
+
 
 def generate_backbone(params: BackboneParams | None = None) -> Backbone:
     """Generate a synthetic backbone.

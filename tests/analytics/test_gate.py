@@ -1,0 +1,186 @@
+"""Safety-gate decision rules, schema, and the dataset-wide differential.
+
+The gate's contract: decisions only ever *escalate* (pass → conditional →
+hold → block), unknown verdicts can never improve a decision, a
+fully-unknown assessment is at best *hold*, and a proven violation is
+always *block*.  The differential test pins the gate's exit codes against
+the raw report verdicts over the same 60-scenario change dataset the
+interning-equivalence suite sweeps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics import (
+    GateDecision,
+    SafetyGate,
+    assess_report,
+    assess_sweep,
+    gate_report,
+    gate_sweep,
+)
+from repro.errors import AnalyticsError
+from repro.verifier import verify_change
+from repro.workloads.backbone import BackboneParams, generate_backbone
+from repro.workloads.changes import generate_change_dataset
+from repro.workloads.traffic import generate_fecs
+from tests.analytics.test_risk import make_report, make_sweep
+
+
+# ----------------------------------------------------------------------
+# Decision rules
+# ----------------------------------------------------------------------
+def test_clean_report_passes():
+    decision = gate_report(make_report(20))
+    assert decision.decision is GateDecision.PASS
+    assert decision.exit_code == 0
+    assert decision.reasons
+
+
+def test_proven_violation_blocks():
+    decision = gate_report(make_report(20, violating=1))
+    assert decision.decision is GateDecision.BLOCK
+    assert decision.exit_code == 5
+    assert any("proven violation" in reason for reason in decision.reasons)
+    assert decision.conditions == ()
+
+
+def test_unknowns_escalate_to_at_least_conditional():
+    decision = gate_report(make_report(20, unknown=1))
+    assert decision.decision is GateDecision.CONDITIONAL
+    assert decision.exit_code == 3
+    assert decision.conditions  # what to satisfy before shipping
+    assert any("unknown" in condition for condition in decision.conditions)
+
+
+def test_fully_unknown_report_is_at_best_hold():
+    decision = gate_report(make_report(20, unknown=20))
+    assert decision.decision is GateDecision.HOLD
+    assert decision.exit_code == 5
+    assert any("nothing proven" in reason for reason in decision.reasons)
+
+
+def test_violation_beats_fully_unknown():
+    # One violation among otherwise-unknown checks: block, not hold.
+    decision = gate_report(make_report(20, violating=1, unknown=19))
+    assert decision.decision is GateDecision.BLOCK
+
+
+def test_score_thresholds_drive_hold_and_conditional():
+    gate = SafetyGate(conditional_at=0.20, hold_at=0.50)
+    # A sweep with flips but no baseline violation would block on the proven
+    # violation; exercise the pure-score path on synthetic assessments of a
+    # clean report with increasingly bad history instead.
+    low = gate.decide(assess_report(make_report(10)))
+    assert low.decision is GateDecision.PASS
+    shaky = gate.decide(assess_report(make_report(10, unknown=3)))
+    assert shaky.decision is GateDecision.CONDITIONAL
+    assert shaky.exit_code == 3
+
+
+def test_decision_rank_matches_escalation_order():
+    ranks = [
+        GateDecision.PASS.rank,
+        GateDecision.CONDITIONAL.rank,
+        GateDecision.HOLD.rank,
+        GateDecision.BLOCK.rank,
+    ]
+    assert ranks == sorted(ranks)
+    assert [d.exit_code for d in GateDecision] == [0, 3, 5, 5]
+
+
+def test_gate_thresholds_validated():
+    with pytest.raises(AnalyticsError):
+        SafetyGate(conditional_at=0.0)
+    with pytest.raises(AnalyticsError):
+        SafetyGate(conditional_at=0.6, hold_at=0.5)
+    with pytest.raises(AnalyticsError):
+        SafetyGate(hold_at=1.5)
+
+
+def test_gate_decisions_monotone_under_worsening_artifacts():
+    """Escalating the artifacts can never improve the decision."""
+    gate = SafetyGate()
+    sequence = [
+        make_report(20),                       # clean
+        make_report(20, unknown=2),            # some unknowns
+        make_report(20, unknown=20),           # fully unknown
+        make_report(20, violating=3),          # proven violation
+    ]
+    ranks = [gate.decide(assess_report(report)).decision.rank for report in sequence]
+    assert ranks == sorted(ranks)
+
+
+# ----------------------------------------------------------------------
+# Sweep gating
+# ----------------------------------------------------------------------
+def test_clean_sweep_passes_and_flipped_sweep_blocks():
+    assert gate_sweep(make_sweep(failures=5)).decision is GateDecision.PASS
+    flipped = gate_sweep(make_sweep(failures=5, flipped=2))
+    assert flipped.decision is GateDecision.BLOCK
+    assert flipped.exit_code == 5
+
+
+def test_sweep_with_unknown_contingencies_is_conditional():
+    decision = gate_sweep(make_sweep(failures=5, unknown=1))
+    assert decision.decision is GateDecision.CONDITIONAL
+    assert decision.assessment.has_unknowns
+
+
+# ----------------------------------------------------------------------
+# Serialization schema (what `repro gate --json` rests on)
+# ----------------------------------------------------------------------
+def test_to_dict_schema():
+    payload = gate_report(make_report(20, unknown=1)).to_dict()
+    assert payload["schema"] == "repro-gate/v1"
+    assert payload["decision"] == "conditional"
+    assert payload["exit_code"] == 3
+    assert isinstance(payload["reasons"], list) and payload["reasons"]
+    assert isinstance(payload["conditions"], list) and payload["conditions"]
+    risk = payload["risk"]
+    assert 0.0 <= risk["score"] <= 1.0
+    assert risk["tier"] in ("negligible", "low", "moderate", "high", "critical")
+    assert risk["proven_violation"] is False
+    assert risk["fully_unknown"] is False
+    assert {signal["name"] for signal in risk["signals"]} == {"blast-radius", "unknowns"}
+
+
+def test_table_and_summary_render():
+    decision = gate_report(make_report(20, violating=2))
+    assert "decision: block (exit 5)" in decision.table()
+    assert decision.summary().startswith("gate: BLOCK (exit 5)")
+
+
+# ----------------------------------------------------------------------
+# Differential: gate exit codes vs raw verdicts over the 60-scenario dataset
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def dataset_with_db():
+    backbone = generate_backbone(
+        BackboneParams(regions=4, routers_per_group=2, parallel_links=2, prefixes_per_region=2)
+    )
+    fecs = generate_fecs(backbone, max_classes=24)
+    snapshot = backbone.simulator().snapshot(fecs, name="pre")
+    dataset = generate_change_dataset(backbone, snapshot, count=60, seed=23)
+    return backbone.location_db(), dataset
+
+
+def test_gate_exit_codes_agree_with_report_verdicts(dataset_with_db):
+    """For every dataset scenario the gate's exit code must agree with the
+    raw report verdict: holds → 0, violated → 5, unknown → 3 or 5."""
+    db, dataset = dataset_with_db
+    for scenario in dataset:
+        report = verify_change(scenario.pre, scenario.post, scenario.spec, db=db)
+        decision = gate_report(report)
+        if report.verdict == "holds":
+            assert decision.exit_code == 0, scenario.change_id
+            assert decision.decision is GateDecision.PASS
+        elif report.verdict == "violated":
+            assert decision.exit_code == 5, scenario.change_id
+            assert decision.decision is GateDecision.BLOCK
+        else:
+            assert decision.exit_code in (3, 5), scenario.change_id
+            assert decision.decision.rank >= GateDecision.CONDITIONAL.rank
+        # And the gate never contradicts the workload's expectation either.
+        assert (decision.exit_code == 0) == scenario.expect_holds, scenario.change_id

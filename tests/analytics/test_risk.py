@@ -1,0 +1,327 @@
+"""Risk-scoring unit and property tests: determinism and monotonicity.
+
+The gate's safety argument rests on two properties of the risk layer, so
+both are pinned here directly:
+
+* **determinism** — the same artifacts always produce the identical
+  assessment (scores, tiers, factors);
+* **monotonicity** — more violating flow classes, more flipped
+  contingencies or more unknown verdicts can never *lower* the score or
+  the tier.  ``unknown`` verdicts raise risk, never reduce it, and a
+  fully-unknown population pins the unknowns signal high enough that the
+  gate can never call it better than *hold*.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics import (
+    ChangeHistory,
+    RiskTier,
+    assess_report,
+    assess_sweep,
+    blast_radius_signal,
+    fec_region_index,
+    fragility_signal,
+    history_signal,
+    unknown_signal,
+)
+from repro.errors import AnalyticsError
+from repro.snapshots.fec import FlowEquivalenceClass
+from repro.verifier.contingency import Contingency, ContingencyResult, SweepReport
+from repro.verifier.counterexample import BranchViolation, Counterexample
+from repro.verifier.report import StreamReport, VerificationReport
+from repro.verifier.runtime import CheckFailure
+
+
+# ----------------------------------------------------------------------
+# Synthetic artifact builders
+# ----------------------------------------------------------------------
+def make_report(
+    total: int, violating: int = 0, unknown: int = 0, *, branches: int = 1
+) -> VerificationReport:
+    """A report with ``violating`` violating, ``unknown`` unknown and the
+    rest passing flow classes (spread over ``branches`` sub-specs)."""
+    assert violating + unknown <= total
+    report = VerificationReport()
+    for index in range(violating):
+        report.record(
+            Counterexample(
+                fec_id=f"fec{index:03d}",
+                fec_description=f"fec{index:03d} 10.0.{index}.0/24@edge",
+                pre_paths=[("edge", "core")],
+                post_paths=[("edge", "other")],
+                violations=[
+                    BranchViolation(branch=f"branch{index % max(1, branches)}")
+                ],
+            )
+        )
+    for index in range(unknown):
+        report.record(
+            CheckFailure(
+                fec_id=f"unk{index:03d}",
+                fec_description=f"unk{index:03d} 10.1.{index}.0/24@edge",
+                reason="timeout",
+            )
+        )
+    for _ in range(total - violating - unknown):
+        report.record(None)
+    report.finalize()
+    return report
+
+
+def make_sweep(
+    *,
+    failures: int,
+    flipped: int = 0,
+    unknown: int = 0,
+    baseline_violating: int = 0,
+    fecs_per_contingency: int = 10,
+) -> SweepReport:
+    """A sweep with one baseline plus ``failures`` failure contingencies,
+    of which ``flipped`` violate and ``unknown`` end unknown."""
+    assert flipped + unknown <= failures
+    sweep = SweepReport()
+    sweep.record(
+        ContingencyResult(
+            contingency=Contingency(contingency_id="baseline"),
+            report=make_report(fecs_per_contingency, violating=baseline_violating),
+        )
+    )
+    for index in range(failures):
+        if index < flipped:
+            report = make_report(fecs_per_contingency, violating=1)
+        elif index < flipped + unknown:
+            report = make_report(fecs_per_contingency, unknown=1)
+        else:
+            report = make_report(fecs_per_contingency)
+        sweep.record(
+            ContingencyResult(
+                contingency=Contingency(
+                    contingency_id=f"single-{index}",
+                    failed_links=((f"a{index}", f"b{index}"),),
+                ),
+                report=report,
+            )
+        )
+    return sweep
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+def test_assessment_is_deterministic():
+    first = assess_report(make_report(20, violating=3, unknown=2))
+    second = assess_report(make_report(20, violating=3, unknown=2))
+    assert first.to_dict() == second.to_dict()
+    assert first.score == second.score
+    assert first.tier == second.tier
+
+
+def test_sweep_assessment_is_deterministic():
+    first = assess_sweep(make_sweep(failures=5, flipped=2, unknown=1))
+    second = assess_sweep(make_sweep(failures=5, flipped=2, unknown=1))
+    assert first.to_dict() == second.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Scores and tiers stay in range, tiers are monotone in score
+# ----------------------------------------------------------------------
+@given(
+    total=st.integers(min_value=1, max_value=60),
+    violating=st.integers(min_value=0, max_value=60),
+    unknown=st.integers(min_value=0, max_value=60),
+)
+@settings(max_examples=60, deadline=None)
+def test_report_score_in_unit_interval(total, violating, unknown):
+    violating = min(violating, total)
+    unknown = min(unknown, total - violating)
+    assessment = assess_report(make_report(total, violating, unknown))
+    assert 0.0 <= assessment.score <= 1.0
+    assert assessment.tier == RiskTier.for_score(assessment.score)
+    assert assessment.unknown_checks == unknown
+    assert assessment.proven_violation == (violating > 0)
+
+
+def test_tier_for_score_is_monotone():
+    scores = [i / 100.0 for i in range(101)]
+    ranks = [RiskTier.for_score(score).rank for score in scores]
+    assert ranks == sorted(ranks)
+    assert RiskTier.for_score(0.0) is RiskTier.NEGLIGIBLE
+    assert RiskTier.for_score(1.0) is RiskTier.CRITICAL
+
+
+# ----------------------------------------------------------------------
+# Monotonicity: more violations can never lower risk
+# ----------------------------------------------------------------------
+@given(
+    total=st.integers(min_value=2, max_value=40),
+    violating=st.integers(min_value=0, max_value=38),
+)
+@settings(max_examples=60, deadline=None)
+def test_more_violating_fecs_never_lower_risk(total, violating):
+    violating = min(violating, total - 1)
+    lesser = assess_report(make_report(total, violating))
+    greater = assess_report(make_report(total, violating + 1))
+    assert greater.score >= lesser.score
+    assert greater.tier.rank >= lesser.tier.rank
+
+
+@given(
+    total=st.integers(min_value=2, max_value=40),
+    unknown=st.integers(min_value=0, max_value=38),
+)
+@settings(max_examples=60, deadline=None)
+def test_more_unknowns_never_lower_risk(total, unknown):
+    unknown = min(unknown, total - 1)
+    lesser = assess_report(make_report(total, unknown=unknown))
+    greater = assess_report(make_report(total, unknown=unknown + 1))
+    assert greater.score >= lesser.score
+    assert greater.tier.rank >= lesser.tier.rank
+
+
+@given(
+    failures=st.integers(min_value=2, max_value=20),
+    flipped=st.integers(min_value=0, max_value=18),
+)
+@settings(max_examples=60, deadline=None)
+def test_more_flipped_contingencies_never_lower_risk(failures, flipped):
+    flipped = min(flipped, failures - 1)
+    lesser = assess_sweep(make_sweep(failures=failures, flipped=flipped))
+    greater = assess_sweep(make_sweep(failures=failures, flipped=flipped + 1))
+    assert greater.score >= lesser.score
+    assert greater.tier.rank >= lesser.tier.rank
+
+
+def test_unknowns_raise_risk_over_a_clean_report():
+    clean = assess_report(make_report(10))
+    shaky = assess_report(make_report(10, unknown=1))
+    assert clean.score == 0.0
+    assert shaky.score > clean.score
+    assert shaky.has_unknowns
+
+
+def test_fully_unknown_report_pins_the_unknown_signal_high():
+    assessment = assess_report(make_report(10, unknown=10))
+    assert assessment.fully_unknown
+    assert assessment.signal("unknowns").score >= 0.85
+    # High enough that the combined score crosses the 0.5 hold threshold.
+    assert assessment.score >= 0.5
+
+
+def test_degraded_without_unknowns_still_raises_risk():
+    signal = unknown_signal(unknown=0, total=10, degraded=True)
+    assert signal.score > 0.0
+    assert signal.score < unknown_signal(unknown=1, total=10).score
+
+
+# ----------------------------------------------------------------------
+# Region spread (blast radius)
+# ----------------------------------------------------------------------
+def test_region_spread_raises_blast_radius():
+    report = make_report(10, violating=2)
+    narrow = blast_radius_signal(
+        report,
+        fec_regions={"fec000": frozenset({"R0"}), "fec001": frozenset({"R0"})},
+        total_regions=8,
+    )
+    wide = blast_radius_signal(
+        report,
+        fec_regions={"fec000": frozenset({"R0", "R1"}), "fec001": frozenset({"R2", "R3"})},
+        total_regions=8,
+    )
+    without = blast_radius_signal(report)
+    assert wide.score > narrow.score > without.score
+    assert any("regions affected" in factor for factor in wide.factors)
+
+
+def test_fec_region_index_metadata_and_ingress_fallback():
+    fecs = [
+        FlowEquivalenceClass(
+            "a", metadata={"src_region": "R0", "dst_region": "R1"}
+        ),
+        FlowEquivalenceClass("b", ingress="r2-border0"),
+        FlowEquivalenceClass("c"),
+    ]
+    index = fec_region_index(fecs, location_regions={"r2-border0": "R2"})
+    assert index["a"] == frozenset({"R0", "R1"})
+    assert index["b"] == frozenset({"R2"})
+    assert "c" not in index  # no resolvable region: never guessed
+
+
+# ----------------------------------------------------------------------
+# History
+# ----------------------------------------------------------------------
+def test_history_raises_risk_but_is_capped_below_hold():
+    report = make_report(10)
+    clean = assess_report(report)
+    bad_history = assess_report(
+        report, history=ChangeHistory(epochs=10, violating_epochs=10, degraded_epochs=10)
+    )
+    assert bad_history.score > clean.score
+    # A clean, fully-proven change with the worst possible track record must
+    # stay below the 0.5 hold threshold (history weight 0.6 caps it).
+    assert bad_history.score < 0.5
+
+
+def test_history_from_stream_counters():
+    stream = StreamReport()
+    stream.record(make_report(5))
+    stream.record(make_report(5, violating=1))
+    stream.record(make_report(5, unknown=1))
+    history = ChangeHistory.from_stream(stream)
+    assert history.epochs == 3
+    assert history.violating_epochs == 1
+    assert history.degraded_epochs == 1
+    signal = history_signal(history)
+    assert signal.score > 0.0
+    assert history_signal(ChangeHistory()).score == 0.0
+
+
+def test_history_counters_validated():
+    with pytest.raises(AnalyticsError):
+        ChangeHistory(epochs=-1)
+    with pytest.raises(AnalyticsError):
+        ChangeHistory(epochs=2, violating_epochs=3)
+
+
+# ----------------------------------------------------------------------
+# Sweep-specific behaviour
+# ----------------------------------------------------------------------
+def test_empty_sweep_rejected():
+    with pytest.raises(AnalyticsError):
+        assess_sweep(SweepReport())
+
+
+def test_fragility_names_the_worst_offenders():
+    sweep = make_sweep(failures=4, flipped=2)
+    signal = fragility_signal(sweep)
+    assert signal.score > 0.0
+    assert any(factor.startswith("worst:") for factor in signal.factors)
+
+
+def test_sweep_proven_violation_from_any_contingency():
+    baseline_only = assess_sweep(make_sweep(failures=3, baseline_violating=1))
+    failure_only = assess_sweep(make_sweep(failures=3, flipped=1))
+    assert baseline_only.proven_violation
+    assert failure_only.proven_violation
+
+
+def test_fully_unknown_sweep_flagged():
+    sweep = SweepReport()
+    for index in range(3):
+        sweep.record(
+            ContingencyResult(
+                contingency=Contingency(
+                    contingency_id=f"single-{index}",
+                    failed_links=((f"a{index}", f"b{index}"),),
+                ),
+                report=make_report(4, unknown=4),
+            )
+        )
+    assessment = assess_sweep(sweep)
+    assert assessment.fully_unknown
+    assert assessment.score >= 0.5

@@ -322,6 +322,181 @@ def test_stream_prefix_migration_profile(capsys):
 
 
 # ----------------------------------------------------------------------
+# The gate subcommand (graded exit codes: 0 pass, 3 conditional, 5 hold/block)
+# ----------------------------------------------------------------------
+def test_gate_sweep_clean_passes_with_valid_json(capsys):
+    import json
+
+    code = main(
+        [
+            "gate",
+            "--json",
+            "sweep",
+            "--fecs",
+            "120",
+            "--regions",
+            "3",
+            "--candidate-links",
+            "r0-agg0~r0-core0",
+            "--seed",
+            "7",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    document = json.loads(out)
+    assert document["schema"] == "repro-gate/v1"
+    assert document["decision"] == "pass"
+    assert document["exit_code"] == 0
+    assert document["mode"] == "sweep"
+    assert document["verdict"]["verdict"] == "holds"
+    assert document["risk"]["tier"] == "negligible"
+    # And the CI schema checker accepts exactly this document.
+    import importlib.util
+    from pathlib import Path
+
+    spec = importlib.util.spec_from_file_location(
+        "check_gate_output",
+        Path(__file__).resolve().parent.parent / "scripts" / "check_gate_output.py",
+    )
+    checker = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(checker)
+    assert checker.validate(document) == []
+
+
+def test_gate_sweep_buggy_blocks_exit_5(capsys):
+    import json
+
+    code = main(
+        [
+            "gate",
+            "--json",
+            "sweep",
+            "--scenario",
+            "refactor",
+            "--buggy",
+            "--fecs",
+            "120",
+            "--regions",
+            "3",
+            "--candidate-links",
+            "r0-agg0~r0-core0",
+            "--seed",
+            "7",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 5
+    document = json.loads(out)
+    assert document["decision"] == "block"
+    assert document["exit_code"] == 5
+    assert document["risk"]["proven_violation"] is True
+    assert document["verdict"]["verdict"] == "violated"
+    assert document["verdict"]["violating_contingencies"] >= 1
+
+
+def test_gate_sweep_human_table(capsys):
+    code = main(
+        [
+            "gate",
+            "sweep",
+            "--fecs",
+            "120",
+            "--regions",
+            "3",
+            "--candidate-links",
+            "r0-agg0~r0-core0",
+            "--seed",
+            "7",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "risk: negligible" in out
+    assert "decision: pass (exit 0)" in out
+
+
+def test_gate_verify_clean_and_buggy(snapshot_files, capsys):
+    import json
+
+    code = main(
+        [
+            "gate",
+            "--json",
+            "verify",
+            str(snapshot_files["pre"]),
+            str(snapshot_files["post"]),
+            str(snapshot_files["spec"]),
+        ]
+    )
+    clean = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert clean["decision"] == "pass"
+    assert clean["mode"] == "verify"
+
+    code = main(
+        [
+            "gate",
+            "--json",
+            "verify",
+            str(snapshot_files["pre"]),
+            str(snapshot_files["buggy"]),
+            str(snapshot_files["spec"]),
+        ]
+    )
+    buggy = json.loads(capsys.readouterr().out)
+    assert code == 5
+    assert buggy["decision"] == "block"
+    assert buggy["verdict"]["violating_fecs"] >= 1
+
+
+def test_gate_verify_degraded_run_is_conditional(snapshot_files, capsys, monkeypatch):
+    import json
+
+    import repro.cli as cli_module
+    from repro.verifier import CheckFailure, VerificationReport
+
+    def fake_verify_change(pre, post, spec, *, options=None, **kwargs):
+        report = VerificationReport()
+        report.record(None)
+        report.record(
+            CheckFailure(
+                fec_id="dns",
+                fec_description="dns 198.51.100.0/24@edge",
+                reason="timeout",
+            )
+        )
+        report.finalize()
+        return report
+
+    monkeypatch.setattr(cli_module, "verify_change", fake_verify_change)
+    code = main(
+        [
+            "gate",
+            "--json",
+            "verify",
+            str(snapshot_files["pre"]),
+            str(snapshot_files["post"]),
+            str(snapshot_files["spec"]),
+        ]
+    )
+    document = json.loads(capsys.readouterr().out)
+    assert code == 3
+    assert document["decision"] == "conditional"
+    assert document["conditions"]
+    assert document["verdict"]["verdict"] == "unknown"
+
+
+def test_gate_help_documents_graded_exit_codes(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["gate", "--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert "gate exit codes:" in out
+    assert "5 = hold or block" in out
+
+
+# ----------------------------------------------------------------------
 # Resilience exit codes (3 degraded, 4 unrecoverable, 130 interrupted)
 # ----------------------------------------------------------------------
 def test_help_documents_exit_codes(capsys):
