@@ -24,8 +24,10 @@ Compares two measurement sources against the ``ci_baseline`` block of
   ``SWEEP_JSON`` is set (gated on the sweep-wide dedup ratio as a hard
   lower bound — losing cross-contingency interning or the shared verdict
   cache collapses it toward 1x — on contingencies/sec within ``threshold``,
-  and on the sweep's resilience guard overhead when the baseline lists
-  ``sweep.max_guard_overhead_pct``);
+  on the sweep's resilience guard overhead when the baseline lists
+  ``sweep.max_guard_overhead_pct``, and on the durability checkpoint's
+  journaling overhead — another *absolute* ceiling — when it lists
+  ``sweep.max_checkpoint_overhead_pct``);
 * the gate-overhead JSON written by ``bench_gate.py`` when ``GATE_JSON``
   is set (gated on gate scoring as a percentage of sweep wall-clock, an
   *absolute* ceiling like the guard overhead: risk assessment is pure
@@ -126,6 +128,43 @@ def check_guard_overhead(
     if overhead > max_overhead:
         return 1, [
             f"{kind} resilience guard overhead rose to {overhead:.2f}% "
+            f"(ceiling {max_overhead:.1f}%)"
+        ]
+    return 1, []
+
+
+def check_checkpoint_overhead(
+    kind: str, measured: dict, baseline: dict
+) -> tuple[int, list[str]]:
+    """Gate the durability journal's cost, when the baseline lists a ceiling.
+
+    Like the guard ceiling, ``max_checkpoint_overhead_pct`` is absolute and
+    NOT scaled by ``--threshold``: checkpointing journals one record per
+    completed unit, so its cost is structural — blowing the ceiling means
+    the write path regressed (per-FEC journaling, lost flush batching,
+    graphs pickled more than once), not that the machine was slow.
+    """
+    max_overhead = baseline.get("max_checkpoint_overhead_pct")
+    if max_overhead is None:
+        return 0, []
+    overhead = measured.get("checkpoint_overhead_pct")
+    if overhead is None:
+        print(
+            f"  [MISSING] {kind} checkpoint overhead: baseline gates "
+            "max_checkpoint_overhead_pct but measurement lacks checkpoint_overhead_pct"
+        )
+        return 0, [
+            f"{kind} checkpoint_overhead_pct missing from measurement "
+            "(baseline gates max_checkpoint_overhead_pct)"
+        ]
+    verdict = "OK" if overhead <= max_overhead else "REGRESSION"
+    print(
+        f"  [{verdict}] {kind} checkpoint overhead: measured "
+        f"{overhead:+.2f}%, ceiling {max_overhead:.1f}% (absolute)"
+    )
+    if overhead > max_overhead:
+        return 1, [
+            f"{kind} checkpoint overhead rose to {overhead:.2f}% "
             f"(ceiling {max_overhead:.1f}%)"
         ]
     return 1, []
@@ -317,6 +356,11 @@ def main(argv: list[str] | None = None) -> int:
         )
         compared += guard_compared
         failures.extend(guard_failures)
+        ckpt_compared, ckpt_failures = check_checkpoint_overhead(
+            "sweep", measured_sweep, baseline_sweep
+        )
+        compared += ckpt_compared
+        failures.extend(ckpt_failures)
 
     if args.gate:
         measured_gate = load_json(args.gate)

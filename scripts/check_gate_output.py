@@ -86,8 +86,13 @@ def validate(document: object) -> list[str]:
     verdict = document.get("verdict")
     if not isinstance(verdict, dict):
         failures.append(f"verdict must be an object, got {verdict!r}")
-    elif verdict.get("verdict") not in ("holds", "violated", "unknown"):
-        failures.append(f"verdict.verdict invalid: {verdict.get('verdict')!r}")
+    else:
+        if verdict.get("verdict") not in ("holds", "violated", "unknown"):
+            failures.append(f"verdict.verdict invalid: {verdict.get('verdict')!r}")
+        unknown_ids = verdict.get("unknown_fec_ids")
+        _check_string_list(unknown_ids, "verdict.unknown_fec_ids", failures)
+        if isinstance(unknown_ids, list) and sorted(set(unknown_ids)) != unknown_ids:
+            failures.append("verdict.unknown_fec_ids must be sorted and unique")
 
     risk = document.get("risk")
     if not isinstance(risk, dict):

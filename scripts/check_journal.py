@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Validate a ``repro-journal/v1`` file without importing ``repro``.
+
+CI's durability job runs this over the checkpoint and state journals the
+workloads produce, asserting the on-disk format honours its spec from the
+outside — magic line, 8-byte little-endian ``(length, CRC-32)`` frames,
+JSON/pickle payload tags, a JSON header record first:
+
+    python scripts/check_journal.py sweep.ckpt --expect-kind sweep
+
+Checks performed:
+
+* the file starts with the ``repro-journal/v1`` magic line;
+* every frame's length fits the file and its CRC-32 matches its payload;
+* payload tags are only ``J`` (JSON, which must parse) or ``P`` (pickle,
+  CRC-checked but deliberately never unpickled — this script must work
+  with nothing but the stdlib, and unpickling would import ``repro``);
+* the first record is a JSON header ``{"record": "header", "kind": ...,
+  "format": 1, "signature": ...}`` with a known kind;
+* JSON records carry a known ``record`` type for the journal's kind;
+* the file has no trailing bytes past the last valid frame (a torn tail
+  is a *recoverable* state for the library, but a journal that a run
+  closed cleanly must not have one — pass ``--allow-torn-tail`` when
+  checking a deliberately crashed run's leftovers).
+
+Exits 0 when every check passes, 1 with a list of failures otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import struct
+import sys
+from pathlib import Path
+from zlib import crc32
+
+MAGIC = b"repro-journal/v1\n"
+FORMAT_VERSION = 1
+FRAME = struct.Struct("<II")
+TAG_JSON = b"J"
+TAG_PICKLE = b"P"
+KINDS = ("sweep", "stream", "state")
+#: JSON record types that may legitimately appear after the header.
+JSON_RECORDS = ("interrupt", "outcome")
+
+
+def check(data: bytes, *, expect_kind: str | None, allow_torn_tail: bool) -> tuple[list[str], dict]:
+    """Validate one journal's bytes: (failures, summary-stats)."""
+    failures: list[str] = []
+    stats = {"kind": None, "records": 0, "json_records": 0, "pickle_records": 0, "torn_bytes": 0}
+    if not data.startswith(MAGIC):
+        return [f"missing journal magic {MAGIC!r}"], stats
+
+    offset = len(MAGIC)
+    first = True
+    while offset < len(data):
+        if offset + FRAME.size > len(data):
+            stats["torn_bytes"] = len(data) - offset
+            break
+        length, checksum = FRAME.unpack_from(data, offset)
+        start = offset + FRAME.size
+        end = start + length
+        if length == 0 or end > len(data):
+            stats["torn_bytes"] = len(data) - offset
+            break
+        payload = data[start:end]
+        if crc32(payload) != checksum:
+            stats["torn_bytes"] = len(data) - offset
+            break
+        tag, body = payload[:1], payload[1:]
+        if tag == TAG_JSON:
+            stats["json_records"] += 1
+            try:
+                record = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                failures.append(f"record at byte {offset}: CRC-valid but not JSON: {error}")
+                record = None
+            if first:
+                failures.extend(_check_header(record, offset, expect_kind, stats))
+            elif isinstance(record, dict) and record.get("record") not in JSON_RECORDS:
+                failures.append(
+                    f"record at byte {offset}: unknown JSON record type "
+                    f"{record.get('record')!r} (expected one of {JSON_RECORDS})"
+                )
+        elif tag == TAG_PICKLE:
+            stats["pickle_records"] += 1
+            if first:
+                failures.append(f"first record at byte {offset} is pickled, header must be JSON")
+        else:
+            failures.append(f"record at byte {offset}: unknown payload tag {tag!r}")
+        first = False
+        stats["records"] += 1
+        offset = end
+
+    if stats["records"] == 0:
+        failures.append("journal has no complete records (not even a header)")
+    if stats["torn_bytes"] and not allow_torn_tail:
+        failures.append(
+            f"{stats['torn_bytes']} torn/corrupt trailing bytes — a cleanly "
+            "closed journal must end on a record boundary "
+            "(use --allow-torn-tail for crashed-run leftovers)"
+        )
+    return failures, stats
+
+
+def _check_header(record, offset: int, expect_kind: str | None, stats: dict) -> list[str]:
+    failures: list[str] = []
+    if not isinstance(record, dict) or record.get("record") != "header":
+        return [f"first record at byte {offset} is not a header record: {record!r}"]
+    kind = record.get("kind")
+    stats["kind"] = kind
+    if kind not in KINDS:
+        failures.append(f"header kind must be one of {KINDS}, got {kind!r}")
+    if expect_kind is not None and kind != expect_kind:
+        failures.append(f"expected a {expect_kind!r} journal, got {kind!r}")
+    if record.get("format") != FORMAT_VERSION:
+        failures.append(f"header format must be {FORMAT_VERSION}, got {record.get('format')!r}")
+    if not isinstance(record.get("signature"), str) or not record["signature"]:
+        signature = record.get("signature")
+        failures.append(f"header signature must be a non-empty string, got {signature!r}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("journal", help="the repro-journal/v1 file to validate")
+    parser.add_argument(
+        "--expect-kind",
+        choices=KINDS,
+        default=None,
+        help="fail unless the header's kind is exactly this",
+    )
+    parser.add_argument(
+        "--min-records",
+        type=int,
+        default=1,
+        help="fail unless at least this many complete records exist (default 1, the header)",
+    )
+    parser.add_argument(
+        "--allow-torn-tail",
+        action="store_true",
+        help="tolerate torn/corrupt trailing bytes (checking a crashed run's journal)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        data = Path(args.journal).read_bytes()
+    except OSError as error:
+        print(f"FAIL: cannot read journal: {error}", file=sys.stderr)
+        return 1
+
+    failures, stats = check(
+        data, expect_kind=args.expect_kind, allow_torn_tail=args.allow_torn_tail
+    )
+    if stats["records"] < args.min_records:
+        failures.append(f"expected at least {args.min_records} records, found {stats['records']}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {args.journal} — kind={stats['kind']} records={stats['records']} "
+        f"(json={stats['json_records']}, pickle={stats['pickle_records']}, "
+        f"torn_bytes={stats['torn_bytes']})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

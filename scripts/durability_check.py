@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""CI durability check: kill a checkpointed sweep mid-run, resume, compare.
+
+The end-to-end crash-resume differential at CI size, self-contained in one
+script (CI invokes no pytest here):
+
+1. run a seeded contingency sweep to completion — the control report;
+2. re-run it checkpointed in a child process that SIGKILLs itself while
+   recording a seeded unit (optionally mid-``write(2)``, leaving a torn
+   frame on disk);
+3. validate the crashed journal's framing with the stdlib checker
+   (``scripts/check_journal.py --allow-torn-tail``);
+4. resume from the crashed journal and require the resumed report to match
+   the control fact-for-fact — verdicts, counterexamples, dedup counters;
+5. repeat for ``--kill-points`` seeded crash sites.
+
+Usage (CI)::
+
+    PYTHONPATH=src python scripts/durability_check.py --kill-points 20
+
+Exits 0 when every resumed report matches, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pickle
+import random
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.persist.checkpoint import Checkpoint  # noqa: E402
+from repro.persist.journal import TAG_PICKLE, _encode  # noqa: E402
+from repro.rela.locations import Granularity  # noqa: E402
+from repro.verifier import single_link_failures  # noqa: E402
+from repro.workloads.backbone import BackboneParams, generate_backbone  # noqa: E402
+from repro.workloads.contingencies import drain_sweep_scenario  # noqa: E402
+
+#: The CI-sized seeded workload (identical in every process involved).
+PARAMS = BackboneParams(
+    regions=3, routers_per_group=2, parallel_links=2, prefixes_per_region=3
+)
+NUM_FECS = 240
+CANDIDATE_BUNDLES = 8
+
+
+def build_sweep():
+    backbone = generate_backbone(PARAMS)
+    scenario = drain_sweep_scenario(
+        backbone, num_fecs=NUM_FECS, granularity=Granularity.ROUTER, buggy=True
+    )
+    contingencies = single_link_failures(
+        backbone.topology,
+        candidates=backbone.topology.link_bundles()[:CANDIDATE_BUNDLES],
+    )
+    return scenario, contingencies
+
+
+def sweep_facts(sweep) -> dict:
+    return {
+        "ids": [result.contingency.contingency_id for result in sweep.results],
+        "holds": [result.holds for result in sweep.results],
+        "violating": [result.report.violating_fecs for result in sweep.results],
+        "counterexamples": [
+            [
+                (ce.fec_id, sorted(v.branch for v in ce.violations))
+                for ce in result.report.counterexamples
+            ]
+            for result in sweep.results
+        ],
+        "unknown": [result.report.unknown_fec_ids for result in sweep.results],
+        "naive_checks": sweep.naive_checks,
+        "executed_checks": sweep.executed_checks,
+        "cached_checks": sweep.cached_checks,
+        "distinct_graphs": sweep.distinct_graphs,
+    }
+
+
+def run_child(path: str, kill_after: int, tear: int) -> int:
+    """Child mode: run the checkpointed sweep, SIGKILL self at the kill site."""
+    original = Checkpoint.record_unit
+    state = {"count": 0}
+
+    def killing_record(self, index, unit_id, *, degraded=False, **payload):
+        if state["count"] == kill_after:
+            if tear > 0:
+                record = {
+                    "record": "unit",
+                    "index": index,
+                    "id": unit_id,
+                    "degraded": degraded,
+                }
+                if not degraded:
+                    record.update(payload)
+                frame = _encode(TAG_PICKLE, pickle.dumps(record))
+                self._writer._handle.write(frame[: min(tear, len(frame) - 1)])
+                self._writer._handle.flush()
+            os.kill(os.getpid(), signal.SIGKILL)
+        state["count"] += 1
+        return original(self, index, unit_id, degraded=degraded, **payload)
+
+    Checkpoint.record_unit = killing_record
+    scenario, contingencies = build_sweep()
+    scenario.sweep(contingencies).run(checkpoint=path)
+    return 86  # surviving the kill site means the harness is broken
+
+
+def check_journal(path: Path, *, allow_torn_tail: bool) -> None:
+    args = [sys.executable, str(REPO_ROOT / "scripts" / "check_journal.py"), str(path)]
+    args += ["--expect-kind", "sweep"]
+    if allow_torn_tail:
+        args.append("--allow-torn-tail")
+    subprocess.run(args, check=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--child", metavar="PATH", default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--kill-after", type=int, default=0, help=argparse.SUPPRESS)
+    parser.add_argument("--tear", type=int, default=0, help=argparse.SUPPRESS)
+    parser.add_argument(
+        "--kill-points",
+        type=int,
+        default=int(os.environ.get("DURABILITY_SEEDS", "3")),
+        help="number of seeded crash sites to exercise (default: $DURABILITY_SEEDS or 3)",
+    )
+    parser.add_argument("--seed", type=int, default=20260808)
+    parser.add_argument(
+        "--workdir", default=None, help="where journals are written (default: a temp dir)"
+    )
+    args = parser.parse_args(argv)
+
+    if args.child is not None:
+        return run_child(args.child, args.kill_after, args.tear)
+
+    import tempfile
+
+    workdir = Path(args.workdir) if args.workdir else Path(tempfile.mkdtemp(prefix="durability-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    scenario, contingencies = build_sweep()
+    units = len(contingencies) + 1  # the sweep prepends a baseline contingency
+    print(f"control: sweeping {units} contingencies x {NUM_FECS} FECs ...", flush=True)
+    control = sweep_facts(scenario.sweep(contingencies).run())
+
+    rng = random.Random(args.seed)
+    failures = 0
+    for trial in range(args.kill_points):
+        kill_after = rng.randrange(units)
+        tear = rng.choice([0, 0, rng.randrange(1, 2048)])
+        path = workdir / f"crash-{trial}.ckpt"
+        print(
+            f"trial {trial}: kill -9 after {kill_after}/{units} units "
+            f"(torn bytes: {tear}) ...",
+            flush=True,
+        )
+        child = subprocess.run(
+            [
+                sys.executable,
+                str(Path(__file__).resolve()),
+                "--child",
+                str(path),
+                "--kill-after",
+                str(kill_after),
+                "--tear",
+                str(tear),
+            ],
+            env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        )
+        if child.returncode != -signal.SIGKILL:
+            print(f"FAIL: child survived its SIGKILL (rc={child.returncode})", file=sys.stderr)
+            failures += 1
+            continue
+        check_journal(path, allow_torn_tail=True)
+        resumed = sweep_facts(
+            scenario.sweep(contingencies).run(checkpoint=path, resume=True)
+        )
+        check_journal(path, allow_torn_tail=False)  # the resumed run closed it cleanly
+        if resumed != control:
+            print(
+                f"FAIL: trial {trial} resumed report diverged from control:\n"
+                f"  control: {json.dumps(control, sort_keys=True)[:400]}\n"
+                f"  resumed: {json.dumps(resumed, sort_keys=True)[:400]}",
+                file=sys.stderr,
+            )
+            failures += 1
+        else:
+            print(f"trial {trial}: resumed report matches control")
+
+    if failures:
+        print(f"FAIL: {failures}/{args.kill_points} crash-resume trials diverged", file=sys.stderr)
+        return 1
+    print(f"OK: {args.kill_points} crash-resume trials, all byte-identical to control")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

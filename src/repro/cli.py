@@ -36,9 +36,12 @@ Exit codes form a contract the change-automation callers script against
   execution fell back to serial after repeated worker-pool loss —
   the verdict is not a proof;
 * ``4`` — unrecoverable execution failure: the worker pool was lost
-  beyond recovery, or ``--no-degrade`` aborted a run that would have
-  had to degrade;
-* ``130`` — interrupted (Ctrl-C), no traceback.
+  beyond recovery, ``--no-degrade`` aborted a run that would have
+  had to degrade, or a ``--checkpoint``/``--state`` file is unusable
+  (not a journal at all, or written by an incompatible run);
+* ``130`` — interrupted (Ctrl-C or SIGTERM), no traceback.  A
+  checkpointed ``stream``/``sweep`` run flushes a final journal record
+  before exiting, so ``--resume`` continues from the interruption point.
 
 ``gate`` speaks its own graded contract on top: ``0`` = pass, ``3`` =
 conditional (ship once the listed conditions are satisfied), ``5`` =
@@ -53,21 +56,24 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 from concurrent.futures.process import BrokenProcessPool
 
 from repro.analytics import fec_region_index, gate_report, gate_sweep
-from repro.errors import DegradedExecutionError, ReproError
+from repro.errors import DegradedExecutionError, PersistenceError, ReproError
+from repro.persist import options_digest, stable_digest
+from repro.persist.statestore import StateStore
 from repro.rela.locations import Granularity
 from repro.rela.parser import parse_program
 from repro.snapshots.pathdiff import path_diff
 from repro.snapshots.snapshot import Snapshot
 from repro.verifier import (
     VerificationOptions,
-    VerificationSession,
     k_link_failures,
     single_link_failures,
     verify_change,
+    verify_stream,
 )
 from repro.workloads.backbone import BackboneParams, generate_backbone
 from repro.workloads.contingencies import (
@@ -225,27 +231,53 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             stream = flapping_link_stream(
                 backbone, initial, flaps=args.epochs, seed=args.seed
             )
+    parser: argparse.ArgumentParser = args.parser
+    if args.resume and args.checkpoint is None:
+        parser.error("--resume requires --checkpoint")
     options = VerificationOptions(workers=args.workers, **_resilience_kwargs(args))
-    session = VerificationSession(
-        stream.initial,
-        options=options,
-        graph_budget=args.graph_budget,
-        context_budget=args.context_budget,
+    epochs = list(stream)
+    # The checkpoint signature binds the journal to this exact workload:
+    # profile, generation parameters and verdict-relevant options.
+    signature = stable_digest(
+        (
+            "stream-cli/v1",
+            args.profile,
+            args.fecs,
+            args.regions,
+            args.epochs,
+            args.rotation,
+            args.seed,
+            options_digest(options),
+        )
     )
-    for epoch in stream:
-        report = session.advance(epoch.post, epoch.spec)
+
+    def on_epoch(index: int, report, resumed: bool) -> None:
         cache = (
             f"{report.cached_checks}/{report.unique_checks} checks cached"
             if report.unique_checks
             else "no checks"
         )
-        print(f"[{epoch.epoch_id}] {report.summary()} [{cache}]")
+        if resumed:
+            cache += ", resumed from checkpoint"
+        print(f"[{epochs[index].epoch_id}] {report.summary()} [{cache}]")
         if report.violating_fecs and args.show_counterexamples:
             print(report.table(max_rows=args.max_rows))
         if report.failed_checks:
             _print_failed_checks(report, args.max_rows)
-    print(session.stream.summary())
-    return _report_exit(session.stream.verdict, session.stream.degraded)
+
+    result = verify_stream(
+        stream.initial,
+        ((epoch.post, epoch.spec) for epoch in epochs),
+        options=options,
+        graph_budget=args.graph_budget,
+        context_budget=args.context_budget,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        signature=signature,
+        on_epoch=on_epoch,
+    )
+    print(result.summary())
+    return _report_exit(result.verdict, result.degraded)
 
 
 _SWEEP_SCENARIOS = {
@@ -279,6 +311,8 @@ def _run_sweep(args: argparse.Namespace):
     if args.candidate_links and args.failures == "maintenance":
         parser.error("--candidate-links conflicts with --failures maintenance "
                      "(maintenance sets are derived from the region interconnects)")
+    if args.resume and args.checkpoint is None:
+        parser.error("--resume requires --checkpoint")
 
     params = BackboneParams(
         regions=args.regions,
@@ -313,7 +347,10 @@ def _run_sweep(args: argparse.Namespace):
         workers=args.workers,
         **_resilience_kwargs(args),
     )
-    return backbone, scenario, scenario.sweep(contingencies, options=options).run()
+    sweep = scenario.sweep(contingencies, options=options).run(
+        checkpoint=args.checkpoint, resume=args.resume
+    )
+    return backbone, scenario, sweep
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -358,9 +395,26 @@ def _emit_gate(decision, payload: dict, as_json: bool, summary_line: str) -> int
     return decision.exit_code
 
 
+def _gate_history(args: argparse.Namespace):
+    """The persisted change history for a gate run (None without --state)."""
+    if args.state is None:
+        return None
+    history = StateStore(args.state).history()
+    # A store with no outcomes yet carries no signal; the risk layer treats
+    # None as "no history" and skips the history factor entirely.
+    return history if history.epochs else None
+
+
+def _record_gate_outcome(args: argparse.Namespace, verdict: str, degraded: bool) -> None:
+    """Append this gated change's outcome to the persistent history."""
+    if args.state is not None:
+        StateStore(args.state).record_outcome(verdict, degraded=degraded)
+
+
 def _cmd_gate_verify(args: argparse.Namespace) -> int:
     report = _run_verify(args)
-    decision = gate_report(report)
+    decision = gate_report(report, history=_gate_history(args))
+    _record_gate_outcome(args, report.verdict, report.degraded)
     payload = decision.to_dict()
     payload["mode"] = "verify"
     payload["verdict"] = {
@@ -369,6 +423,7 @@ def _cmd_gate_verify(args: argparse.Namespace) -> int:
         "total_fecs": report.total_fecs,
         "violating_fecs": report.violating_fecs,
         "unknown_fecs": report.unknown_fecs,
+        "unknown_fec_ids": report.unknown_fec_ids,
         "degraded": report.degraded,
     }
     return _emit_gate(decision, payload, args.json, report.summary())
@@ -380,8 +435,12 @@ def _cmd_gate_sweep(args: argparse.Namespace) -> int:
         scenario.fecs, location_regions=backbone.location_regions()
     )
     decision = gate_sweep(
-        sweep, fec_regions=fec_regions, total_regions=len(backbone.regions())
+        sweep,
+        fec_regions=fec_regions,
+        total_regions=len(backbone.regions()),
+        history=_gate_history(args),
     )
+    _record_gate_outcome(args, sweep.verdict, sweep.degraded)
     payload = decision.to_dict()
     payload["mode"] = "sweep"
     payload["verdict"] = {
@@ -392,9 +451,29 @@ def _cmd_gate_sweep(args: argparse.Namespace) -> int:
         "unknown_contingencies": sweep.unknown_contingencies,
         "flipped_contingencies": sweep.flipped_contingencies,
         "expectation_mismatches": len(sweep.expectation_mismatches),
+        "unknown_fec_ids": sweep.unknown_fec_ids,
         "degraded": sweep.degraded,
     }
     return _emit_gate(decision, payload, args.json, sweep.summary())
+
+
+def _add_checkpoint_flags(command: argparse.ArgumentParser) -> None:
+    """The durability knobs shared by stream / sweep (and gate sweep)."""
+    group = command.add_argument_group("durability")
+    group.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="journal every completed epoch/contingency to this file as it "
+        "lands; a killed run can be resumed from it with --resume",
+    )
+    group.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the checkpoint's completed prefix instead of re-verifying "
+        "it (requires --checkpoint; the final report is identical to an "
+        "uninterrupted run's)",
+    )
 
 
 def _add_resilience_flags(command: argparse.ArgumentParser) -> None:
@@ -429,7 +508,10 @@ _EXIT_CODE_HELP = (
     "2 = usage or library error; 3 = degraded run (some checks ended unknown "
     "or execution fell back to serial; no violation found); "
     "4 = unrecoverable execution failure (worker pool lost beyond recovery, "
-    "or --no-degrade aborted a degrading run); 130 = interrupted. "
+    "--no-degrade aborted a degrading run, or a checkpoint/state file is "
+    "unusable: not a journal, or written by an incompatible run); "
+    "130 = interrupted (a checkpointed run flushes a final record first, "
+    "so --resume continues from the interruption point). "
     "The gate subcommand encodes its graded decision instead: 0 = pass, "
     "3 = conditional, 5 = hold/block"
 )
@@ -512,6 +594,7 @@ def _add_sweep_arguments(command: argparse.ArgumentParser) -> None:
         help="print every contingency's report line (failing ones always print)",
     )
     command.add_argument("--max-rows", type=int, default=8)
+    _add_checkpoint_flags(command)
     _add_resilience_flags(command)
 
 
@@ -581,8 +664,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stream.add_argument("--show-counterexamples", action="store_true")
     stream.add_argument("--max-rows", type=int, default=8)
+    _add_checkpoint_flags(stream)
     _add_resilience_flags(stream)
-    stream.set_defaults(func=_cmd_stream)
+    stream.set_defaults(func=_cmd_stream, parser=stream)
 
     sweep = sub.add_parser(
         "sweep",
@@ -602,6 +686,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the machine-readable repro-gate/v1 JSON document instead of a table",
+    )
+    gate.add_argument(
+        "--state",
+        default=None,
+        metavar="PATH",
+        help="persistent state store: read the recorded change history into "
+        "the risk scoring, and append this run's outcome to it",
     )
     gate_sub = gate.add_subparsers(dest="gate_command", required=True)
     gate_verify_parser = gate_sub.add_parser(
@@ -629,6 +720,18 @@ def main(argv: list[str] | None = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    # SIGTERM (the orchestrator's "wrap it up") rides the KeyboardInterrupt
+    # path: checkpointed runs flush a final interrupt marker on the way out,
+    # so a drained run is resumable from exactly where it stopped.
+    def _sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = None
+    try:
+        previous = signal.signal(signal.SIGTERM, _sigterm)
+    except ValueError:  # not the main thread (embedded use): no handler
+        pass
     try:
         return args.func(args)
     except KeyboardInterrupt:
@@ -640,9 +743,18 @@ def main(argv: list[str] | None = None) -> int:
     except DegradedExecutionError as error:
         print(f"error: {error}", file=sys.stderr)
         return 4
+    except PersistenceError as error:
+        # Unusable durability artifacts (not-a-journal files, wrong-run
+        # signatures) are unrecoverable for this invocation: rerunning the
+        # same command cannot succeed until the operator intervenes.
+        print(f"error: {error}", file=sys.stderr)
+        return 4
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
 
 
 if __name__ == "__main__":  # pragma: no cover

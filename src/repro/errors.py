@@ -81,3 +81,21 @@ class WorkloadError(ReproError):
 class AnalyticsError(ReproError):
     """The risk/gate analytics layer received inconsistent inputs
     (an empty sweep, malformed thresholds, out-of-range scores)."""
+
+
+class PersistenceError(ReproError):
+    """Base class for durability-layer failures (journals, state stores)."""
+
+
+class JournalCorruptionError(PersistenceError):
+    """A journal file is not a ``repro-journal/v1`` file at all (bad magic):
+    it cannot be recovered, only replaced.  Damage *within* a well-formed
+    journal — torn tails, CRC-failing records — is not an error: readers
+    recover to the last good prefix and report what was dropped."""
+
+
+class StateVersionError(PersistenceError):
+    """A journal or state store was produced by an incompatible run: wrong
+    format version, wrong run signature (different workload, spec, or
+    verdict-relevant options), or a spec whose digest no longer matches.
+    Resuming from it could silently change a report, so it is refused."""

@@ -1,0 +1,66 @@
+"""Durability layer: journaled checkpoints, crash-resume, persistent state.
+
+Everything here writes one on-disk format — the append-only, per-record
+checksummed ``repro-journal/v1`` file (:mod:`repro.persist.journal`) — in
+three roles:
+
+* **Checkpoints** (:class:`Checkpoint`): sweep/stream runs journal each
+  completed unit as it lands, so a killed run resumes from its last
+  completed unit with a byte-identical final report.
+* **State stores** (:class:`StateStore`): the gate's persistent change
+  history and saved :class:`~repro.verifier.session.VerificationSession`
+  state across CLI invocations.
+* **Digests** (:func:`stable_digest` / :func:`options_digest`): the
+  cross-process run signatures that bind every journal to exactly one
+  workload, spec, and verdict-relevant option set.
+
+Corruption is graceful degradation, not a crash: torn tails and
+CRC-failing records are truncated to the last good prefix and reported
+(:class:`RecoveryInfo`); only a file that is not a journal at all raises
+:class:`~repro.errors.JournalCorruptionError`, and artifacts from an
+incompatible run raise :class:`~repro.errors.StateVersionError` rather
+than silently changing a report.
+"""
+
+from __future__ import annotations
+
+from repro.persist.checkpoint import Checkpoint
+from repro.persist.digest import (
+    VERDICT_RELEVANT_OPTION_FIELDS,
+    options_digest,
+    stable_digest,
+)
+from repro.persist.journal import (
+    FORMAT_VERSION,
+    MAGIC,
+    JournalWriter,
+    RecoveryInfo,
+    header_record,
+    open_for_append,
+    read_journal,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MAGIC",
+    "VERDICT_RELEVANT_OPTION_FIELDS",
+    "Checkpoint",
+    "JournalWriter",
+    "RecoveryInfo",
+    "StateStore",
+    "header_record",
+    "open_for_append",
+    "options_digest",
+    "read_journal",
+    "stable_digest",
+]
+
+
+def __getattr__(name: str):
+    # StateStore imports the session/analytics layers, which import this
+    # package; resolving it lazily keeps the import graph acyclic.
+    if name == "StateStore":
+        from repro.persist.statestore import StateStore
+
+        return StateStore
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

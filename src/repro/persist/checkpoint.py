@@ -1,0 +1,182 @@
+"""Journaled run checkpoints: crash-resume for sweeps and streams.
+
+A :class:`Checkpoint` wraps one ``repro-journal/v1`` file (see
+:mod:`repro.persist.journal`) recording a verification run's completed
+*units* — one record per contingency of a
+:class:`~repro.verifier.contingency.ContingencySweep`, one per epoch of
+:func:`~repro.verifier.session.verify_stream` — as they land.  Each unit
+record is atomic and self-contained: the unit's result object, the session
+verdict-cache deltas its verification produced
+(:meth:`~repro.verifier.session.VerificationSession.drain_deltas`), and any
+graphs it added to a shared store.  A process killed mid-unit therefore
+loses exactly that unit and nothing else; the journal's good prefix is the
+run's completed prefix.
+
+Resume replays that prefix — recorded results are folded into the report,
+deltas are preloaded into the fresh session, graphs re-interned in order —
+and re-runs everything after it, which makes the resumed run's final
+report byte-identical to an uninterrupted run's (the differential bar
+pinned by ``tests/persist/``).  Two rules keep that sound:
+
+* **Contiguous clean prefix only.**  Units replay strictly in order from
+  index 0; the first missing, out-of-order, or *degraded* unit ends the
+  prefix.  Degraded units (any ``CheckFailure``/unknown verdict) are
+  journaled as markers without results, so a resumed run retries them
+  fresh — the same contract as session memoization, which never caches a
+  ``CheckFailure`` either.
+* **Signature binding.**  The journal header carries the run's signature
+  (:func:`~repro.persist.digest.stable_digest` over the workload's
+  identity).  Resuming against a journal whose kind or signature differs
+  raises :class:`~repro.errors.StateVersionError` instead of silently
+  mixing two runs' verdicts.
+
+Corruption is a recovery path, not a crash: a torn or CRC-failing tail is
+truncated (and reported via :attr:`Checkpoint.recovery`), and a journal
+whose header never made it to disk is simply restarted.  Only a file that
+is not a journal at all raises
+:class:`~repro.errors.JournalCorruptionError`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import StateVersionError, VerificationError
+from repro.persist.journal import (
+    JournalWriter,
+    RecoveryInfo,
+    header_record,
+    open_for_append,
+)
+
+
+class Checkpoint:
+    """One run's journaled checkpoint file (create via :meth:`open`)."""
+
+    def __init__(
+        self,
+        writer: JournalWriter | None,
+        completed_units: list[dict],
+        recovery: RecoveryInfo | None,
+    ) -> None:
+        self._writer = writer
+        #: The contiguous clean prefix of completed units, in index order
+        #: (empty unless the checkpoint was opened with ``resume=True``).
+        self.completed_units = completed_units
+        #: How reading the existing journal went (None for a fresh file).
+        self.recovery = recovery
+        self._next_index = len(completed_units)
+        #: True when the previous run left an interrupt marker (it was
+        #: stopped by SIGTERM/SIGINT after its last completed unit).
+        self.interrupted = False
+
+    @property
+    def path(self) -> Path | None:
+        return self._writer.path if self._writer is not None else None
+
+    @classmethod
+    def open(
+        cls,
+        path: str | Path,
+        *,
+        kind: str,
+        signature: str,
+        resume: bool = False,
+        meta: dict | None = None,
+    ) -> Checkpoint:
+        """Open (or create) the checkpoint journal at ``path``.
+
+        With ``resume=False`` any existing file is replaced by a fresh
+        journal.  With ``resume=True`` the existing journal is recovered,
+        validated against ``kind`` and ``signature``, truncated to its last
+        good record, and its clean prefix of unit records is returned via
+        :attr:`completed_units`; a missing file (or one whose header never
+        survived) resumes from nothing.
+        """
+        path = Path(path)
+        header = header_record(kind, signature, meta)
+        if not resume:
+            return cls(JournalWriter.create(path, header), [], None)
+
+        writer, existing, records, recovery = open_for_append(path)
+        if existing is None:
+            # Missing, empty, or died before the header record landed:
+            # nothing to resume, start a fresh journal.
+            writer.close(sync=False)
+            return cls(JournalWriter.create(path, header), [], recovery)
+        if existing.get("kind") != kind:
+            writer.close(sync=False)
+            raise StateVersionError(
+                f"checkpoint {path} is a {existing.get('kind')!r} journal, "
+                f"not {kind!r} — refusing to resume from it"
+            )
+        if existing.get("signature") != signature:
+            writer.close(sync=False)
+            raise StateVersionError(
+                f"checkpoint {path} was written by a different run "
+                f"(signature {existing.get('signature')!r} != {signature!r}): "
+                "resuming from it could change the report, refusing"
+            )
+
+        completed: list[dict] = []
+        interrupted = False
+        for record in records:
+            if not isinstance(record, dict):
+                break
+            if record.get("record") == "interrupt":
+                interrupted = True
+                continue
+            if record.get("record") != "unit":
+                continue
+            if record.get("index") != len(completed) or record.get("degraded"):
+                # Out-of-order / degraded unit: the usable prefix ends here.
+                # Degraded units are retried fresh on resume, by contract.
+                break
+            completed.append(record)
+        checkpoint = cls(writer, completed, recovery)
+        checkpoint.interrupted = interrupted
+        return checkpoint
+
+    def record_unit(
+        self,
+        index: int,
+        unit_id: str,
+        *,
+        degraded: bool = False,
+        **payload,
+    ) -> None:
+        """Journal one completed unit (flushed to the OS before returning).
+
+        Degraded units are recorded as result-free markers: they terminate
+        any future resume's replay prefix, so their unknown verdicts are
+        retried rather than replayed.
+        """
+        if self._writer is None:
+            raise VerificationError("checkpoint is closed")
+        if index != self._next_index:
+            raise VerificationError(
+                f"checkpoint units must be recorded in order "
+                f"(got index {index}, expected {self._next_index})"
+            )
+        self._next_index += 1
+        record = {"record": "unit", "index": index, "id": unit_id, "degraded": degraded}
+        if not degraded:
+            record.update(payload)
+        self._writer.append_pickle(record)
+
+    def interrupt(self) -> None:
+        """Flush a final interrupt marker and close (the SIGTERM/SIGINT path).
+
+        The marker records that the run was stopped cleanly *between* units;
+        everything journaled so far is fsynced to stable storage so a
+        subsequent ``--resume`` picks up exactly where the operator stopped.
+        """
+        if self._writer is None:
+            return
+        self._writer.append_json({"record": "interrupt"})
+        self.close()
+
+    def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None

@@ -1,0 +1,254 @@
+"""The ``repro-journal/v1`` append-only, checksummed record format.
+
+Every durable artifact in the persistence layer — sweep/stream checkpoint
+files, the gate's state store, saved verification sessions — is one journal
+file: a fixed magic line followed by length-prefixed records, each
+protected by its own CRC-32.  The format is deliberately boring, because
+the recovery story has to be exact:
+
+* **Framing.**  The file starts with the ASCII magic ``repro-journal/v1``
+  and a newline.  Each record is an 8-byte little-endian header
+  ``(payload length, CRC-32 of payload)`` followed by the payload bytes.
+  The first payload byte is a tag: ``J`` for a UTF-8 JSON body (schema
+  visible to stdlib tooling — ``scripts/check_journal.py`` validates these
+  without importing ``repro``), ``P`` for a pickled Python body (reports,
+  counterexamples, forwarding graphs).
+* **Header record.**  The first record is always JSON:
+  ``{"record": "header", "kind": ..., "format": 1, "signature": ...}``.
+  The *kind* names the journal's role (``sweep``/``stream``/``state``) and
+  the *signature* binds it to one workload so a checkpoint can never be
+  resumed against a different run (see
+  :class:`~repro.persist.checkpoint.Checkpoint`).
+* **Durability.**  Writers flush to the OS after every record, so a
+  SIGKILLed process loses at most the record being written (the OS page
+  cache survives process death); ``sync()`` additionally ``fsync``\\ s for
+  power-loss durability at interrupt/close time.
+* **Recovery.**  Reading stops at the first frame that is torn (fewer
+  bytes than the header promises), CRC-inconsistent, or undecodable, and
+  reports the dropped byte count in :class:`RecoveryInfo` — corruption is
+  *detected and reported*, never silently skipped, and everything before
+  it is served.  :func:`open_for_append` truncates the file back to that
+  last good prefix before appending, so one bad tail can never poison
+  later records.  Only a file that fails the magic check is unrecoverable
+  (:class:`~repro.errors.JournalCorruptionError`): it is not one of ours.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import pickle
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from zlib import crc32
+
+from repro.errors import JournalCorruptionError
+
+#: The version-bearing first line of every journal file.
+MAGIC = b"repro-journal/v1\n"
+
+#: The journal format version written into (and required of) header records.
+FORMAT_VERSION = 1
+
+#: Record framing: little-endian (payload length, CRC-32 of payload).
+_FRAME = struct.Struct("<II")
+
+#: Payload tags: JSON body vs pickled body.
+TAG_JSON = b"J"
+TAG_PICKLE = b"P"
+
+
+@dataclass(slots=True)
+class RecoveryInfo:
+    """What reading a journal had to do to recover it."""
+
+    #: Byte offset of the end of the last fully-valid record (the length a
+    #: recovering writer truncates the file to before appending).
+    valid_length: int = 0
+    #: Bytes past :attr:`valid_length` that were present but unusable.
+    dropped_bytes: int = 0
+    #: Human-readable cause when bytes were dropped (torn tail, CRC, ...).
+    reason: str = ""
+
+    @property
+    def clean(self) -> bool:
+        """True when the whole file was valid (nothing dropped)."""
+        return self.dropped_bytes == 0
+
+
+def header_record(kind: str, signature: str, meta: dict | None = None) -> dict:
+    """The JSON header record a fresh journal starts with."""
+    record = {
+        "record": "header",
+        "kind": kind,
+        "format": FORMAT_VERSION,
+        "signature": signature,
+    }
+    if meta:
+        record["meta"] = meta
+    return record
+
+
+def _encode(tag: bytes, body: bytes) -> bytes:
+    payload = tag + body
+    return _FRAME.pack(len(payload), crc32(payload)) + payload
+
+
+class JournalWriter:
+    """Appends framed, checksummed records to one journal file.
+
+    Use :meth:`create` for a fresh journal (writes magic + header) or
+    :func:`open_for_append` to continue a recovered one.  Every append
+    flushes to the OS, so records survive the writing process being killed;
+    :meth:`sync` forces them to stable storage.
+    """
+
+    def __init__(self, path: str | Path, handle: io.BufferedWriter) -> None:
+        self.path = Path(path)
+        self._handle: io.BufferedWriter | None = handle
+
+    @classmethod
+    def create(cls, path: str | Path, header: dict) -> JournalWriter:
+        """Start a fresh journal at ``path`` (truncating any existing file)."""
+        handle = open(path, "wb")
+        writer = cls(path, handle)
+        handle.write(MAGIC)
+        writer.append_json(header)
+        return writer
+
+    def append_json(self, record: dict) -> None:
+        """Append one JSON-bodied record and flush it to the OS."""
+        body = json.dumps(record, sort_keys=True).encode("utf-8")
+        self._append(_encode(TAG_JSON, body))
+
+    def append_pickle(self, record: object) -> None:
+        """Append one pickle-bodied record and flush it to the OS."""
+        self._append(_encode(TAG_PICKLE, pickle.dumps(record)))
+
+    def _append(self, frame: bytes) -> None:
+        if self._handle is None:
+            raise JournalCorruptionError(f"journal {self.path} is closed")
+        self._handle.write(frame)
+        self._handle.flush()
+
+    def sync(self) -> None:
+        """``fsync`` everything written so far to stable storage."""
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self, *, sync: bool = True) -> None:
+        if self._handle is not None:
+            if sync:
+                self.sync()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> JournalWriter:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_journal(
+    path: str | Path,
+) -> tuple[dict | None, list[object], RecoveryInfo]:
+    """Read a journal, recovering to the last good prefix.
+
+    Returns ``(header, records, recovery)``: the parsed header record (or
+    ``None`` when the file is missing, empty, or its header never made it
+    to disk intact), the decoded record bodies after the header in file
+    order, and the :class:`RecoveryInfo` describing any bytes dropped.
+
+    Raises :class:`~repro.errors.JournalCorruptionError` only when the file
+    exists, is at least magic-sized, and does not start with the journal
+    magic — that file is not a (possibly damaged) journal, it is something
+    else, and truncating it would destroy someone's data.
+    """
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        return None, [], RecoveryInfo()
+    if not data:
+        return None, [], RecoveryInfo()
+    if len(data) < len(MAGIC):
+        if MAGIC.startswith(data):
+            # A torn write of the magic itself: recover to an empty file.
+            return None, [], RecoveryInfo(0, len(data), "torn magic")
+        raise JournalCorruptionError(
+            f"{path} is not a repro-journal/v1 file (bad magic)"
+        )
+    if not data.startswith(MAGIC):
+        raise JournalCorruptionError(
+            f"{path} is not a repro-journal/v1 file (bad magic)"
+        )
+
+    offset = len(MAGIC)
+    records: list[object] = []
+    header: dict | None = None
+    recovery = RecoveryInfo(valid_length=offset)
+    while offset < len(data):
+        if offset + _FRAME.size > len(data):
+            recovery.reason = "torn record header at end of file"
+            break
+        length, checksum = _FRAME.unpack_from(data, offset)
+        start = offset + _FRAME.size
+        end = start + length
+        if length == 0 or end > len(data):
+            recovery.reason = "torn record payload at end of file"
+            break
+        payload = data[start:end]
+        if crc32(payload) != checksum:
+            recovery.reason = f"CRC mismatch in record at byte {offset}"
+            break
+        tag, body = payload[:1], payload[1:]
+        try:
+            if tag == TAG_JSON:
+                record: object = json.loads(body.decode("utf-8"))
+            elif tag == TAG_PICKLE:
+                record = pickle.loads(body)
+            else:
+                recovery.reason = f"unknown record tag {tag!r} at byte {offset}"
+                break
+        except Exception as error:  # CRC passed but the body will not decode
+            recovery.reason = f"undecodable record at byte {offset}: {error!r}"
+            break
+        if header is None:
+            if not (
+                isinstance(record, dict)
+                and record.get("record") == "header"
+                and record.get("format") == FORMAT_VERSION
+            ):
+                recovery.reason = f"first record at byte {offset} is not a valid header"
+                break
+            header = record
+        else:
+            records.append(record)
+        offset = end
+        recovery.valid_length = offset
+    recovery.dropped_bytes = len(data) - recovery.valid_length
+    return header, records, recovery
+
+
+def open_for_append(
+    path: str | Path,
+) -> tuple[JournalWriter, dict | None, list[object], RecoveryInfo]:
+    """Recover a journal and return a writer positioned after its good prefix.
+
+    The file is truncated to the last fully-valid record before the writer
+    opens, so damage can never sit between old and new records.  Returns
+    ``(writer, header, records, recovery)``; when the header itself did not
+    survive, the caller should discard the writer and start fresh with
+    :meth:`JournalWriter.create`.
+    """
+    path = Path(path)
+    header, records, recovery = read_journal(path)
+    if not recovery.clean:
+        with open(path, "rb+") as handle:
+            handle.truncate(recovery.valid_length)
+    handle = open(path, "ab")
+    return JournalWriter(path, handle), header, records, recovery

@@ -162,6 +162,12 @@ class GraphStore:
     def __iter__(self) -> Iterator[ForwardingGraph]:
         return (graph for graph in self._graphs if graph is not None)
 
+    def items(self) -> Iterator[tuple[int, ForwardingGraph]]:
+        """``(ref, graph)`` pairs for every live slot, in ref order."""
+        return (
+            (ref, graph) for ref, graph in enumerate(self._graphs) if graph is not None
+        )
+
     def __getstate__(self):
         return (self._graphs, self._ref_by_fingerprint, self._refcounts, self._free)
 

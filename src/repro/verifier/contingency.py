@@ -53,9 +53,12 @@ import time
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 from itertools import combinations
+from pathlib import Path
 
-from repro.errors import VerificationError
+from repro.errors import StateVersionError, VerificationError
 from repro.network.bgp import NetworkConfig
+from repro.persist.checkpoint import Checkpoint
+from repro.persist.digest import options_digest, stable_digest
 from repro.network.simulator import Simulator, group_fec_combos
 from repro.network.topology import Topology
 from repro.rela.locations import Granularity, LocationDB
@@ -237,6 +240,12 @@ class SweepReport:
     elapsed_seconds: float = 0.0
     #: Distinct graphs in the shared cross-contingency store at sweep end.
     distinct_graphs: int = 0
+    #: Seconds spent journaling checkpoint records — opening the journal,
+    #: pickling unit records, flushing, and the closing fsync.  Zero when
+    #: the sweep runs without a checkpoint.  This is the durability layer's
+    #: *direct* cost, measured inside the run: a two-arm wall-clock
+    #: comparison cannot resolve it against scheduler jitter.
+    checkpoint_seconds: float = 0.0
 
     def record(self, result: ContingencyResult) -> None:
         self.results.append(result)
@@ -284,6 +293,15 @@ class SweepReport:
         """The contingencies the sweep completed but could not prove —
         the "119 verified, these 2 unknown" list operators act on."""
         return [result for result in self.results if result.verdict == "unknown"]
+
+    @property
+    def unknown_fec_ids(self) -> list[str]:
+        """Flow classes with an unknown verdict under *any* contingency
+        (sorted, unique) — the triage list for a degraded sweep."""
+        unknown: set[str] = set()
+        for result in self.results:
+            unknown.update(result.report.unknown_fec_ids)
+        return sorted(unknown)
 
     @property
     def baseline_result(self) -> ContingencyResult | None:
@@ -445,8 +463,71 @@ class ContingencySweep:
         if not self.contingencies:
             raise VerificationError("a contingency sweep needs at least one contingency")
 
-    def run(self) -> SweepReport:
-        """Run the sweep and return the aggregate report."""
+    def signature(self) -> str:
+        """The sweep's run signature: what a checkpoint is bound to.
+
+        Covers everything that determines per-contingency verdicts — the
+        traffic classes, the contingency list, the change transform (by
+        name), the spec (by content digest), the granularity and the
+        verdict-relevant engine options.  Two sweeps with the same
+        signature verify the same workload; resuming a checkpoint under a
+        different signature is refused
+        (:class:`~repro.errors.StateVersionError`).
+        """
+        return stable_digest(
+            (
+                "sweep/v1",
+                [fec.fec_id for fec in self.fecs],
+                [
+                    (c.contingency_id, c.failed_links)
+                    for c in self.contingencies
+                ],
+                self.change,
+                stable_digest(self.spec),
+                self.granularity.value,
+                options_digest(self.options),
+            )
+        )
+
+    def run(
+        self,
+        *,
+        checkpoint: str | Path | None = None,
+        resume: bool = False,
+    ) -> SweepReport:
+        """Run the sweep and return the aggregate report.
+
+        With ``checkpoint`` set, every completed contingency is journaled
+        to that path as it lands (its result, the session's verdict-cache
+        deltas and the graphs it added to the shared store); with
+        ``resume=True`` the journal's clean prefix of contingencies is
+        replayed instead of re-verified, and the final report is
+        byte-identical to an uninterrupted run's.  Degraded contingencies
+        (any unknown verdict) are journaled as markers only and retried
+        fresh on resume.  A ``KeyboardInterrupt`` flushes a final
+        interrupt marker before propagating.
+        """
+        if resume and checkpoint is None:
+            raise VerificationError("resume=True requires a checkpoint path")
+        ckpt: Checkpoint | None = None
+        journal_seconds = 0.0
+        if checkpoint is not None:
+            journal_started = time.perf_counter()
+            ckpt = Checkpoint.open(
+                checkpoint, kind="sweep", signature=self.signature(), resume=resume
+            )
+            journal_seconds = time.perf_counter() - journal_started
+        try:
+            sweep = self._run(ckpt)
+        finally:
+            if ckpt is not None:
+                journal_started = time.perf_counter()
+                ckpt.close()
+                journal_seconds += time.perf_counter() - journal_started
+        sweep.checkpoint_seconds += journal_seconds
+        return sweep
+
+    def _run(self, ckpt: Checkpoint | None) -> SweepReport:
         started = time.perf_counter()
         store = GraphStore()
         base_sim = Simulator(self.topology, self.config)
@@ -462,33 +543,88 @@ class ContingencySweep:
             base_pre, self.spec, db=self.db, options=self.options
         )
         sweep = SweepReport()
-        for contingency in self.contingencies:
-            derive_started = time.perf_counter()
-            if contingency.is_baseline:
-                pre = base_pre
-            else:
-                failed_sim = base_sim.under_failure(contingency.failed_links)
-                pre = failed_sim.derive_snapshot(
-                    base_sim,
-                    base_pre,
-                    name=f"sweep-pre@{contingency.contingency_id}",
-                    combos=combos,
-                )
-            post, expected = self._apply_change(pre, contingency)
-            derive_seconds = time.perf_counter() - derive_started
-            if contingency.is_baseline:
-                derive_seconds += base_derive_seconds
 
-            session.rebase(pre)
-            report = session.advance(post, self.spec)
-            sweep.record(
-                ContingencyResult(
+        completed = ckpt.completed_units if ckpt is not None else []
+        if len(completed) > len(self.contingencies):
+            raise StateVersionError(
+                f"checkpoint records {len(completed)} completed contingencies but "
+                f"the sweep only has {len(self.contingencies)}: it belongs to a "
+                "different run, refusing to resume"
+            )
+        if ckpt is not None:
+            session.enable_delta_log()
+        for index, unit in enumerate(completed):
+            contingency = self.contingencies[index]
+            if unit.get("id") != contingency.contingency_id:
+                raise StateVersionError(
+                    f"checkpoint unit {index} is contingency {unit.get('id')!r}, "
+                    f"expected {contingency.contingency_id!r}: the contingency "
+                    "list changed, refusing to resume"
+                )
+            # Re-intern the graphs this contingency's derivation added, in
+            # their original order — the shared store never evicts, so ref
+            # assignment (and the final distinct-graph count) replays
+            # exactly.
+            for graph in unit.get("store_graphs", ()):
+                store.intern(graph)
+            session.preload_deltas(unit.get("deltas", ()))
+            sweep.record(unit["result"])
+
+        try:
+            for index in range(len(completed), len(self.contingencies)):
+                contingency = self.contingencies[index]
+                watermark = len(store)
+                derive_started = time.perf_counter()
+                if contingency.is_baseline:
+                    pre = base_pre
+                else:
+                    failed_sim = base_sim.under_failure(contingency.failed_links)
+                    pre = failed_sim.derive_snapshot(
+                        base_sim,
+                        base_pre,
+                        name=f"sweep-pre@{contingency.contingency_id}",
+                        combos=combos,
+                    )
+                post, expected = self._apply_change(pre, contingency)
+                derive_seconds = time.perf_counter() - derive_started
+                if contingency.is_baseline:
+                    derive_seconds += base_derive_seconds
+
+                session.rebase(pre)
+                report = session.advance(post, self.spec)
+                result = ContingencyResult(
                     contingency=contingency,
                     report=report,
                     expected_holds=expected,
                     derive_seconds=derive_seconds,
                 )
-            )
+                sweep.record(result)
+                if ckpt is not None:
+                    journal_started = time.perf_counter()
+                    deltas = session.drain_deltas()
+                    if report.degraded:
+                        # Result-free marker: any contingency with unknown
+                        # verdicts is retried fresh on resume.
+                        ckpt.record_unit(
+                            index, contingency.contingency_id, degraded=True
+                        )
+                    else:
+                        ckpt.record_unit(
+                            index,
+                            contingency.contingency_id,
+                            result=result,
+                            deltas=deltas,
+                            store_graphs=[
+                                graph
+                                for ref, graph in store.items()
+                                if ref >= watermark
+                            ],
+                        )
+                    sweep.checkpoint_seconds += time.perf_counter() - journal_started
+        except KeyboardInterrupt:
+            if ckpt is not None:
+                ckpt.interrupt()
+            raise
         sweep.distinct_graphs = len(store)
         sweep.elapsed_seconds = time.perf_counter() - started
         return sweep

@@ -123,6 +123,15 @@ class VerificationReport:
             return 0.0
         return self.unknown_fecs / self.total_fecs
 
+    @property
+    def unknown_fec_ids(self) -> list[str]:
+        """The flow classes with unknown verdicts, by id (sorted, unique).
+
+        The actionable half of :attr:`unknown_fecs`: operators triaging a
+        degraded run need *which* classes went unproven, not just how many.
+        """
+        return sorted({failure.fec_id for failure in self.failed_checks})
+
     def record(self, outcome: Counterexample | CheckFailure | None) -> None:
         """Fold one per-FEC result into the report."""
         self.total_fecs += 1

@@ -41,10 +41,14 @@ current.  One-shot ``verify_change`` is literally a session of length 1.
 from __future__ import annotations
 
 import time
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass, replace
+from pathlib import Path
 
 from repro.automata.alphabet import Alphabet
+from repro.errors import StateVersionError, VerificationError
+from repro.persist.checkpoint import Checkpoint
+from repro.persist.digest import stable_digest
 from repro.rela.locations import Granularity, LocationDB
 from repro.rela.pspec import PSpec, SpecPolicy
 from repro.rela.spec import RelaSpec
@@ -177,6 +181,29 @@ class VerificationSession:
         self._verdicts: dict[tuple[int, str, int, int], Counterexample | None] = {}
         # Session refs pinned on behalf of the current snapshot.
         self._current_refs: set[int] = set()
+        # --- Durability hooks (repro.persist) ---
+        # When enabled, every cache-visible state change is appended here in
+        # persistent form: ("spec", token, digest), ("add", spec token,
+        # signature, spec key, pre graph, post graph, outcome),
+        # ("drop_context", spec token, signature), ("drop_graphs", fps).
+        # Checkpoints drain it per unit; replaying the events into a fresh
+        # session reconstructs the verdict cache exactly.
+        self._delta_log: list[tuple] | None = None
+        # Journaled verdicts awaiting adoption, keyed by (spec token,
+        # alphabet signature); each bucket maps (spec key, pre fingerprint,
+        # post fingerprint) -> (pre graph, post graph, outcome).  A bucket
+        # is adopted — graphs interned, verdicts installed — only when a
+        # live epoch compiles a context with the *exact* same spec token and
+        # alphabet signature (and a matching spec digest), so a stale store
+        # can never change a report.
+        self._pending_verdicts: dict[
+            tuple[int, tuple[str, ...]],
+            dict[tuple[str, str, str], tuple[ForwardingGraph, ForwardingGraph, object]],
+        ] = {}
+        #: Expected spec digests by token, from the journal being replayed.
+        self._pending_spec_digests: dict[int, str] = {}
+        #: Digests of the specs this session actually registered.
+        self._spec_digests: dict[int, str] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -337,6 +364,18 @@ class VerificationSession:
                 # served a stale failure).
                 if memoize and not isinstance(outcome, CheckFailure):
                     self._verdicts[(cache_token, spec_key, pre_ref, post_ref)] = outcome
+                    if self._delta_log is not None:
+                        self._delta_log.append(
+                            (
+                                "add",
+                                spec_token,
+                                context.signature,
+                                spec_key,
+                                self._store.graph(pre_ref),
+                                self._store.graph(post_ref),
+                                outcome,
+                            )
+                        )
             report.degraded = fresh.degraded
             report.pool_rebuilds = fresh.pool_rebuilds
             report.retried_checks = fresh.retried_checks
@@ -385,6 +424,149 @@ class VerificationSession:
         self._rotate(snapshot, self._localizer(snapshot.store))
 
     # ------------------------------------------------------------------
+    # Durability (crash-resume + persistent state; see repro.persist)
+    # ------------------------------------------------------------------
+    def enable_delta_log(self) -> None:
+        """Start recording cache-state deltas for checkpointing.
+
+        While enabled, :meth:`drain_deltas` returns (and clears) the
+        persistent-form events since the last drain; a checkpoint journals
+        them with each completed unit, and :meth:`preload_deltas` replays
+        them into a fresh session on resume.
+        """
+        if self._delta_log is None:
+            self._delta_log = []
+
+    def drain_deltas(self) -> list[tuple]:
+        """The cache-state deltas since the last drain (clears the log)."""
+        deltas = self._delta_log or []
+        self._delta_log = [] if self._delta_log is not None else None
+        return deltas
+
+    def preload_deltas(self, deltas: Iterable[tuple]) -> None:
+        """Replay journaled cache-state deltas into this session.
+
+        Events fold into *pending* verdict buckets keyed by (spec token,
+        alphabet signature); nothing touches the live cache until an epoch
+        actually compiles a context with the same key and a matching spec
+        digest (see :meth:`_context_for`), at which point the bucket's
+        graphs are interned and its verdicts adopted.  Folding preserves
+        journal order, so context invalidations and graph evictions from
+        the original run drop exactly the entries they dropped then.
+        """
+        for event in deltas:
+            kind = event[0]
+            if kind == "spec":
+                _, token, digest = event
+                self._pending_spec_digests[token] = digest
+                self._assert_spec_unchanged(token)
+            elif kind == "add":
+                _, spec_token, signature, spec_key, pre_graph, post_graph, outcome = event
+                bucket = self._pending_verdicts.setdefault(
+                    (spec_token, tuple(signature)), {}
+                )
+                bucket[(spec_key, pre_graph.fingerprint(), post_graph.fingerprint())] = (
+                    pre_graph,
+                    post_graph,
+                    outcome,
+                )
+            elif kind == "drop_context":
+                self._pending_verdicts.pop((event[1], tuple(event[2])), None)
+            elif kind == "drop_graphs":
+                dropped = set(event[1])
+                for bucket in self._pending_verdicts.values():
+                    stale = [
+                        key
+                        for key in bucket
+                        if key[1] in dropped or key[2] in dropped
+                    ]
+                    for key in stale:
+                        del bucket[key]
+            else:
+                raise StateVersionError(f"unknown journal delta event {kind!r}")
+
+    def restore_epoch(
+        self,
+        new_snapshot: Snapshot,
+        spec: RelaSpec | SpecPolicy | None,
+        report: VerificationReport,
+        deltas: Iterable[tuple] = (),
+    ) -> None:
+        """Replay one journaled epoch without re-verifying it (crash-resume).
+
+        Equivalent, for every observable the session carries forward, to
+        the :meth:`advance` call that originally produced ``report``: the
+        spec registers under the same token (journal replay is strictly in
+        epoch order, so token assignment matches the original run), the
+        epoch's cache deltas preload, the session repositions on
+        ``new_snapshot`` and the stored report folds into the cumulative
+        :attr:`stream` totals.
+        """
+        chosen = spec if spec is not None else self._default_spec
+        if chosen is None:
+            raise ValueError("restore_epoch() needs a spec (none given and no session default)")
+        if deltas:
+            self.preload_deltas(deltas)
+        self._register(chosen)
+        self.rebase(new_snapshot)
+        self.stream.record(report)
+
+    def _assert_spec_unchanged(self, spec_token: int) -> None:
+        """Refuse journaled verdicts when the live spec's digest drifted."""
+        expected = self._pending_spec_digests.get(spec_token)
+        if expected is None:
+            return
+        digest = self._spec_digests.get(spec_token)
+        if digest is None:
+            for instance, token, _ in self._registry.values():
+                if token == spec_token:
+                    digest = stable_digest(instance)
+                    self._spec_digests[spec_token] = digest
+                    break
+        if digest is not None and digest != expected:
+            raise StateVersionError(
+                f"journaled verdicts for spec token {spec_token} were produced "
+                "by a different spec (digest mismatch): adopting them could "
+                "change the report, refusing"
+            )
+
+    def save(self, path: str | Path) -> None:
+        """Persist this session's durable state to a journal at ``path``.
+
+        Saves the interned graph store, registered specs, compiled-context
+        keys with their cached verdicts, the cumulative stream counters and
+        the current snapshot — everything a later invocation needs to pick
+        the stream up warm.  Compiled automata are never persisted (they
+        are derived state, recompiled on demand); neither is any
+        ``CheckFailure`` (unknown verdicts are always retried fresh).
+        """
+        from repro.persist.statestore import StateStore
+
+        StateStore(path).save_session(self)
+
+    @classmethod
+    def load(
+        cls,
+        path: str | Path,
+        *,
+        options: VerificationOptions | None = None,
+        db: LocationDB | None = None,
+    ) -> VerificationSession:
+        """Rebuild a session saved with :meth:`save`.
+
+        ``options`` may override the saved engine options only when every
+        verdict-relevant field matches (:class:`~repro.errors.StateVersionError`
+        otherwise — cached verdicts computed under one semantics must not
+        be served under another); workers and resilience knobs may differ
+        freely.  Cached verdicts re-enter service only through the pending
+        adoption path, i.e. after the alphabet-signature and spec-digest
+        validation every journaled verdict goes through.
+        """
+        from repro.persist.statestore import StateStore
+
+        return StateStore(path).load_session(options=options, db=db)
+
+    # ------------------------------------------------------------------
     # Memory management
     # ------------------------------------------------------------------
     def compact(self) -> int:
@@ -397,10 +579,17 @@ class VerificationSession:
         are released as well, so a stream that churned through many stores
         does not pin them all.
         """
+        fingerprints: dict[int, str] = {}
+        if self._delta_log is not None:
+            fingerprints = {ref: graph.fingerprint() for ref, graph in self._store.items()}
         evicted = self._store.evict_unreferenced()
         if not evicted:
             return 0
         gone = set(evicted)
+        if self._delta_log is not None:
+            self._delta_log.append(
+                ("drop_graphs", tuple(fingerprints[ref] for ref in evicted))
+            )
         self._verdicts = {
             key: verdict
             for key, verdict in self._verdicts.items()
@@ -440,6 +629,8 @@ class VerificationSession:
         for key, context in by_age[: len(self._contexts) - budget]:
             dead_tokens.add(context.token)
             del self._contexts[key]
+            if self._delta_log is not None:
+                self._delta_log.append(("drop_context", key[0], key[1]))
         self._verdicts = {
             key: verdict
             for key, verdict in self._verdicts.items()
@@ -467,9 +658,38 @@ class VerificationSession:
         key = id(spec)
         entry = self._registry.get(key)
         if entry is None:
-            entry = (spec, self._next_spec_token, _as_policy(spec))
-            self._next_spec_token += 1
+            token = self._next_spec_token
+            digest: str | None = None
+            if self._pending_spec_digests:
+                # Journaled verdicts are keyed by the *original* run's spec
+                # tokens; a fresh process registers fresh instances, so the
+                # binding is by content digest: a new registration whose
+                # digest matches an unclaimed journaled token takes over
+                # that token (and thereby its pending verdict buckets).
+                digest = stable_digest(spec)
+                claimed = {existing[1] for existing in self._registry.values()}
+                for pending_token in sorted(self._pending_spec_digests):
+                    if pending_token in claimed:
+                        continue
+                    if self._pending_spec_digests[pending_token] == digest:
+                        token = pending_token
+                        break
+            entry = (spec, token, _as_policy(spec))
+            self._next_spec_token = max(self._next_spec_token, token + 1)
             self._registry[key] = entry
+            if self._delta_log is not None or self._pending_spec_digests:
+                if digest is None:
+                    digest = stable_digest(spec)
+                self._spec_digests[token] = digest
+                expected = self._pending_spec_digests.get(token)
+                if expected is not None and expected != digest:
+                    raise StateVersionError(
+                        f"spec registered under token {token} does not match the "
+                        "journaled run's spec (digest mismatch): resuming would "
+                        "change the report, refusing"
+                    )
+                if self._delta_log is not None:
+                    self._delta_log.append(("spec", token, digest))
         return entry[1], entry[2]
 
     def _context_for(
@@ -511,6 +731,8 @@ class VerificationSession:
                 for verdict_key, verdict in self._verdicts.items()
                 if verdict_key[0] != dead
             }
+            if self._delta_log is not None:
+                self._delta_log.append(("drop_context", spec_token, signature))
             context = None
         if context is None:
             builder = StateAutomatonBuilder(
@@ -530,6 +752,30 @@ class VerificationSession:
             )
             self._next_context_token += 1
             self._contexts[key] = context
+            pending = self._pending_verdicts.pop(key, None)
+            if pending:
+                # Adoption: this epoch landed on the exact (spec token,
+                # alphabet signature) a journaled run cached verdicts for.
+                # The digest check makes the binding spec-*content* deep,
+                # not just token-deep.
+                self._assert_spec_unchanged(spec_token)
+                for (adopted_key, _, _), entry in pending.items():
+                    pre_graph, post_graph, outcome = entry
+                    pre_ref = self._store.intern(pre_graph)
+                    post_ref = self._store.intern(post_graph)
+                    self._verdicts[(context.token, adopted_key, pre_ref, post_ref)] = outcome
+                    if self._delta_log is not None:
+                        self._delta_log.append(
+                            (
+                                "add",
+                                spec_token,
+                                signature,
+                                adopted_key,
+                                pre_graph,
+                                post_graph,
+                                outcome,
+                            )
+                        )
         context.last_used_epoch = self.stream.epochs + 1
         return context
 
@@ -583,6 +829,10 @@ def verify_stream(
     options: VerificationOptions | None = None,
     graph_budget: int | None = None,
     context_budget: int | None = None,
+    checkpoint: str | Path | None = None,
+    resume: bool = False,
+    signature: str = "stream",
+    on_epoch: Callable[[int, VerificationReport, bool], None] | None = None,
 ) -> StreamReport:
     """Verify a whole change stream through one session (convenience driver).
 
@@ -591,7 +841,24 @@ def verify_stream(
     every per-epoch report) is returned.  ``context_budget`` matters for
     streams that mint a fresh spec per epoch — see
     :class:`VerificationSession`.
+
+    With ``checkpoint`` set, every completed epoch is journaled (its report
+    plus the session cache deltas it produced) to that path as it lands;
+    ``resume=True`` replays the journal's clean prefix of epochs instead of
+    re-verifying them, producing a stream report byte-identical to an
+    uninterrupted run's.  ``signature`` binds the journal to this workload:
+    resuming against a checkpoint written under a different signature
+    raises :class:`~repro.errors.StateVersionError`.  Epochs whose report
+    degraded (any unknown verdict) are journaled as markers only, so a
+    resumed run retries them fresh.  A ``KeyboardInterrupt`` (SIGINT, or
+    the CLI's SIGTERM translation) flushes a final interrupt marker before
+    propagating, so ``--resume`` picks up exactly where the operator
+    stopped.  ``on_epoch(index, report, resumed)`` is invoked for every
+    epoch, replayed or live.
     """
+    if resume and checkpoint is None:
+        raise VerificationError("resume=True requires a checkpoint path")
+
     session = VerificationSession(
         initial,
         db=db,
@@ -599,6 +866,50 @@ def verify_stream(
         graph_budget=graph_budget,
         context_budget=context_budget,
     )
-    for new_snapshot, spec in epochs:
-        session.advance(new_snapshot, spec)
+
+    if checkpoint is None:
+        for index, (new_snapshot, spec) in enumerate(epochs):
+            report = session.advance(new_snapshot, spec)
+            if on_epoch is not None:
+                on_epoch(index, report, False)
+        return session.stream
+
+    epoch_list = list(epochs)
+    ckpt = Checkpoint.open(checkpoint, kind="stream", signature=signature, resume=resume)
+    try:
+        if len(ckpt.completed_units) > len(epoch_list):
+            raise StateVersionError(
+                f"checkpoint {ckpt.path} records {len(ckpt.completed_units)} completed "
+                f"epochs but the stream only has {len(epoch_list)}: it belongs to a "
+                "different run, refusing to resume"
+            )
+        session.enable_delta_log()
+        for unit in ckpt.completed_units:
+            index = unit["index"]
+            new_snapshot, spec = epoch_list[index]
+            report = unit["result"]
+            session.restore_epoch(new_snapshot, spec, report, unit.get("deltas", ()))
+            if on_epoch is not None:
+                on_epoch(index, report, True)
+        try:
+            for index in range(len(ckpt.completed_units), len(epoch_list)):
+                new_snapshot, spec = epoch_list[index]
+                report = session.advance(new_snapshot, spec)
+                deltas = session.drain_deltas()
+                if report.degraded:
+                    # Result-free marker: degraded epochs are retried fresh
+                    # on resume (their deltas would replay verdicts computed
+                    # alongside unknown ones, so they are dropped too).
+                    ckpt.record_unit(index, f"epoch-{index}", degraded=True)
+                else:
+                    ckpt.record_unit(
+                        index, f"epoch-{index}", result=report, deltas=deltas
+                    )
+                if on_epoch is not None:
+                    on_epoch(index, report, False)
+        except KeyboardInterrupt:
+            ckpt.interrupt()
+            raise
+    finally:
+        ckpt.close()
     return session.stream

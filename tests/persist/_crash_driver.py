@@ -1,0 +1,176 @@
+"""Subprocess driver for the kill -9 crash-injection tests (not a test module).
+
+Invoked by ``test_crash_injection.py`` as::
+
+    python _crash_driver.py {sweep|stream} {control|crash|resume} PATH \
+        [--kill-after N] [--tear K]
+
+``control`` runs the checkpointed workload to completion and prints its
+report facts as JSON.  ``crash`` arms a SIGKILL that fires during the
+``(N+1)``-th unit record — after ``K`` bytes of the record's frame reached
+the file, modelling a process killed mid-``write(2)`` — and never returns.
+``resume`` resumes the journal left behind and prints its facts; the test
+asserts they match the control byte-for-byte.
+
+The workloads are fully seeded, so every invocation (control, crashed,
+resumed — each its own process) verifies the identical run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pickle
+import signal
+import sys
+
+from repro.persist.checkpoint import Checkpoint
+from repro.persist.journal import TAG_PICKLE, _encode
+from repro.rela.locations import Granularity
+from repro.verifier import single_link_failures, verify_stream
+from repro.workloads.backbone import BackboneParams, generate_backbone
+from repro.workloads.contingencies import drain_sweep_scenario
+from repro.workloads.stream import rolling_drain_stream
+from repro.workloads.traffic import generate_fecs
+
+
+def report_facts(report) -> dict:
+    return {
+        "holds": report.holds,
+        "verdict": report.verdict,
+        "total_fecs": report.total_fecs,
+        "violating_fecs": report.violating_fecs,
+        "unknown_fec_ids": report.unknown_fec_ids,
+        "branch_violation_counts": dict(report.branch_violation_counts),
+        "unique_checks": report.unique_checks,
+        "cached_checks": report.cached_checks,
+        "counterexamples": [
+            {
+                "fec_id": ce.fec_id,
+                "fec_description": ce.fec_description,
+                "pre_paths": list(ce.pre_paths),
+                "post_paths": list(ce.post_paths),
+                "violations": [
+                    {
+                        "branch": violation.branch,
+                        "expected": sorted(violation.expected),
+                        "observed": sorted(violation.observed),
+                    }
+                    for violation in ce.violations
+                ],
+            }
+            for ce in report.counterexamples
+        ],
+    }
+
+
+def arm_kill(kill_after: int, tear: int) -> None:
+    """SIGKILL this process during the ``(kill_after+1)``-th unit record.
+
+    With ``tear > 0``, the first ``tear`` bytes of the record's encoded
+    frame (capped one short of a full frame, so it is genuinely torn) are
+    written and flushed first — the mid-write kill model.  ``tear == 0``
+    kills between units: the journal ends exactly at the previous record.
+    """
+    original = Checkpoint.record_unit
+    state = {"count": 0}
+
+    def wrapper(self, index, unit_id, *, degraded=False, **payload):
+        if state["count"] == kill_after:
+            if tear > 0:
+                record = {
+                    "record": "unit",
+                    "index": index,
+                    "id": unit_id,
+                    "degraded": degraded,
+                }
+                if not degraded:
+                    record.update(payload)
+                frame = _encode(TAG_PICKLE, pickle.dumps(record))
+                handle = self._writer._handle
+                handle.write(frame[: min(tear, len(frame) - 1)])
+                handle.flush()
+            os.kill(os.getpid(), signal.SIGKILL)
+        state["count"] += 1
+        return original(self, index, unit_id, degraded=degraded, **payload)
+
+    Checkpoint.record_unit = wrapper
+
+
+def run_sweep(path: str, resume: bool) -> str:
+    backbone = generate_backbone(
+        BackboneParams(regions=3, routers_per_group=2, parallel_links=1, prefixes_per_region=2)
+    )
+    scenario = drain_sweep_scenario(
+        backbone, num_fecs=48, granularity=Granularity.ROUTER, buggy=True
+    )
+    contingencies = single_link_failures(
+        backbone.topology, candidates=backbone.topology.link_bundles()[:4]
+    )
+    sweep = scenario.sweep(contingencies).run(checkpoint=path, resume=resume)
+    return json.dumps(
+        {
+            "ids": [result.contingency.contingency_id for result in sweep.results],
+            "expected": [result.expected_holds for result in sweep.results],
+            "reports": [report_facts(result.report) for result in sweep.results],
+            "naive_checks": sweep.naive_checks,
+            "executed_checks": sweep.executed_checks,
+            "cached_checks": sweep.cached_checks,
+            "distinct_graphs": sweep.distinct_graphs,
+        },
+        sort_keys=True,
+    )
+
+
+def run_stream(path: str, resume: bool) -> str:
+    backbone = generate_backbone(
+        BackboneParams(regions=3, routers_per_group=2, parallel_links=1, prefixes_per_region=2)
+    )
+    fecs = generate_fecs(backbone)
+    initial = backbone.simulator().snapshot(fecs, name="initial")
+    stream = rolling_drain_stream(
+        backbone, initial, epochs=6, rotation=2, seed=13, buggy_epochs={3}
+    )
+    report = verify_stream(
+        initial,
+        [(epoch.post, epoch.spec) for epoch in stream.epochs],
+        checkpoint=path,
+        resume=resume,
+        signature="crash-driver-stream",
+    )
+    return json.dumps(
+        {
+            "reports": [report_facts(r) for r in report.epoch_reports],
+            "epochs": report.epochs,
+            "holds": report.holds,
+            "violating_epochs": report.violating_epochs,
+            "unique_checks": report.unique_checks,
+            "cached_checks": report.cached_checks,
+        },
+        sort_keys=True,
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("workload", choices=["sweep", "stream"])
+    parser.add_argument("action", choices=["control", "crash", "resume"])
+    parser.add_argument("path")
+    parser.add_argument("--kill-after", type=int, default=0)
+    parser.add_argument("--tear", type=int, default=0)
+    args = parser.parse_args()
+
+    if args.action == "crash":
+        arm_kill(args.kill_after, args.tear)
+    runner = run_sweep if args.workload == "sweep" else run_stream
+    facts = runner(args.path, resume=args.action == "resume")
+    if args.action == "crash":
+        # The SIGKILL must have fired mid-run; completing is a test failure.
+        return 86
+    print(facts)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

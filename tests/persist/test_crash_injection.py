@@ -1,0 +1,75 @@
+"""Real kill -9 crash injection: resume must reproduce the control exactly.
+
+Unlike the in-process interrupt and truncation-fuzz tests, these spawn the
+workload in a subprocess (``_crash_driver.py``) and SIGKILL it at a seeded
+unit boundary — optionally mid-``write(2)``, with a torn prefix of the
+record already flushed — then resume in a *third* process and compare its
+report facts against an uninterrupted control run.  ``DURABILITY_SEEDS``
+scales the number of seeded kill points (CI raises it well past the local
+default).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+DRIVER = Path(__file__).with_name("_crash_driver.py")
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SEEDS = int(os.environ.get("DURABILITY_SEEDS", "3"))
+
+
+def run_driver(args: list[str], *, expect_kill: bool = False):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, str(DRIVER), *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    if expect_kill:
+        assert proc.returncode == -signal.SIGKILL, (
+            f"driver survived its own SIGKILL (rc={proc.returncode}): {proc.stderr}"
+        )
+        return None
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+@pytest.mark.parametrize("workload,units", [("sweep", 5), ("stream", 6)])
+def test_sigkill_resume_matches_uninterrupted_control(workload, units, tmp_path):
+    control = run_driver([workload, "control", str(tmp_path / "control.ckpt")])
+    rng = random.Random(0xC0FFEE + units)
+    for trial in range(SEEDS):
+        kill_after = rng.randrange(units)
+        tear = rng.choice([0, 0, rng.randrange(1, 512)])
+        path = tmp_path / f"{workload}-{trial}.ckpt"
+        run_driver(
+            [
+                workload,
+                "crash",
+                str(path),
+                "--kill-after",
+                str(kill_after),
+                "--tear",
+                str(tear),
+            ],
+            expect_kill=True,
+        )
+        resumed = run_driver([workload, "resume", str(path)])
+        assert resumed == control, (
+            f"trial {trial}: killed after {kill_after} units (tear={tear}B), "
+            "resumed report diverged from control"
+        )

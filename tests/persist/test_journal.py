@@ -1,0 +1,220 @@
+"""The ``repro-journal/v1`` format: framing, recovery, corruption handling.
+
+The recovery contract under test: a journal damaged *anywhere past the
+magic* is recovered to its last fully-valid record — torn tails, CRC
+failures and undecodable bodies are detected, reported via
+:class:`~repro.persist.journal.RecoveryInfo`, and never crash or silently
+skip — while a file that is not a journal at all refuses with
+:class:`~repro.errors.JournalCorruptionError` rather than being truncated
+(it might be someone's data).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import JournalCorruptionError
+from repro.persist.journal import (
+    MAGIC,
+    JournalWriter,
+    header_record,
+    open_for_append,
+    read_journal,
+)
+
+HEADER = header_record("sweep", "sig-abc", {"note": "test"})
+
+
+def write_sample(path, records=()):
+    writer = JournalWriter.create(path, HEADER)
+    with writer:
+        for record in records:
+            if isinstance(record, dict) and record.get("json"):
+                writer.append_json(record)
+            else:
+                writer.append_pickle(record)
+    return path
+
+
+def test_round_trip_json_and_pickle(tmp_path):
+    path = tmp_path / "j"
+    payloads = [
+        {"json": True, "n": 1},
+        {"record": "unit", "index": 0, "graphs": [1, 2, 3]},
+        ("tuple", frozenset({"a", "b"}), None),
+    ]
+    write_sample(path, payloads)
+    header, records, recovery = read_journal(path)
+    assert header["kind"] == "sweep"
+    assert header["signature"] == "sig-abc"
+    assert header["meta"] == {"note": "test"}
+    assert records == payloads
+    assert recovery.clean
+    assert recovery.dropped_bytes == 0
+
+
+def test_missing_and_empty_files_read_clean(tmp_path):
+    header, records, recovery = read_journal(tmp_path / "missing")
+    assert header is None and records == [] and recovery.clean
+    empty = tmp_path / "empty"
+    empty.write_bytes(b"")
+    header, records, recovery = read_journal(empty)
+    assert header is None and records == [] and recovery.clean
+
+
+def test_torn_tail_recovers_every_prefix(tmp_path):
+    """Truncating the file at ANY byte offset recovers a clean prefix.
+
+    This is the SIGKILL model: the OS persists some prefix of what was
+    written.  For every possible cut point the reader must return exactly
+    the records whose frames fully survived, and report the dropped bytes.
+    """
+    path = tmp_path / "j"
+    payloads = [{"json": True, "n": index} for index in range(4)]
+    write_sample(path, payloads)
+    data = path.read_bytes()
+    boundaries = []  # offsets at which a record ends (computed by re-reading)
+    for cut in range(len(data) + 1):
+        torn = tmp_path / "torn"
+        torn.write_bytes(data[:cut])
+        if cut < len(MAGIC):
+            header, records, recovery = read_journal(torn)
+            assert header is None and records == []
+            continue
+        header, records, recovery = read_journal(torn)
+        assert recovery.valid_length <= cut
+        assert recovery.dropped_bytes == cut - recovery.valid_length
+        if recovery.clean:
+            boundaries.append(cut)
+        # Recovered records are always a prefix of the full record list.
+        full = [HEADER] + payloads
+        got = ([header] if header else []) + records
+        assert got == full[: len(got)]
+    # Clean cuts are exactly the record boundaries: magic + 5 record ends.
+    assert len(boundaries) == 6
+
+
+def test_bit_flip_detected_and_prefix_served(tmp_path):
+    path = tmp_path / "j"
+    payloads = [{"json": True, "n": index} for index in range(3)]
+    write_sample(path, payloads)
+    data = bytearray(path.read_bytes())
+    clean_reads = 0
+    for offset in range(len(MAGIC), len(data)):
+        flipped = bytearray(data)
+        flipped[offset] ^= 0x40
+        target = tmp_path / "flip"
+        target.write_bytes(bytes(flipped))
+        header, records, recovery = read_journal(target)
+        if recovery.clean:
+            clean_reads += 1  # flip landed in JSON text and stayed valid? no:
+            # CRC covers the payload, so a clean read means the flip changed
+            # nothing the reader decodes — impossible here; count and fail.
+        else:
+            # Whatever survived is a true prefix of the original records.
+            full = [HEADER] + payloads
+            got = ([header] if header else []) + records
+            assert got == full[: len(got)]
+    assert clean_reads == 0  # every single-bit flip is detected
+
+
+def test_bad_magic_raises(tmp_path):
+    path = tmp_path / "notjournal"
+    path.write_bytes(b"definitely not a journal file, much longer than magic")
+    with pytest.raises(JournalCorruptionError):
+        read_journal(path)
+    short = tmp_path / "short"
+    short.write_bytes(b"xyz")  # shorter than magic AND not a magic prefix
+    with pytest.raises(JournalCorruptionError):
+        read_journal(short)
+
+
+def test_torn_magic_prefix_recovers_to_empty(tmp_path):
+    path = tmp_path / "tornmagic"
+    path.write_bytes(MAGIC[:5])
+    header, records, recovery = read_journal(path)
+    assert header is None and records == []
+    assert not recovery.clean
+    assert recovery.valid_length == 0
+
+
+def test_open_for_append_truncates_damage(tmp_path):
+    path = tmp_path / "j"
+    write_sample(path, [{"json": True, "n": 0}])
+    intact = path.stat().st_size
+    with open(path, "ab") as handle:
+        handle.write(b"\x99" * 11)  # torn frame from a killed writer
+    writer, header, records, recovery = open_for_append(path)
+    assert header == HEADER
+    assert records == [{"json": True, "n": 0}]
+    assert recovery.dropped_bytes == 11
+    assert path.stat().st_size == intact  # damage gone before appending
+    with writer:
+        writer.append_json({"json": True, "n": 1})
+    header, records, recovery = read_journal(path)
+    assert recovery.clean
+    assert records == [{"json": True, "n": 0}, {"json": True, "n": 1}]
+
+
+def test_header_must_be_first_valid_record(tmp_path):
+    path = tmp_path / "j"
+    path.write_bytes(MAGIC)
+    with open(path, "ab") as handle:
+        writer = JournalWriter(path, handle)
+        writer.append_json({"record": "unit", "index": 0})  # not a header
+    header, records, recovery = read_journal(path)
+    assert header is None
+    assert records == []
+    assert not recovery.clean
+
+
+def test_closed_writer_refuses_appends(tmp_path):
+    writer = JournalWriter.create(tmp_path / "j", HEADER)
+    writer.close()
+    with pytest.raises(JournalCorruptionError):
+        writer.append_json({"json": True})
+
+
+# ----------------------------------------------------------------------
+# The stdlib CI validator (scripts/check_journal.py) agrees with the format
+def load_checker():
+    import importlib.util
+    from pathlib import Path
+
+    spec = importlib.util.spec_from_file_location(
+        "check_journal",
+        Path(__file__).resolve().parents[2] / "scripts" / "check_journal.py",
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_stdlib_checker_accepts_what_the_library_writes(tmp_path, capsys):
+    checker = load_checker()
+    path = tmp_path / "j"
+    write_sample(path, [{"json": True, "record": "outcome"}, ("pickled", 1)])
+    assert checker.main([str(path), "--expect-kind", "sweep", "--min-records", "3"]) == 0
+    assert "kind=sweep" in capsys.readouterr().out
+
+
+def test_stdlib_checker_flags_torn_tails_and_wrong_kinds(tmp_path, capsys):
+    checker = load_checker()
+    path = tmp_path / "j"
+    write_sample(path, [{"json": True, "record": "interrupt"}])
+    with open(path, "ab") as handle:
+        handle.write(b"\x77" * 9)
+    assert checker.main([str(path)]) == 1
+    assert "torn" in capsys.readouterr().err
+    assert checker.main([str(path), "--allow-torn-tail"]) == 0
+    capsys.readouterr()
+    assert checker.main([str(path), "--expect-kind", "state", "--allow-torn-tail"]) == 1
+    assert "expected a 'state' journal" in capsys.readouterr().err
+
+
+def test_stdlib_checker_rejects_non_journals(tmp_path, capsys):
+    checker = load_checker()
+    path = tmp_path / "nope"
+    path.write_bytes(b"not ours")
+    assert checker.main([str(path)]) == 1
+    assert "magic" in capsys.readouterr().err

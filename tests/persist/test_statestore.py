@@ -1,0 +1,226 @@
+"""The persistent state store: gate history and saved-session round trips.
+
+The safety contract under test: a stale or mismatched store can never
+change a report.  Saved verdicts re-enter service only through the
+session's pending-adoption path (exact alphabet signature + spec-digest
+match), options that differ on a verdict-relevant field refuse to load,
+and a store that is the wrong kind of journal — or not a journal at all —
+refuses loudly instead of being silently rewritten.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics.risk import ChangeHistory
+from repro.errors import JournalCorruptionError, StateVersionError
+from repro.persist.journal import JournalWriter, header_record
+from repro.persist.statestore import StateStore
+from repro.testing.faults import Fault, FaultPlan
+from repro.verifier import VerificationOptions, VerificationSession
+from repro.verifier.report import CheckFailure
+from repro.workloads.backbone import BackboneParams, generate_backbone
+from repro.workloads.stream import rolling_drain_stream
+from repro.workloads.traffic import generate_fecs
+
+
+@pytest.fixture(scope="module")
+def stream_world():
+    backbone = generate_backbone(
+        BackboneParams(regions=3, routers_per_group=2, parallel_links=1, prefixes_per_region=2)
+    )
+    fecs = generate_fecs(backbone)
+    initial = backbone.simulator().snapshot(fecs, name="initial")
+    return backbone, initial
+
+
+def make_epochs(stream_world):
+    """Regenerate the seeded epoch list: equal content, fresh instances.
+
+    Loading in a new process means spec/snapshot *instances* differ from
+    the saved ones while their content digests match — regenerating from
+    the seed models exactly that.
+    """
+    backbone, initial = stream_world
+    stream = rolling_drain_stream(
+        backbone, initial, epochs=5, rotation=2, seed=13, buggy_epochs={2}
+    )
+    return [(epoch.post, epoch.spec) for epoch in stream.epochs]
+
+
+def report_facts(report) -> dict:
+    return {
+        "holds": report.holds,
+        "verdict": report.verdict,
+        "total_fecs": report.total_fecs,
+        "violating_fecs": report.violating_fecs,
+        "branch_violation_counts": dict(report.branch_violation_counts),
+        "counterexamples": [
+            (ce.fec_id, [(v.branch, sorted(v.expected), sorted(v.observed)) for v in ce.violations])
+            for ce in report.counterexamples
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+# Outcome history (the gate's persistent memory)
+# ----------------------------------------------------------------------
+def test_outcome_history_folds_into_change_history(tmp_path):
+    store = StateStore(tmp_path / "state.journal")
+    assert store.history() == ChangeHistory(epochs=0, violating_epochs=0, degraded_epochs=0)
+    store.record_outcome("holds")
+    store.record_outcome("violated")
+    store.record_outcome("unknown", degraded=True)
+    # A fresh handle reads the same history: it lives in the file.
+    reread = StateStore(store.path)
+    assert reread.history() == ChangeHistory(
+        epochs=3, violating_epochs=1, degraded_epochs=1
+    )
+    assert [o["verdict"] for o in reread.outcomes()] == ["holds", "violated", "unknown"]
+
+
+def test_outcomes_survive_session_rewrites(stream_world, tmp_path):
+    _, initial = stream_world
+    store = StateStore(tmp_path / "state.journal")
+    store.record_outcome("violated")
+    session = VerificationSession(initial)
+    store.save_session(session)
+    store.record_outcome("holds")
+    store.save_session(session)  # rewrite again: must keep both outcomes
+    reread = StateStore(store.path)
+    assert [o["verdict"] for o in reread.outcomes()] == ["violated", "holds"]
+    reread.load_session()  # and the session record is still loadable
+
+
+def test_corrupt_tail_is_recovered_not_fatal(tmp_path):
+    store = StateStore(tmp_path / "state.journal")
+    store.record_outcome("holds")
+    with open(store.path, "ab") as handle:
+        handle.write(b"\xde\xad\xbe\xef" * 3)  # torn record from a killed writer
+    reread = StateStore(store.path)
+    assert [o["verdict"] for o in reread.outcomes()] == ["holds"]
+    assert reread.last_recovery is not None and reread.last_recovery.dropped_bytes == 12
+    reread.record_outcome("violated")  # append truncates the damage first
+    assert [o["verdict"] for o in StateStore(store.path).outcomes()] == [
+        "holds",
+        "violated",
+    ]
+
+
+def test_wrong_kind_and_non_journal_files_refuse(tmp_path):
+    sweep_journal = tmp_path / "sweep.ckpt"
+    JournalWriter.create(sweep_journal, header_record("sweep", "sig")).close()
+    with pytest.raises(StateVersionError, match="not a state store"):
+        StateStore(sweep_journal).outcomes()
+    with pytest.raises(StateVersionError, match="not a state store"):
+        StateStore(sweep_journal).record_outcome("holds")
+    # The wrong-kind journal was NOT clobbered by the refused append.
+    assert sweep_journal.read_bytes() == sweep_journal.read_bytes()
+
+    not_journal = tmp_path / "data.bin"
+    not_journal.write_bytes(b"user data, definitely not ours to truncate")
+    with pytest.raises(JournalCorruptionError):
+        StateStore(not_journal).outcomes()
+
+
+# ----------------------------------------------------------------------
+# Saved sessions
+# ----------------------------------------------------------------------
+def test_session_round_trip_adopts_cached_verdicts(stream_world, tmp_path):
+    """A reloaded session serves saved verdicts — and only valid ones.
+
+    The loaded session replays a prior epoch entirely from cache, then
+    matches a never-restarted control session on the stream's tail,
+    verdict-for-verdict.
+    """
+    _, initial = stream_world
+    epochs = make_epochs(stream_world)
+    path = tmp_path / "state.journal"
+
+    first = VerificationSession(initial)
+    for post, spec in epochs[:4]:
+        first.advance(post, spec)
+    first.save(path)
+
+    control = VerificationSession(initial)
+    control_reports = [control.advance(post, spec) for post, spec in epochs]
+    # The seeded stream's last epoch revisits earlier combinations only: in
+    # the control it is a pure cache hit, so the loaded session can serve
+    # it entirely from *adopted* verdicts — or not at all.
+    assert control_reports[4].cached_checks == control_reports[4].unique_checks > 0
+
+    loaded = VerificationSession.load(path)
+    assert loaded.stream.epochs == 4  # cumulative counters survived
+    replay = loaded.advance(*epochs[4])
+    assert replay.cached_checks == replay.unique_checks > 0
+    assert report_facts(replay) == report_facts(control_reports[4])
+
+
+def test_session_round_trip_with_new_spec_does_not_collide(stream_world, tmp_path):
+    """A genuinely new spec registers past the saved tokens, never over one."""
+    _, initial = stream_world
+    epochs = make_epochs(stream_world)
+    path = tmp_path / "state.journal"
+    first = VerificationSession(initial)
+    first.advance(*epochs[0])
+    first.save(path)
+
+    loaded = VerificationSession.load(path)
+    post, spec = epochs[1]
+    report = loaded.advance(post, spec)  # a spec the store has never seen
+    assert report.total_fecs > 0
+    # The earlier epoch's verdicts still adopt cleanly afterwards.
+    replay = loaded.advance(*epochs[0])
+    assert replay.cached_checks == replay.unique_checks > 0
+
+
+def test_load_refuses_verdict_relevant_option_drift(stream_world, tmp_path):
+    _, initial = stream_world
+    epochs = make_epochs(stream_world)
+    path = tmp_path / "state.journal"
+    session = VerificationSession(initial, options=VerificationOptions())
+    for post, spec in epochs[:4]:
+        session.advance(post, spec)
+    session.save(path)
+
+    with pytest.raises(StateVersionError, match="verdict-relevant"):
+        VerificationSession.load(path, options=VerificationOptions(max_witnesses=1))
+    # Worker count and resilience knobs are not verdict-relevant: allowed,
+    # and the adopted cache still serves the all-revisits epoch in full.
+    loaded = VerificationSession.load(
+        path, options=VerificationOptions(workers=2, max_retries=0)
+    )
+    replay = loaded.advance(*epochs[4])
+    assert replay.cached_checks == replay.unique_checks > 0
+
+
+def test_load_without_saved_session_refuses(tmp_path):
+    store = StateStore(tmp_path / "state.journal")
+    store.record_outcome("holds")  # a store with history but no session
+    with pytest.raises(StateVersionError, match="no saved session"):
+        store.load_session()
+
+
+def test_check_failures_are_never_persisted(stream_world, tmp_path):
+    """Unknown verdicts must be retried fresh by a loaded session."""
+    backbone, initial = stream_world
+    epochs = make_epochs(stream_world)
+    fecs = generate_fecs(backbone)
+    plan = FaultPlan(faults=(Fault(kind="error", fec_id=fecs[0].fec_id, attempts=10**9),))
+    path = tmp_path / "state.journal"
+
+    faulted = VerificationSession(
+        initial, options=VerificationOptions(max_retries=0, fault_plan=plan)
+    )
+    degraded = faulted.advance(*epochs[0])
+    assert degraded.degraded and fecs[0].fec_id in degraded.unknown_fec_ids
+    faulted.save(path)
+
+    loaded = VerificationSession.load(path, options=VerificationOptions(max_retries=0))
+    for bucket in loaded._pending_verdicts.values():
+        for _, _, outcome in bucket.values():
+            assert not isinstance(outcome, CheckFailure)
+    retried = loaded.advance(*epochs[0])  # fault-free now: must fully prove
+    assert not retried.degraded and retried.unknown_fec_ids == []
+    control = VerificationSession(initial).advance(*epochs[0])
+    assert report_facts(retried) == report_facts(control)
