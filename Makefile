@@ -28,4 +28,5 @@ bench:
 		benchmarks/bench_stream_throughput.py \
 		benchmarks/bench_contingency_sweep.py \
 		benchmarks/bench_gate.py \
+		benchmarks/bench_serve_throughput.py \
 		-q -s --benchmark-disable

@@ -28,6 +28,12 @@ Compares two measurement sources against the ``ci_baseline`` block of
   ``sweep.max_guard_overhead_pct``, and on the durability checkpoint's
   journaling overhead — another *absolute* ceiling — when it lists
   ``sweep.max_checkpoint_overhead_pct``);
+* the serve-throughput JSON written by ``bench_serve_throughput.py`` when
+  ``SERVE_JSON`` is set (gated on the daemon-vs-fork-per-request speedup as
+  a hard floor — losing shared-pool reuse collapses it toward 1x — on the
+  structural pool counters as exact invariants (one pool created, zero
+  rebuilds in steady state), and on sustained requests/sec and p99 latency
+  within ``threshold``);
 * the gate-overhead JSON written by ``bench_gate.py`` when ``GATE_JSON``
   is set (gated on gate scoring as a percentage of sweep wall-clock, an
   *absolute* ceiling like the guard overhead: risk assessment is pure
@@ -181,6 +187,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--stream", help="stream-throughput JSON written via STREAM_JSON")
     parser.add_argument("--sweep", help="contingency-sweep JSON written via SWEEP_JSON")
     parser.add_argument("--gate", help="gate-overhead JSON written via GATE_JSON")
+    parser.add_argument("--serve", help="serve-throughput JSON written via SERVE_JSON")
     parser.add_argument("--threshold", type=float, default=2.0, help="allowed slowdown factor")
     args = parser.parse_args(argv)
 
@@ -398,10 +405,84 @@ def main(argv: list[str] | None = None) -> int:
                 f"(ceiling {max_overhead:.1f}%)"
             )
 
+    if args.serve:
+        measured_serve = load_json(args.serve)
+        baseline_serve = baseline.get("serve", {})
+        min_speedup = baseline_serve.get("min_fork_speedup")
+        if min_speedup is None:
+            print("error: baseline has no serve.min_fork_speedup", file=sys.stderr)
+            return 2
+        for axis in ("tenants", "epochs"):
+            expected = baseline_serve.get(axis)
+            if expected is not None and measured_serve.get(axis) != expected:
+                # Throughput over a different client population amortizes
+                # per-request overhead differently; not comparable.
+                print(
+                    f"error: serve population mismatch: measured {axis} "
+                    f"{measured_serve.get(axis)}, baseline expects {expected} "
+                    "(were SERVE_TENANTS/SERVE_EPOCHS set?)",
+                    file=sys.stderr,
+                )
+                return 2
+        speedup = measured_serve["fork_speedup"]
+        # Hard floor, NOT threshold-scaled: both arms run on the same
+        # machine back-to-back, so the ratio is machine-relative -- losing
+        # pool reuse (a rebuild per request) collapses it toward 1x.
+        verdict = "OK" if speedup >= min_speedup else "REGRESSION"
+        print(
+            f"  [{verdict}] serve vs fork-per-request speedup: measured "
+            f"{speedup:.2f}x, required >= {min_speedup:.1f}x (hard floor)"
+        )
+        compared += 1
+        if speedup < min_speedup:
+            failures.append(
+                f"serve fork-per-request speedup fell to {speedup:.2f}x "
+                f"(required >= {min_speedup:.1f}x)"
+            )
+        # Structural pool-reuse invariants: exact, not thresholds.  A
+        # steady-state daemon builds its pool once and never rebuilds it.
+        pools = measured_serve.get("pools_created")
+        rebuilds = measured_serve.get("pool_rebuilds")
+        pool_ok = pools == 1 and rebuilds == 0
+        verdict = "OK" if pool_ok else "REGRESSION"
+        print(
+            f"  [{verdict}] serve pool reuse: pools_created {pools} "
+            f"(expected 1), pool_rebuilds {rebuilds} (expected 0)"
+        )
+        compared += 1
+        if not pool_ok:
+            failures.append(
+                f"serve pool reuse broke: pools_created={pools}, "
+                f"pool_rebuilds={rebuilds} (steady state must be 1/0)"
+            )
+        baseline_rps = baseline_serve.get("rps")
+        if baseline_rps is not None:
+            failure = check_lower_bound(
+                "serve sustained throughput (requests/sec)",
+                measured_serve["rps"],
+                baseline_rps,
+                args.threshold,
+            )
+            compared += 1
+            if failure:
+                failures.append(failure)
+        baseline_p99 = baseline_serve.get("p99_ms")
+        if baseline_p99 is not None:
+            failure = check(
+                "serve p99 latency (ms)",
+                measured_serve["p99_ms"],
+                baseline_p99,
+                args.threshold,
+            )
+            compared += 1
+            if failure:
+                failures.append(failure)
+
     if compared == 0:
         print(
             "error: nothing compared "
-            "(pass --cdf, --benchmark-json, --scale, --stream, --sweep and/or --gate)",
+            "(pass --cdf, --benchmark-json, --scale, --stream, --sweep, "
+            "--gate and/or --serve)",
             file=sys.stderr,
         )
         return 2

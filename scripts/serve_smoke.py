@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""End-to-end smoke of the verification daemon, as the docs describe it.
+
+Starts ``repro serve`` as a real child process on a kernel-chosen
+loopback port, checks ``/healthz``, runs one stateless ``/v1/verify``
+round-trip, then SIGTERMs the daemon and requires a clean drain
+(exit 0).  This is the docs-job companion to the full serve suite: it
+proves the README "Run as a service" workflow works from a cold start
+with nothing but the repo checkout.
+
+Exit status: 0 on success, 1 on any failed step.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve import protocol  # noqa: E402
+from repro.serve.client import ServeClient  # noqa: E402
+from repro.verifier import verify_change  # noqa: E402
+from repro.workloads.backbone import BackboneParams, generate_backbone  # noqa: E402
+from repro.workloads.stream import rolling_drain_stream  # noqa: E402
+from repro.workloads.traffic import generate_fecs  # noqa: E402
+
+
+def start_daemon() -> tuple[subprocess.Popen, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            raise SystemExit(f"daemon exited during startup: {process.poll()}")
+        if line.startswith("serving on "):
+            return process, line.split("serving on ", 1)[1].strip()
+    process.kill()
+    raise SystemExit("daemon did not report its endpoint in time")
+
+
+def main() -> int:
+    backbone = generate_backbone(
+        BackboneParams(
+            regions=3, routers_per_group=2, parallel_links=1, prefixes_per_region=2
+        )
+    )
+    fecs = generate_fecs(backbone)
+    initial = backbone.simulator().snapshot(fecs, name="initial")
+    epoch = rolling_drain_stream(backbone, initial, epochs=1, rotation=2, seed=7).epochs[0]
+
+    process, base_url = start_daemon()
+    try:
+        client = ServeClient(base_url)
+        health = client.healthz()
+        assert health.status == 200 and health.payload["status"] == "ok", health.payload
+        print(f"healthz ok at {base_url}")
+
+        response = client.verify(
+            {
+                "pre": {"data": initial.to_dict()},
+                "post": {"data": epoch.post.to_dict()},
+                "spec": protocol.pickle_b64(epoch.spec),
+            }
+        )
+        assert response.status == 200, response.payload
+        served = response.payload["report"]
+        direct = protocol.encode_report(verify_change(initial, epoch.post, epoch.spec))
+        wire = protocol.canonical_json(protocol.strip_timing(served))
+        local = protocol.canonical_json(protocol.strip_timing(direct))
+        assert wire == local, "served report diverged from the in-process path"
+        print(f"verify ok: holds={served['holds']} checks={served['unique_checks']}")
+    finally:
+        process.send_signal(signal.SIGTERM)
+        code = process.wait(timeout=60)
+    assert code == 0, f"daemon drain exited {code}"
+    print("drain ok: exit 0")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -598,6 +598,84 @@ def _add_sweep_arguments(command: argparse.ArgumentParser) -> None:
     _add_resilience_flags(command)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here so the daemon machinery stays off the fast CLI paths.
+    from repro.serve.server import ServeConfig, VerificationServer
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        socket=args.socket,
+        state_dir=args.state_dir,
+        pool_workers=args.pool_workers,
+        exec_threads=args.exec_threads,
+        queue_limit=args.queue_limit,
+        tenant_inflight=args.tenant_inflight,
+        max_sessions_per_tenant=args.max_sessions_per_tenant,
+        max_body=args.max_body,
+    )
+    return VerificationServer(config).serve_forever()
+
+
+def _add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (0 picks a free port; the chosen one is printed)",
+    )
+    parser.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="serve on a unix domain socket instead of TCP",
+    )
+    parser.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="persist hosted sessions here on drain; a restarted daemon "
+        "reloads them warm (cached verdicts intact)",
+    )
+    parser.add_argument(
+        "--pool-workers",
+        type=int,
+        default=2,
+        help="shared verification worker pool size (below 2: serial, no pool)",
+    )
+    parser.add_argument(
+        "--exec-threads",
+        type=int,
+        default=8,
+        help="request-execution threads (independent sessions run in parallel)",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=32,
+        help="admitted requests at once before answering 429 + Retry-After",
+    )
+    parser.add_argument(
+        "--tenant-inflight",
+        type=int,
+        default=8,
+        help="per-tenant in-flight request limit (429 above it)",
+    )
+    parser.add_argument(
+        "--max-sessions-per-tenant",
+        type=int,
+        default=16,
+        help="hard session-count quota per tenant",
+    )
+    parser.add_argument(
+        "--max-body",
+        type=int,
+        default=64 * 1024 * 1024,
+        help="request body byte cap (oversized bodies get a structured 400)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -705,6 +783,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_sweep_arguments(gate_sweep_parser)
     gate_sweep_parser.set_defaults(func=_cmd_gate_sweep, parser=gate_sweep_parser)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the verification daemon (HTTP/JSON API over named sessions)",
+        description="Serve named per-tenant verification sessions plus "
+        "stateless one-shot verify/sweep endpoints over a thin HTTP/JSON "
+        "API, sharing one worker pool across all requests.  SIGTERM "
+        "drains gracefully: in-flight requests finish, sessions flush to "
+        "--state-dir, exit 0.",
+    )
+    _add_serve_arguments(serve)
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

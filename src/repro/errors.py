@@ -78,6 +78,31 @@ class WorkloadError(ReproError):
     """A synthetic workload generator received invalid parameters."""
 
 
+class ServeError(ReproError):
+    """Base class for verification-service (``repro serve``) failures."""
+
+
+class ProtocolError(ServeError):
+    """A service request could not be decoded: malformed JSON, an unknown
+    field, a bad payload encoding, or a body over the configured size cap.
+    Maps to HTTP 400 with a structured error document — never a traceback."""
+
+
+class SessionNotFoundError(ServeError):
+    """A service request named a tenant session that does not exist (HTTP 404)."""
+
+
+class SessionExistsError(ServeError):
+    """A session-create request named a tenant session that already exists
+    (HTTP 409; advance the existing session or delete it first)."""
+
+
+class QuotaExceededError(ServeError):
+    """A tenant request exceeded its quota or the service's bounded request
+    queue is full.  Maps to HTTP 429 with a ``Retry-After`` hint: the
+    request was *refused before any work started*, never dropped midway."""
+
+
 class AnalyticsError(ReproError):
     """The risk/gate analytics layer received inconsistent inputs
     (an empty sweep, malformed thresholds, out-of-range scores)."""

@@ -1,0 +1,124 @@
+"""A minimal stdlib client for the verification service.
+
+Wraps :mod:`http.client` with the service's conventions: canonical-JSON
+request bodies, JSON responses, one connection per request (the server
+answers ``Connection: close``).  Used by the differential test suite, the
+throughput benchmark and the docs examples; external callers can use any
+HTTP client — this one just removes boilerplate.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Any
+
+from repro.serve import protocol
+
+
+class ServeResponse:
+    """One response: status, decoded payload, selected headers."""
+
+    def __init__(self, status: int, payload: Any, headers: dict[str, str]) -> None:
+        self.status = status
+        self.payload = payload
+        self.headers = headers
+
+    @property
+    def retry_after(self) -> int | None:
+        value = self.headers.get("retry-after")
+        return int(value) if value is not None else None
+
+    def raise_for_status(self) -> "ServeResponse":
+        if self.status >= 400:
+            error = (self.payload or {}).get("error", {})
+            raise RuntimeError(
+                f"HTTP {self.status}: {error.get('code', '?')}: "
+                f"{error.get('message', '(no message)')}"
+            )
+        return self
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    """``http.client`` over an ``AF_UNIX`` socket (for ``--socket`` daemons)."""
+
+    def __init__(self, path: str, timeout: float) -> None:
+        super().__init__("localhost", timeout=timeout)
+        self._path = path
+
+    def connect(self) -> None:  # pragma: no cover - exercised via --socket only
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.settimeout(self.timeout)
+        self.sock.connect(self._path)
+
+
+class ServeClient:
+    """Talk to one daemon at ``http://host:port`` or a unix socket path."""
+
+    def __init__(
+        self,
+        base_url: str | None = None,
+        *,
+        socket_path: str | None = None,
+        timeout: float = 300.0,
+    ) -> None:
+        if (base_url is None) == (socket_path is None):
+            raise ValueError("pass exactly one of base_url or socket_path")
+        self.timeout = timeout
+        self.socket_path = socket_path
+        if base_url is not None:
+            trimmed = base_url.removeprefix("http://").rstrip("/")
+            host, _, port = trimmed.partition(":")
+            self.host = host
+            self.port = int(port) if port else 80
+        else:
+            self.host = None
+            self.port = None
+
+    def request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> ServeResponse:
+        if self.socket_path is not None:
+            connection: http.client.HTTPConnection = _UnixHTTPConnection(
+                self.socket_path, self.timeout
+            )
+        else:
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        body = protocol.canonical_json(payload) if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body is not None else {}
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            raw = connection.getresponse()
+            data = raw.read()
+            response_headers = {name.lower(): value for name, value in raw.getheaders()}
+            decoded = json.loads(data.decode("utf-8")) if data else None
+            return ServeResponse(raw.status, decoded, response_headers)
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------
+    # Convenience wrappers, one per endpoint
+    # ------------------------------------------------------------------
+    def healthz(self) -> ServeResponse:
+        return self.request("GET", "/healthz")
+
+    def list_sessions(self) -> ServeResponse:
+        return self.request("GET", "/v1/sessions")
+
+    def create_session(self, tenant: str, name: str, body: dict) -> ServeResponse:
+        return self.request("POST", f"/v1/sessions/{tenant}/{name}", body)
+
+    def advance(self, tenant: str, name: str, body: dict) -> ServeResponse:
+        return self.request("POST", f"/v1/sessions/{tenant}/{name}/advance", body)
+
+    def delete_session(self, tenant: str, name: str) -> ServeResponse:
+        return self.request("DELETE", f"/v1/sessions/{tenant}/{name}")
+
+    def verify(self, body: dict) -> ServeResponse:
+        return self.request("POST", "/v1/verify", body)
+
+    def sweep(self, body: dict) -> ServeResponse:
+        return self.request("POST", "/v1/sweep", body)

@@ -1,0 +1,134 @@
+"""Admission control of the verification service: queues and tenant quotas.
+
+Two independent limits guard the daemon, both checked *before* a request
+occupies an executor thread, so an overloaded service answers instantly
+with HTTP 429 + ``Retry-After`` instead of queueing unboundedly:
+
+* a **global admission limit** (``queue_limit``): requests admitted to the
+  blocking-work executor at once, counting those waiting for a thread —
+  the bounded request queue;
+* a **per-tenant in-flight limit** (``tenant_inflight``): one noisy tenant
+  saturating the queue cannot starve the others.
+
+Session *counts* are capped per tenant as well (``max_sessions``); unlike
+the admission limits this is a hard quota — exceeding it fails the create
+with 429 until the tenant deletes a session.
+
+The ledger is deliberately tiny and lock-based: admission happens on the
+server's event loop and in tests' threads, and correctness (never drop,
+never mangle, refuse explicitly) matters more than admission throughput.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import QuotaExceededError
+
+
+class AdmissionLedger:
+    """Thread-safe admission counters for one service instance."""
+
+    def __init__(
+        self,
+        *,
+        queue_limit: int = 32,
+        tenant_inflight: int = 8,
+        max_sessions: int = 16,
+    ) -> None:
+        if queue_limit < 1 or tenant_inflight < 1 or max_sessions < 1:
+            raise ValueError("admission limits must be positive")
+        self.queue_limit = queue_limit
+        self.tenant_inflight = tenant_inflight
+        self.max_sessions = max_sessions
+        self._lock = threading.Lock()
+        self._admitted = 0
+        self._by_tenant: dict[str, int] = {}
+        self._sessions: dict[str, int] = {}
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    # Request admission
+    # ------------------------------------------------------------------
+    def try_admit(self, tenant: str | None) -> None:
+        """Admit one request or raise :class:`QuotaExceededError` (429).
+
+        ``tenant`` is ``None`` for requests outside any tenant namespace
+        (one-shot verify/sweep); they count against the global queue only.
+        """
+        with self._lock:
+            if self._admitted >= self.queue_limit:
+                self.rejected += 1
+                raise QuotaExceededError(
+                    f"request queue is full ({self._admitted} in flight, "
+                    f"limit {self.queue_limit}); retry shortly"
+                )
+            if tenant is not None:
+                inflight = self._by_tenant.get(tenant, 0)
+                if inflight >= self.tenant_inflight:
+                    self.rejected += 1
+                    raise QuotaExceededError(
+                        f"tenant {tenant!r} has {inflight} requests in flight "
+                        f"(limit {self.tenant_inflight}); retry shortly"
+                    )
+                self._by_tenant[tenant] = inflight + 1
+            self._admitted += 1
+
+    def release(self, tenant: str | None) -> None:
+        """Return one admission (always pairs with a successful admit)."""
+        with self._lock:
+            self._admitted -= 1
+            if tenant is not None:
+                remaining = self._by_tenant.get(tenant, 1) - 1
+                if remaining <= 0:
+                    self._by_tenant.pop(tenant, None)
+                else:
+                    self._by_tenant[tenant] = remaining
+
+    @contextmanager
+    def admission(self, tenant: str | None) -> Iterator[None]:
+        """``with ledger.admission(tenant):`` — admit, run, release."""
+        self.try_admit(tenant)
+        try:
+            yield
+        finally:
+            self.release(tenant)
+
+    # ------------------------------------------------------------------
+    # Session quotas
+    # ------------------------------------------------------------------
+    def claim_session(self, tenant: str) -> None:
+        """Count one more session for ``tenant`` or refuse (hard quota)."""
+        with self._lock:
+            held = self._sessions.get(tenant, 0)
+            if held >= self.max_sessions:
+                self.rejected += 1
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} holds {held} sessions "
+                    f"(limit {self.max_sessions}); delete one first"
+                )
+            self._sessions[tenant] = held + 1
+
+    def release_session(self, tenant: str) -> None:
+        with self._lock:
+            remaining = self._sessions.get(tenant, 1) - 1
+            if remaining <= 0:
+                self._sessions.pop(tenant, None)
+            else:
+                self._sessions[tenant] = remaining
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Counter snapshot for ``/healthz``."""
+        with self._lock:
+            return {
+                "admitted": self._admitted,
+                "queue_limit": self.queue_limit,
+                "tenant_inflight_limit": self.tenant_inflight,
+                "max_sessions_per_tenant": self.max_sessions,
+                "rejected": self.rejected,
+            }

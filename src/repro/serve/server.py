@@ -1,0 +1,357 @@
+"""The asyncio HTTP front end of the verification service.
+
+A deliberately small, dependency-free HTTP/1.1 server: parse one request,
+admit it (or answer 429 + ``Retry-After`` instantly), run the blocking
+verification work on a thread pool via :class:`~repro.serve.host.SessionHost`,
+write one JSON response, close.  ``Connection: close`` everywhere — the
+expensive part of a request is verification, not connection setup, and
+one-shot connections keep drain semantics trivial.
+
+Lifecycle:
+
+* the process prints ``serving on http://host:port`` (or the socket path)
+  once the listener is bound, so wrappers can parse the chosen port when
+  started with ``--port 0``;
+* SIGTERM/SIGINT triggers a **graceful drain**: the listener closes, new
+  requests that still arrive on open connections get 503, every in-flight
+  request runs to completion, hosted sessions flush to the state
+  directory, the shared worker pool shuts down, and the process exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import QuotaExceededError
+from repro.serve import protocol
+from repro.serve.host import SessionHost
+from repro.serve.pool import PoolManager
+from repro.serve.quotas import AdmissionLedger
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Header block cap — far beyond anything the JSON API needs.
+_MAX_HEADER_BYTES = 16 * 1024
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``repro serve`` is configured with."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    socket: str | None = None
+    state_dir: str | None = None
+    pool_workers: int = 2
+    exec_threads: int = 8
+    queue_limit: int = 32
+    tenant_inflight: int = 8
+    max_sessions_per_tenant: int = 16
+    max_body: int = 64 * 1024 * 1024
+    #: Seconds clients should wait before retrying a 429/503.
+    retry_after: int = 1
+
+
+class VerificationServer:
+    """One daemon instance: listener + executor + shared pool + host."""
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        self.ledger = AdmissionLedger(
+            queue_limit=self.config.queue_limit,
+            tenant_inflight=self.config.tenant_inflight,
+            max_sessions=self.config.max_sessions_per_tenant,
+        )
+        # The tentpole: ONE pool for the whole daemon, reused across
+        # requests.  pool_workers < 2 means serial in-process execution.
+        self.pool = (
+            PoolManager(self.config.pool_workers)
+            if self.config.pool_workers >= 2
+            else None
+        )
+        self.host = SessionHost(
+            pool=self.pool,
+            state_dir=self.config.state_dir,
+            ledger=self.ledger,
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, self.config.exec_threads),
+            thread_name_prefix="repro-serve",
+        )
+        self._inflight: set[asyncio.Task] = set()
+        self._drain = asyncio.Event()
+        self.bound_port: int | None = None
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._inflight.add(task)
+        try:
+            await self._handle_one(reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange; nothing to answer
+        finally:
+            if task is not None:
+                self._inflight.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_one(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError:
+            await self._respond(
+                writer, 400, protocol.encode_error("bad-request", "header block too large")
+            )
+            return
+        try:
+            method, path, headers = self._parse_head(head)
+        except ValueError as error:
+            await self._respond(
+                writer, 400, protocol.encode_error("bad-request", str(error))
+            )
+            return
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            await self._respond(
+                writer, 400, protocol.encode_error("bad-request", "bad Content-Length")
+            )
+            return
+        if length > self.config.max_body:
+            # Oversized is a *protocol* failure per the API contract: 400
+            # with a structured document, connection closed unread.
+            await self._respond(
+                writer,
+                400,
+                protocol.encode_error(
+                    "bad-request",
+                    f"body of {length} bytes exceeds the "
+                    f"{self.config.max_body}-byte limit",
+                ),
+            )
+            return
+        body = await reader.readexactly(length) if length else b""
+
+        if path == "/healthz":
+            # Health stays answerable without admission, even mid-drain.
+            status, payload = self.host.handle_json(method, path, body)
+            await self._respond(writer, status, payload)
+            return
+
+        tenant = self.host.tenant_of(path)
+        try:
+            self.ledger.try_admit(tenant)
+        except QuotaExceededError as error:
+            await self._respond(
+                writer,
+                429,
+                protocol.encode_error("quota-exceeded", str(error)),
+                retry_after=self.config.retry_after,
+            )
+            return
+        try:
+            loop = asyncio.get_running_loop()
+            status, payload = await loop.run_in_executor(
+                self._executor, self.host.handle_json, method, path, body
+            )
+        finally:
+            self.ledger.release(tenant)
+        retry = self.config.retry_after if status in (429, 503) else None
+        await self._respond(writer, status, payload, retry_after=retry)
+
+    @staticmethod
+    def _parse_head(head: bytes) -> tuple[str, str, dict[str, str]]:
+        try:
+            text = head.decode("ascii")
+        except UnicodeDecodeError:
+            raise ValueError("request head is not ASCII")
+        lines = text.split("\r\n")
+        request = lines[0].split(" ")
+        if len(request) != 3 or not request[2].startswith("HTTP/1."):
+            raise ValueError(f"malformed request line: {lines[0]!r}")
+        method, target, _version = request
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep:
+                raise ValueError(f"malformed header line: {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        return method, target, headers
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        *,
+        retry_after: int | None = None,
+    ) -> None:
+        body = protocol.canonical_json(payload)
+        head = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        if retry_after is not None:
+            head.append(f"Retry-After: {retry_after}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def run(self) -> int:
+        """Serve until drained; returns the process exit code (0)."""
+        loop = asyncio.get_running_loop()
+        limit = min(self.config.max_body + _MAX_HEADER_BYTES, 2**24)
+        if self.config.socket:
+            socket_path = Path(self.config.socket)
+            socket_path.parent.mkdir(parents=True, exist_ok=True)
+            if socket_path.exists():
+                socket_path.unlink()
+            server = await asyncio.start_unix_server(
+                self._handle_connection, path=str(socket_path), limit=limit
+            )
+            endpoint = f"unix:{socket_path}"
+        else:
+            server = await asyncio.start_server(
+                self._handle_connection,
+                host=self.config.host,
+                port=self.config.port,
+                limit=limit,
+            )
+            self.bound_port = server.sockets[0].getsockname()[1]
+            endpoint = f"http://{self.config.host}:{self.bound_port}"
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self._begin_drain)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread or unsupported platform
+        print(f"serving on {endpoint}", flush=True)
+        async with server:
+            await self._drain.wait()
+            # Drain: stop accepting, let in-flight requests finish.
+            server.close()
+            await server.wait_closed()
+            pending = {task for task in self._inflight if task is not asyncio.current_task()}
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        saved = self.host.save_all()
+        if saved:
+            print(f"drained: saved {saved} session(s)", flush=True)
+        else:
+            print("drained", flush=True)
+        self._executor.shutdown(wait=True)
+        if self.pool is not None:
+            self.pool.shutdown()
+        if self.config.socket:
+            Path(self.config.socket).unlink(missing_ok=True)
+        return 0
+
+    def _begin_drain(self) -> None:
+        self.host.draining = True
+        self._drain.set()
+
+    def serve_forever(self) -> int:
+        """Blocking entry point used by ``repro serve``."""
+        return asyncio.run(self.run())
+
+    # ------------------------------------------------------------------
+    # Embedding (docs examples, in-process tests)
+    # ------------------------------------------------------------------
+    def start_in_thread(self) -> "EmbeddedServer":
+        """Run this server on a background thread; returns a stop handle."""
+        started = threading.Event()
+        handle = EmbeddedServer(self, started)
+        handle.thread.start()
+        if not started.wait(timeout=30):
+            raise RuntimeError("embedded server failed to start")
+        return handle
+
+
+class EmbeddedServer:
+    """A :class:`VerificationServer` running on a daemon thread."""
+
+    def __init__(self, server: VerificationServer, started: threading.Event) -> None:
+        self.server = server
+        self._started = started
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self.thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+
+        async def _serve() -> None:
+            serve_task = asyncio.ensure_future(self.server.run())
+            # Signal readiness once the port is bound (run() prints after
+            # binding, but we poll the attribute to avoid capturing stdout).
+            while self.server.bound_port is None and self.server.config.socket is None:
+                if serve_task.done():
+                    serve_task.result()  # surface the startup failure
+                    return
+                await asyncio.sleep(0.01)
+            self._started.set()
+            await serve_task
+
+        try:
+            loop.run_until_complete(_serve())
+        finally:
+            loop.close()
+
+    @property
+    def base_url(self) -> str:
+        port = self.server.bound_port
+        if port is None:
+            raise RuntimeError("server is not listening on a TCP port")
+        return f"http://{self.server.config.host}:{port}"
+
+    def stop(self) -> None:
+        """Drain and wait for the server thread to exit."""
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(self.server._begin_drain)
+        self.thread.join(timeout=60)
+
+
+def main(config: ServeConfig | None = None) -> int:
+    """Run a daemon in the foreground (the ``repro serve`` entry point)."""
+    try:
+        return VerificationServer(config).serve_forever()
+    except KeyboardInterrupt:
+        # Signal handler could not be installed (rare); treat as a drain.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - convenience launcher
+    sys.exit(main())

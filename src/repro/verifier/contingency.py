@@ -458,6 +458,11 @@ class ContingencySweep:
         self.options = options
         self.granularity = granularity
         self.contingencies = list(contingencies)
+        #: Execution hook handed to the sweep-wide session (see
+        #: :attr:`repro.verifier.session.VerificationSession.runner`); the
+        #: verification service points it at a shared worker pool.  ``None``
+        #: keeps the default per-call resilient pool.
+        self.runner: Callable[..., object] | None = None
         if include_baseline and not any(c.is_baseline for c in self.contingencies):
             self.contingencies.insert(0, baseline_contingency())
         if not self.contingencies:
@@ -542,6 +547,7 @@ class ContingencySweep:
         session = VerificationSession(
             base_pre, self.spec, db=self.db, options=self.options
         )
+        session.runner = self.runner
         sweep = SweepReport()
 
         completed = ckpt.completed_units if ckpt is not None else []

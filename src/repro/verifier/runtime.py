@@ -273,17 +273,27 @@ def _init_worker(
     )
 
 
-def _check_batch(batch: list[WorkItem]) -> list[tuple[str, Any, int]]:
-    """Worker entry point: run a batch of guarded checks.
+def run_batch(
+    check_fn: CheckFn,
+    compiled_specs: dict[str, CompiledSpec],
+    builder: StateAutomatonBuilder,
+    options: VerificationOptions,
+    graph_table: Sequence[ForwardingGraph],
+    prior_attempts: dict[str, int],
+    batch: Sequence[WorkItem],
+    *,
+    in_worker: bool = True,
+) -> list[tuple[str, Any, int]]:
+    """Run a batch of guarded checks against one verification context.
 
-    Each item is independently guarded, so one failing check degrades to a
-    :class:`CheckFailure` entry without poisoning its batch siblings; the
-    only batch-lethal event left is a hard worker death, which the parent
-    observes as ``BrokenProcessPool`` and handles by rebuild + bisection.
+    The shared worker-side body of both pool designs: the per-call
+    :class:`ResilientPool` (context installed by the pool initializer) and
+    the service's long-lived shared pool (context cached per worker, keyed
+    by token — see :mod:`repro.serve.pool`).  Each item is independently
+    guarded, so one failing check degrades to a :class:`CheckFailure` entry
+    without poisoning its batch siblings; the only batch-lethal event left
+    is a hard worker death, observed by the parent as ``BrokenProcessPool``.
     """
-    if _WORKER_CONTEXT is None:
-        raise VerificationError("worker process was not initialized")
-    check_fn, compiled_specs, builder, options, graph_table, prior = _WORKER_CONTEXT
     results: list[tuple[str, Any, int]] = []
     for item in batch:
         outcome, retries = _run_one(
@@ -293,11 +303,21 @@ def _check_batch(batch: list[WorkItem]) -> list[tuple[str, Any, int]]:
             builder,
             options,
             graph_table,
-            prior,
-            in_worker=True,
+            prior_attempts,
+            in_worker=in_worker,
         )
         results.append((item[0], outcome, retries))
     return results
+
+
+def _check_batch(batch: list[WorkItem]) -> list[tuple[str, Any, int]]:
+    """Initializer-pool worker entry point: run a batch of guarded checks."""
+    if _WORKER_CONTEXT is None:
+        raise VerificationError("worker process was not initialized")
+    check_fn, compiled_specs, builder, options, graph_table, prior = _WORKER_CONTEXT
+    return run_batch(
+        check_fn, compiled_specs, builder, options, graph_table, prior, batch
+    )
 
 
 # ----------------------------------------------------------------------

@@ -67,7 +67,7 @@ from repro.verifier.engine import (
     compile_spec,
 )
 from repro.verifier.report import StreamReport, VerificationReport
-from repro.verifier.runtime import CheckFailure
+from repro.verifier.runtime import CheckFailure, ExecutionResult
 from repro.verifier.state_automata import StateAutomatonBuilder, build_alphabet
 
 #: Epoch-local identity of one check: ``(spec key, pre ref, post ref)`` when
@@ -158,6 +158,15 @@ class VerificationSession:
         self.context_budget = context_budget
         #: Cumulative report over every ``advance`` call.
         self.stream = StreamReport(max_retained_reports=report_history)
+        #: Execution hook for the deduplicated work list.  ``None`` (the
+        #: default) runs :func:`~repro.verifier.engine._execute_unique_checks`
+        #: — a per-call :class:`~repro.verifier.runtime.ResilientPool`.  The
+        #: verification service installs a shared
+        #: :meth:`repro.serve.pool.PoolManager.runner` here so many sessions
+        #: reuse one long-lived worker pool across requests.  The hook must
+        #: be report-transparent (same outcomes a per-call pool produces);
+        #: it is runtime plumbing, never persisted by save/load.
+        self.runner: Callable[..., "ExecutionResult"] | None = None
 
         self._current = initial
         self._default_spec = spec
@@ -352,7 +361,8 @@ class VerificationSession:
                 (fec_id, spec_key, table_id(pre_ref), table_id(post_ref))
                 for fec_id, spec_key, pre_ref, post_ref in to_check
             ]
-            fresh = _execute_unique_checks(
+            execute = self.runner if self.runner is not None else _execute_unique_checks
+            fresh = execute(
                 work, table, context.compiled_specs, context.builder, options
             )
             for fec_id, spec_key, pre_ref, post_ref in to_check:

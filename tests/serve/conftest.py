@@ -1,0 +1,72 @@
+"""Fixtures of the serve suite: workloads plus a real daemon subprocess.
+
+The daemon fixture starts ``repro serve`` as an actual child process on a
+loopback port (chosen by the kernel, parsed from the daemon's banner), so
+the differential tests exercise the full stack — argv parsing, asyncio
+accept loop, HTTP framing, executor threads, shared pool — not an
+in-process approximation.  The in-process approximation (``SessionHost``
+driven directly) is *also* under test, as the differential baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.backbone import BackboneParams, generate_backbone
+from repro.workloads.stream import rolling_drain_stream
+from repro.workloads.traffic import generate_fecs
+
+from serve_helpers import DaemonHandle, start_daemon  # noqa: E402 (sys.path dir)
+
+
+@pytest.fixture(scope="session")
+def stream_world():
+    backbone = generate_backbone(
+        BackboneParams(
+            regions=3, routers_per_group=2, parallel_links=1, prefixes_per_region=2
+        )
+    )
+    fecs = generate_fecs(backbone)
+    initial = backbone.simulator().snapshot(fecs, name="initial")
+    return backbone, initial
+
+
+@pytest.fixture(scope="session")
+def make_epochs(stream_world):
+    """A factory for seeded stream workloads: ``[(post_snapshot, spec), ...]``.
+
+    Recurring rotation cycles reuse spec *instances*, exactly like a
+    long-lived direct caller — the serve path must recover that identity
+    from recurring spec *content* (digest interning) to match.
+    """
+    backbone, initial = stream_world
+
+    def _make(*, epochs=4, buggy_epochs=frozenset({2}), seed=13):
+        stream = rolling_drain_stream(
+            backbone, initial, epochs=epochs, rotation=2, seed=seed,
+            buggy_epochs=buggy_epochs,
+        )
+        return [(epoch.post, epoch.spec) for epoch in stream.epochs]
+
+    return _make
+
+
+@pytest.fixture
+def daemon(daemon_factory):
+    """A fresh default-config daemon per test, drained at teardown."""
+    return daemon_factory()
+
+
+@pytest.fixture
+def daemon_factory():
+    """Start daemons with custom argv; every one is stopped at teardown."""
+    handles: list[DaemonHandle] = []
+
+    def _start(*extra_args: str) -> DaemonHandle:
+        handle = start_daemon(*extra_args)
+        handles.append(handle)
+        return handle
+
+    yield _start
+    for handle in handles:
+        handle.stop()

@@ -1,0 +1,76 @@
+"""Daemon-process helpers shared by the serve test suite and benchmarks.
+
+Kept outside ``conftest.py`` (and under a unique basename) so test
+modules and the benchmark harness can import it directly — the tests
+tree is not a package, so only uniquely-named helper modules are safely
+importable across files.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.serve.client import ServeClient
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class DaemonHandle:
+    """One ``repro serve`` child process plus its parsed endpoint."""
+
+    def __init__(self, process: subprocess.Popen, base_url: str) -> None:
+        self.process = process
+        self.base_url = base_url
+
+    def client(self, **kwargs) -> ServeClient:
+        return ServeClient(self.base_url, **kwargs)
+
+    def sigterm(self) -> None:
+        self.process.send_signal(signal.SIGTERM)
+
+    def wait(self, timeout: float = 60) -> int:
+        return self.process.wait(timeout=timeout)
+
+    def stop(self) -> int:
+        if self.process.poll() is None:
+            self.sigterm()
+            try:
+                return self.process.wait(timeout=60)
+            except subprocess.TimeoutExpired:  # pragma: no cover - last resort
+                self.process.kill()
+                return self.process.wait(timeout=10)
+        return self.process.returncode
+
+
+def start_daemon(*extra_args: str, timeout: float = 60) -> DaemonHandle:
+    """Start ``repro serve`` on a kernel-chosen loopback port and wait for it."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", *extra_args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+    deadline = time.monotonic() + timeout
+    banner = ""
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            raise RuntimeError(
+                f"daemon exited during startup (code {process.poll()}): {banner}"
+            )
+        banner += line
+        if line.startswith("serving on "):
+            base_url = line.split("serving on ", 1)[1].strip()
+            return DaemonHandle(process, base_url)
+    process.kill()
+    raise RuntimeError(f"daemon did not report its endpoint in time: {banner}")

@@ -1,0 +1,212 @@
+"""Concurrency fuzz and tenant isolation of the verification daemon.
+
+The contract under load: whatever the interleaving, every tenant's
+stream of reports is byte-identical to a serial in-process replay of
+that tenant's workload alone; quota pressure in one tenant never
+perturbs another's verdict cache; and backpressure is an explicit,
+well-formed 429 + ``Retry-After`` — a request is refused or answered
+correctly, never dropped or mangled.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.serve import protocol
+from repro.verifier import VerificationOptions, VerificationSession, verify_change
+
+
+def wire_bytes(payload: dict) -> bytes:
+    return protocol.canonical_json(protocol.strip_timing(payload))
+
+
+def report_bytes(report) -> bytes:
+    return wire_bytes(protocol.encode_report(report))
+
+
+def serial_replay(initial, epochs, **session_kwargs) -> list[bytes]:
+    session = VerificationSession(initial, **session_kwargs)
+    return [report_bytes(session.advance(post, spec)) for post, spec in epochs]
+
+
+def tenant_workloads(make_epochs, tenants):
+    """Distinct seeded workloads, one per tenant (different buggy sets)."""
+    plans = {}
+    for index, tenant in enumerate(tenants):
+        plans[tenant] = make_epochs(
+            epochs=4, buggy_epochs={index % 4}, seed=100 + index
+        )
+    return plans
+
+
+def drive_tenant(client, tenant, initial, epochs, seed, **create_extra):
+    """One client thread: create a session, advance it epoch by epoch.
+
+    Seeded jitter between requests makes distinct interleavings across
+    tenants reproducible per seed; 429s are retried (never treated as
+    data) so quota pressure can only delay a tenant, not corrupt it.
+    """
+    rng = random.Random(seed)
+    body = {"initial": {"data": initial.to_dict()}, **create_extra}
+    response = client.create_session(tenant, "s", body)
+    assert response.status == 200, response.payload
+    blobs = []
+    for post, spec in epochs:
+        while True:
+            response = client.advance(
+                tenant,
+                "s",
+                {
+                    "snapshot": {"data": post.to_dict()},
+                    "spec": protocol.pickle_b64(spec),
+                },
+            )
+            if response.status == 429:
+                assert response.retry_after is not None
+                threading.Event().wait(0.01 * rng.random())
+                continue
+            break
+        assert response.status == 200, response.payload
+        blobs.append(wire_bytes(response.payload["report"]))
+        threading.Event().wait(0.005 * rng.random())
+    return blobs
+
+
+def test_seeded_multi_tenant_interleaving_equals_serial_replay(
+    stream_world, daemon, make_epochs
+):
+    """N concurrent tenants, randomized pacing: per-tenant results are
+    exactly the serial single-tenant replay, for every tenant at once."""
+    _backbone, initial = stream_world
+    tenants = ["acme", "globex", "initech"]
+    plans = tenant_workloads(make_epochs, tenants)
+    with ThreadPoolExecutor(max_workers=len(tenants)) as executor:
+        futures = {
+            tenant: executor.submit(
+                drive_tenant, daemon.client(), tenant, initial, plans[tenant], seed
+            )
+            for seed, tenant in enumerate(tenants)
+        }
+        served = {tenant: future.result(timeout=300) for tenant, future in futures.items()}
+    for tenant in tenants:
+        assert served[tenant] == serial_replay(initial, plans[tenant]), tenant
+    # The workloads really differed (different buggy epochs per tenant).
+    verdict_sets = {
+        tenant: tuple(json.loads(blob)["holds"] for blob in served[tenant])
+        for tenant in tenants
+    }
+    assert len(set(verdict_sets.values())) > 1
+
+
+def test_quota_eviction_in_one_tenant_does_not_perturb_another(
+    stream_world, daemon, make_epochs
+):
+    """A budget-starved tenant evicts graphs/contexts constantly; its
+    neighbour's verdict cache (cached_checks per epoch) must be exactly
+    what a solo replay produces."""
+    _backbone, initial = stream_world
+    starved_epochs = make_epochs(epochs=6, buggy_epochs=frozenset(), seed=7)
+    calm_epochs = make_epochs(epochs=6, buggy_epochs={3}, seed=8)
+    budgets = {"graph_budget": 2, "context_budget": 1}
+    with ThreadPoolExecutor(max_workers=2) as executor:
+        starved_future = executor.submit(
+            drive_tenant, daemon.client(), "starved", initial, starved_epochs, 1, **budgets
+        )
+        calm_future = executor.submit(
+            drive_tenant, daemon.client(), "calm", initial, calm_epochs, 2
+        )
+        starved = starved_future.result(timeout=300)
+        calm = calm_future.result(timeout=300)
+    assert calm == serial_replay(initial, calm_epochs)
+    assert starved == serial_replay(
+        initial, starved_epochs, graph_budget=2, context_budget=1
+    )
+    # The calm tenant's cache warmed exactly as it would alone: recurring
+    # epochs hit the verdict cache even while the neighbour was evicting.
+    calm_cached = [json.loads(blob)["cached_checks"] for blob in calm]
+    assert sum(calm_cached[2:]) > 0
+
+
+def test_backpressure_is_429_never_dropped_or_mangled(
+    stream_world, daemon_factory, make_epochs
+):
+    """With a queue of 1, a burst of one-shot verifies sees explicit 429s
+    with Retry-After; with retries every request eventually gets the
+    byte-exact report — none dropped, none mangled."""
+    _backbone, initial = stream_world
+    post, spec = make_epochs(epochs=1, buggy_epochs=frozenset())[0]
+    handle = daemon_factory("--queue-limit", "1", "--pool-workers", "0")
+    body = {
+        "pre": {"data": initial.to_dict()},
+        "post": {"data": post.to_dict()},
+        "spec": protocol.pickle_b64(spec),
+    }
+    expected = report_bytes(verify_change(initial, post, spec))
+    rejections = []
+    results = []
+
+    def one_client(seed: int) -> None:
+        rng = random.Random(seed)
+        client = handle.client()
+        while True:
+            response = client.verify(body)
+            if response.status == 429:
+                assert response.retry_after is not None
+                rejections.append(response.payload["error"]["code"])
+                threading.Event().wait(0.02 * (1 + rng.random()))
+                continue
+            assert response.status == 200, response.payload
+            results.append(wire_bytes(response.payload["report"]))
+            return
+
+    clients = 8
+    with ThreadPoolExecutor(max_workers=clients) as executor:
+        for future in [executor.submit(one_client, seed) for seed in range(clients)]:
+            future.result(timeout=300)
+    assert len(results) == clients  # nothing dropped
+    assert all(blob == expected for blob in results)  # nothing mangled
+    assert rejections  # backpressure actually engaged
+    assert set(rejections) == {"quota-exceeded"}
+
+
+def test_tenant_inflight_limit_does_not_starve_other_tenants(
+    stream_world, daemon_factory, make_epochs
+):
+    """One tenant saturating its own in-flight limit gets 429s; a second
+    tenant's requests proceed and verify correctly meanwhile."""
+    _backbone, initial = stream_world
+    epochs = make_epochs(epochs=3, buggy_epochs=frozenset())
+    handle = daemon_factory(
+        "--tenant-inflight", "1", "--queue-limit", "32", "--pool-workers", "0"
+    )
+    noisy_rejected = []
+
+    def noisy() -> list[bytes]:
+        client = handle.client()
+        out = drive_tenant(client, "noisy", initial, epochs, 3)
+        return out
+
+    def hammer_noisy() -> None:
+        # Fire session list/advance-shaped traffic into the noisy tenant's
+        # namespace to contend for its in-flight budget.
+        client = handle.client()
+        for _ in range(20):
+            response = client.request("GET", "/v1/sessions")
+            assert response.status == 200
+            response = client.advance("noisy", "missing", {"snapshot": {"data": initial.to_dict()}})
+            if response.status == 429:
+                noisy_rejected.append(1)
+
+    with ThreadPoolExecutor(max_workers=3) as executor:
+        noisy_future = executor.submit(noisy)
+        hammer_future = executor.submit(hammer_noisy)
+        calm_future = executor.submit(
+            drive_tenant, handle.client(), "calm", initial, epochs, 4
+        )
+        calm = calm_future.result(timeout=300)
+        noisy_future.result(timeout=300)
+        hammer_future.result(timeout=300)
+    assert calm == serial_replay(initial, epochs)
