@@ -1,0 +1,174 @@
+"""k=2 contingency-sweep scale-out: incremental lattice derivation vs from-baseline.
+
+The combinatorial failure spaces (k=2 over a candidate set) multiply the
+sweep's *derivation* cost: from the healthy baseline, every k-failure
+snapshot pays a changed-FIB screen plus the re-trace of every class either
+failed link touches.  Incremental lattice derivation
+(:class:`~repro.verifier.contingency._DerivationLattice`) instead derives
+each k-failure snapshot from its (k−1)-failure parent, so the per-child
+cost scales with the *marginal* effect of the last failed link.
+
+The workload shape makes the marginal/cumulative gap structural rather
+than accidental: a 12-region backbone whose prefixes are anycast at every
+aggregation router, with full-mesh equal-cost intra-region links, so each
+region-internal agg-core bundle failure flips a region-wide slice of every
+destined trace — per child, the from-baseline scan re-traces the union of
+both links' slices while the lattice re-traces only the second link's.
+
+Both arms must agree byte-for-byte (verdicts, dedup accounting, distinct
+graphs); the speedup is gated by ``check_perf_regression.py --sweep-k2``
+as ``derive_ratio`` (from-baseline derive seconds / incremental derive
+seconds, non-baseline units), alongside the k=2 dedup-ratio and
+contingencies-per-second floors.
+
+Environment knobs (all optional):
+
+* ``SWEEP_K2_REGIONS`` — backbone regions (default 12);
+* ``SWEEP_K2_JSON`` — write the measured record to this path, in the
+  format ``benchmarks/check_perf_regression.py --sweep-k2`` consumes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import time
+
+import pytest
+
+from repro.verifier import k_link_failures, single_link_failures
+from repro.workloads.backbone import BackboneParams, generate_backbone
+from repro.workloads.contingencies import drain_sweep_scenario, intra_region_bundles
+from repro.workloads.traffic import generate_fecs
+
+
+def _peak_rss_mb() -> float:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _facts(sweep) -> dict:
+    """The byte-identity obligation between the two derivation arms."""
+    return {
+        "results": [
+            (
+                result.contingency.contingency_id,
+                result.holds,
+                result.expected_holds,
+                result.report.total_fecs,
+                result.report.violating_fecs,
+                result.report.unique_checks,
+                [
+                    (ce.fec_id, tuple(ce.pre_paths), tuple(ce.post_paths))
+                    for ce in result.report.counterexamples
+                ],
+            )
+            for result in sweep.results
+        ],
+        "distinct_graphs": sweep.distinct_graphs,
+        "naive_checks": sweep.naive_checks,
+        "executed_checks": sweep.executed_checks,
+        "cached_checks": sweep.cached_checks,
+    }
+
+
+def _derivation_seconds(sweep) -> tuple[float, float]:
+    """(route, derive) seconds over the non-baseline units only — the part
+    the lattice actually changes (the baseline snapshot costs the same in
+    both arms and would dilute the ratio)."""
+    live = [r for r in sweep.results if not r.contingency.is_baseline]
+    return (
+        sum(r.route_seconds for r in live),
+        sum(r.derive_seconds for r in live),
+    )
+
+
+@pytest.fixture(scope="module")
+def k2_inputs():
+    regions = int(os.environ.get("SWEEP_K2_REGIONS", "12"))
+    backbone = generate_backbone(
+        BackboneParams(
+            regions=regions,
+            routers_per_group=2,
+            parallel_links=2,
+            prefixes_per_region=6,
+        )
+    )
+    fecs = generate_fecs(backbone)
+    candidates = intra_region_bundles(backbone)[:8]
+    contingencies = single_link_failures(backbone.topology, candidates=candidates)
+    contingencies += k_link_failures(backbone.topology, 2, candidates=candidates)
+    return backbone, fecs, contingencies
+
+
+def test_k2_sweep_incremental_derivation(k2_inputs):
+    backbone, fecs, contingencies = k2_inputs
+
+    def run(incremental: bool):
+        scenario = drain_sweep_scenario(backbone, num_fecs=8)
+        scenario.fecs = fecs  # the anycast/full-ECMP traffic matrix
+        sweep = scenario.sweep(list(contingencies), incremental=incremental)
+        started = time.perf_counter()
+        report = sweep.run()
+        return report, time.perf_counter() - started
+
+    # From-baseline arm first (it is the slower one and warms nothing the
+    # incremental arm could reuse: each run builds its own simulators).
+    baseline_arm, baseline_wall = run(False)
+    incremental_arm, incremental_wall = run(True)
+
+    assert _facts(incremental_arm) == _facts(baseline_arm), (
+        "incremental lattice derivation changed the report"
+    )
+    assert incremental_arm.holds, incremental_arm.summary()
+    assert not incremental_arm.expectation_mismatches
+
+    base_route, base_derive = _derivation_seconds(baseline_arm)
+    incr_route, incr_derive = _derivation_seconds(incremental_arm)
+    derive_ratio = base_derive / incr_derive if incr_derive > 0 else float("inf")
+    contingencies_per_sec = incremental_arm.contingencies / incremental_wall
+
+    print()
+    print(
+        f"k=2 sweep: {incremental_arm.contingencies} contingencies x "
+        f"{len(fecs)} FECs ({incremental_arm.distinct_graphs} distinct graphs)"
+    )
+    print(
+        f"  from-baseline arm: wall {baseline_wall:.2f}s "
+        f"(route {base_route:.2f}s, derive {base_derive:.2f}s)"
+    )
+    print(
+        f"  incremental arm:   wall {incremental_wall:.2f}s "
+        f"(route {incr_route:.2f}s, derive {incr_derive:.2f}s)"
+    )
+    print(f"  derive ratio:  {derive_ratio:.2f}x (reports byte-identical)")
+    print(f"  dedup ratio:   {incremental_arm.dedup_ratio:.1f}x")
+    print(f"  throughput:    {contingencies_per_sec:.1f} contingencies/s")
+    print(f"  peak RSS: {_peak_rss_mb():.0f} MB")
+
+    # The acceptance bar: incremental derivation at least 3x cheaper than
+    # the from-baseline scan at equal (byte-identical) output.
+    assert derive_ratio >= 3.0, (
+        f"incremental derive ratio {derive_ratio:.2f}x below the 3x bar"
+    )
+    assert incremental_arm.dedup_ratio >= 10.0
+
+    json_path = os.environ.get("SWEEP_K2_JSON")
+    if json_path:
+        with open(json_path, "w") as handle:
+            json.dump(
+                {
+                    "fec_count": len(fecs),
+                    "contingencies": incremental_arm.contingencies,
+                    "derive_ratio": derive_ratio,
+                    "base_derive_seconds": base_derive,
+                    "incremental_derive_seconds": incr_derive,
+                    "dedup_ratio": incremental_arm.dedup_ratio,
+                    "distinct_graphs": incremental_arm.distinct_graphs,
+                    "sweep_seconds": incremental_wall,
+                    "contingencies_per_sec": contingencies_per_sec,
+                    "peak_rss_mb": _peak_rss_mb(),
+                },
+                handle,
+                indent=2,
+            )

@@ -28,6 +28,12 @@ Compares two measurement sources against the ``ci_baseline`` block of
   ``sweep.max_guard_overhead_pct``, and on the durability checkpoint's
   journaling overhead — another *absolute* ceiling — when it lists
   ``sweep.max_checkpoint_overhead_pct``);
+* the k=2 sweep JSON written by ``bench_k2_sweep.py`` when
+  ``SWEEP_K2_JSON`` is set (gated on the incremental-derivation ratio as a
+  hard lower bound — losing the lattice's parent/sibling adoption collapses
+  the from-baseline/incremental derive-seconds ratio toward 1x — on the
+  k=2 dedup ratio as a hard floor, and on contingencies/sec within
+  ``threshold``);
 * the serve-throughput JSON written by ``bench_serve_throughput.py`` when
   ``SERVE_JSON`` is set (gated on the daemon-vs-fork-per-request speedup as
   a hard floor — losing shared-pool reuse collapses it toward 1x — on the
@@ -186,6 +192,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", help="scale-throughput JSON written via SCALE_JSON")
     parser.add_argument("--stream", help="stream-throughput JSON written via STREAM_JSON")
     parser.add_argument("--sweep", help="contingency-sweep JSON written via SWEEP_JSON")
+    parser.add_argument("--sweep-k2", help="k=2 sweep JSON written via SWEEP_K2_JSON")
     parser.add_argument("--gate", help="gate-overhead JSON written via GATE_JSON")
     parser.add_argument("--serve", help="serve-throughput JSON written via SERVE_JSON")
     parser.add_argument("--threshold", type=float, default=2.0, help="allowed slowdown factor")
@@ -369,6 +376,68 @@ def main(argv: list[str] | None = None) -> int:
         compared += ckpt_compared
         failures.extend(ckpt_failures)
 
+    if args.sweep_k2:
+        measured_k2 = load_json(args.sweep_k2)
+        baseline_k2 = baseline.get("sweep_k2", {})
+        min_derive_ratio = baseline_k2.get("min_derive_ratio")
+        if min_derive_ratio is None:
+            print("error: baseline has no sweep_k2.min_derive_ratio", file=sys.stderr)
+            return 2
+        for axis in ("fec_count", "contingencies"):
+            expected = baseline_k2.get(axis)
+            if expected is not None and measured_k2.get(axis) != expected:
+                # A different failure-model or traffic-matrix size changes
+                # how the marginal slices overlap; the ratio is only
+                # meaningful against the shape it was calibrated on.
+                print(
+                    f"error: sweep-k2 population mismatch: measured {axis} "
+                    f"{measured_k2.get(axis)}, baseline expects {expected} "
+                    "(was SWEEP_K2_REGIONS set?)",
+                    file=sys.stderr,
+                )
+                return 2
+        derive_ratio = measured_k2["derive_ratio"]
+        # Hard floor, NOT threshold-scaled: both derivation arms run
+        # back-to-back on the same machine over byte-identical work, so the
+        # ratio is machine-relative — losing parent/sibling adoption (or
+        # the changed-router delta index) collapses it toward 1x.
+        verdict = "OK" if derive_ratio >= min_derive_ratio else "REGRESSION"
+        print(
+            f"  [{verdict}] k=2 incremental derive ratio: measured "
+            f"{derive_ratio:.2f}x, required >= {min_derive_ratio:.1f}x (hard floor)"
+        )
+        compared += 1
+        if derive_ratio < min_derive_ratio:
+            failures.append(
+                f"k=2 incremental derive ratio fell to {derive_ratio:.2f}x "
+                f"(required >= {min_derive_ratio:.1f}x)"
+            )
+        min_k2_dedup = baseline_k2.get("min_dedup_ratio")
+        if min_k2_dedup is not None:
+            dedup = measured_k2["dedup_ratio"]
+            verdict = "OK" if dedup >= min_k2_dedup else "REGRESSION"
+            print(
+                f"  [{verdict}] k=2 sweep dedup ratio: measured {dedup:.2f}x, "
+                f"required >= {min_k2_dedup:.1f}x (hard floor)"
+            )
+            compared += 1
+            if dedup < min_k2_dedup:
+                failures.append(
+                    f"k=2 sweep dedup ratio fell to {dedup:.2f}x "
+                    f"(required >= {min_k2_dedup:.1f}x)"
+                )
+        baseline_k2_cps = baseline_k2.get("contingencies_per_sec")
+        if baseline_k2_cps is not None:
+            failure = check_lower_bound(
+                "k=2 sweep throughput (contingencies/sec)",
+                measured_k2["contingencies_per_sec"],
+                baseline_k2_cps,
+                args.threshold,
+            )
+            compared += 1
+            if failure:
+                failures.append(failure)
+
     if args.gate:
         measured_gate = load_json(args.gate)
         baseline_gate = baseline.get("gate", {})
@@ -482,7 +551,7 @@ def main(argv: list[str] | None = None) -> int:
         print(
             "error: nothing compared "
             "(pass --cdf, --benchmark-json, --scale, --stream, --sweep, "
-            "--gate and/or --serve)",
+            "--sweep-k2, --gate and/or --serve)",
             file=sys.stderr,
         )
         return 2

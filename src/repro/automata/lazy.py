@@ -56,6 +56,7 @@ from collections.abc import Iterator, Sequence
 from repro.automata.alphabet import require_same_alphabet
 from repro.automata.fsa import EPSILON, FSA, Word
 from repro.automata.fst import FST, Label
+from repro.automata.guard import POLL_MASK, active_deadline, check_deadline
 
 __all__ = [
     "difference_dfa",
@@ -125,7 +126,13 @@ def difference_dfa(left: FSA, right: FSA) -> FSA:
         result.mark_accepting(result.initial)
     queue: deque[tuple[frozenset[int], frozenset[int]]] = deque([start])
     rows = result.transitions
+    deadline = active_deadline()
+    steps = 0
     while queue:
+        if deadline is not None:
+            steps += 1
+            if not steps & POLL_MASK:
+                check_deadline(deadline)
         pair = queue.popleft()
         lsub, rsub = pair
         src = pair_ids[pair]
@@ -160,7 +167,13 @@ def is_subset(left: FSA, right: FSA) -> bool:
         return False
     seen = {start}
     queue: deque[tuple[frozenset[int], frozenset[int]]] = deque([start])
+    deadline = active_deadline()
+    steps = 0
     while queue:
+        if deadline is not None:
+            steps += 1
+            if not steps & POLL_MASK:
+                check_deadline(deadline)
         lsub, rsub = queue.popleft()
         for symbol, ldsts in _moves(left, lsub).items():
             ltarget = left.epsilon_closure(ldsts)
@@ -191,7 +204,13 @@ def is_equivalent(left: FSA, right: FSA) -> bool:
         return False
     seen = {start}
     queue: deque[tuple[frozenset[int], frozenset[int]]] = deque([start])
+    deadline = active_deadline()
+    steps = 0
     while queue:
+        if deadline is not None:
+            steps += 1
+            if not steps & POLL_MASK:
+                check_deadline(deadline)
         lsub, rsub = queue.popleft()
         lmoves = _moves(left, lsub)
         rmoves = _moves(right, rsub)
@@ -225,7 +244,13 @@ def shortest_witness(left: FSA, right: FSA) -> Word | None:
     queue: deque[tuple[frozenset[int], frozenset[int], tuple[int, ...]]] = deque(
         [(start[0], start[1], ())]
     )
+    deadline = active_deadline()
+    steps = 0
     while queue:
+        if deadline is not None:
+            steps += 1
+            if not steps & POLL_MASK:
+                check_deadline(deadline)
         lsub, rsub, word = queue.popleft()
         for symbol, ldsts in sorted(_moves(left, lsub).items()):
             ltarget = left.epsilon_closure(ldsts)
@@ -586,7 +611,13 @@ def relation_image(relation: FST | LazyFST, fsa: FSA) -> FSA:
         else:
             bucket.add(dst)
 
+    deadline = active_deadline()
+    steps = 0
     while queue:
+        if deadline is not None:
+            steps += 1
+            if not steps & POLL_MASK:
+                check_deadline(deadline)
         p, t = queue.popleft()
         src_row = rows[pair_ids[(p, t)]]
         # The relation advances alone, emitting its output label.

@@ -313,6 +313,8 @@ def _run_sweep(args: argparse.Namespace):
                      "(maintenance sets are derived from the region interconnects)")
     if args.resume and args.checkpoint is None:
         parser.error("--resume requires --checkpoint")
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
 
     params = BackboneParams(
         regions=args.regions,
@@ -348,7 +350,10 @@ def _run_sweep(args: argparse.Namespace):
         **_resilience_kwargs(args),
     )
     sweep = scenario.sweep(contingencies, options=options).run(
-        checkpoint=args.checkpoint, resume=args.resume
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        shards=args.shards,
+        first_worst=args.first_worst,
     )
     return backbone, scenario, sweep
 
@@ -365,6 +370,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(
                 f"  {result.contingency}: {result.report.violating_fecs} violating classes"
             )
+        if sweep.prioritized:
+            position = sweep.first_worst_after()
+            if position is not None:
+                print(
+                    f"first-worst search: worst contingency surfaced after "
+                    f"{position} of {len(sweep.results)} units"
+                )
     for result in sweep.expectation_mismatches:
         print(
             f"warning: {result.contingency.contingency_id} expected "
@@ -588,6 +600,20 @@ def _add_sweep_arguments(command: argparse.ArgumentParser) -> None:
         help="append the planned-maintenance interconnect severances",
     )
     command.add_argument("--workers", type=int, default=1)
+    command.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="fork N processes to speculatively execute the contingencies' "
+        "checks in parallel; the report stays byte-identical to --shards 1",
+    )
+    command.add_argument(
+        "--first-worst",
+        action="store_true",
+        help="reorder k>=2 contingencies most-fragile first so the worst "
+        "violation surfaces early (checkpoints bind to this order: resume "
+        "with the same flag)",
+    )
     command.add_argument(
         "--show-contingencies",
         action="store_true",

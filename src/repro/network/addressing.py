@@ -11,6 +11,7 @@ from __future__ import annotations
 import ipaddress
 from dataclasses import dataclass
 from collections.abc import Iterable, Iterator
+from functools import lru_cache
 
 from repro.errors import RoutingError
 
@@ -33,10 +34,10 @@ class Prefix:
 
     @classmethod
     def coerce(cls, value: "Prefix | str") -> "Prefix":
-        """Accept either a Prefix or a CIDR string."""
+        """Accept either a Prefix or a CIDR string (parse results are cached)."""
         if isinstance(value, Prefix):
             return value
-        return cls.parse(value)
+        return _parse_cached(value)
 
     def __str__(self) -> str:
         return f"{ipaddress.IPv4Address(self.network)}/{self.length}"
@@ -69,11 +70,27 @@ class Prefix:
             yield Prefix(network=self.network + index * step, length=new_length)
 
 
+@lru_cache(maxsize=65536)
+def _parse_cached(text: str) -> Prefix:
+    return Prefix.parse(text)
+
+
 class PrefixTable:
-    """A longest-prefix-match table mapping prefixes to arbitrary values."""
+    """A longest-prefix-match table mapping prefixes to arbitrary values.
+
+    Lookups are served from a by-length index (prefix length → masked
+    network → prefix) probed from the longest installed length downward, so
+    a match costs one dict probe per distinct installed length instead of a
+    scan over every entry — the difference between microseconds and
+    milliseconds for the FIB-trace hot path.  The result is identical to the
+    textbook linear scan: within one length at most one prefix can contain a
+    destination, and the first (longest) length probed that hits wins.
+    """
 
     def __init__(self) -> None:
         self._entries: dict[Prefix, object] = {}
+        self._by_length: dict[int, dict[int, Prefix]] = {}
+        self._lengths_desc: tuple[int, ...] = ()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -83,11 +100,25 @@ class PrefixTable:
 
     def insert(self, prefix: Prefix | str, value: object) -> None:
         """Insert or replace the value stored for ``prefix``."""
-        self._entries[Prefix.coerce(prefix)] = value
+        prefix = Prefix.coerce(prefix)
+        self._entries[prefix] = value
+        bucket = self._by_length.get(prefix.length)
+        if bucket is None:
+            bucket = self._by_length[prefix.length] = {}
+            self._lengths_desc = tuple(sorted(self._by_length, reverse=True))
+        bucket[prefix.network >> (32 - prefix.length) if prefix.length else 0] = prefix
 
     def remove(self, prefix: Prefix | str) -> None:
         """Remove an entry (missing entries are ignored)."""
-        self._entries.pop(Prefix.coerce(prefix), None)
+        prefix = Prefix.coerce(prefix)
+        if self._entries.pop(prefix, None) is None:
+            return
+        bucket = self._by_length.get(prefix.length)
+        if bucket is not None:
+            bucket.pop(prefix.network >> (32 - prefix.length) if prefix.length else 0, None)
+            if not bucket:
+                del self._by_length[prefix.length]
+                self._lengths_desc = tuple(sorted(self._by_length, reverse=True))
 
     def exact(self, prefix: Prefix | str) -> object | None:
         """The value stored for exactly this prefix, if any."""
@@ -95,25 +126,33 @@ class PrefixTable:
 
     def lookup(self, destination: Prefix | str) -> object | None:
         """Longest-prefix match for a destination prefix (or address)."""
-        destination = Prefix.coerce(destination)
-        best: Prefix | None = None
-        for prefix in self._entries:
-            if prefix.contains(destination) and (best is None or prefix.length > best.length):
-                best = prefix
-        return self._entries[best] if best is not None else None
+        prefix = self.lookup_prefix(destination)
+        return self._entries[prefix] if prefix is not None else None
 
     def lookup_prefix(self, destination: Prefix | str) -> Prefix | None:
         """The matching prefix itself rather than its value."""
         destination = Prefix.coerce(destination)
-        best: Prefix | None = None
-        for prefix in self._entries:
-            if prefix.contains(destination) and (best is None or prefix.length > best.length):
-                best = prefix
-        return best
+        network = destination.network
+        max_length = destination.length
+        for length in self._lengths_desc:
+            if length > max_length:
+                continue
+            hit = self._by_length[length].get(network >> (32 - length) if length else 0)
+            if hit is not None:
+                return hit
+        return None
 
     def prefixes(self) -> list[Prefix]:
         """All prefixes in the table."""
         return list(self._entries)
+
+    def entries_equal(self, other: "PrefixTable") -> bool:
+        """Whether both tables hold identical (prefix, value) entries.
+
+        One dict comparison — used to screen out provably-unchanged routers
+        before any per-destination longest-prefix-match work.
+        """
+        return self._entries == other._entries
 
     def items(self) -> Iterable[tuple[Prefix, object]]:
         return self._entries.items()

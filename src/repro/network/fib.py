@@ -74,6 +74,19 @@ class Fib:
         """The prefix table of one router (empty table if none)."""
         return self._tables.get(router, PrefixTable())
 
+    def table_equals(self, router: str, other: "Fib") -> bool:
+        """Whether ``router``'s entire table is identical in both FIBs.
+
+        A router with an identical table cannot differ from ``other`` on any
+        destination, so contingency delta indexing screens routers with this
+        one-dict comparison before doing per-destination lookups.
+        """
+        mine = self._tables.get(router)
+        theirs = other._tables.get(router)
+        if mine is None or theirs is None:
+            return (mine is None or len(mine) == 0) and (theirs is None or len(theirs) == 0)
+        return mine.entries_equal(theirs)
+
     def lookup(self, router: str, destination: Prefix | str) -> FibEntry | None:
         """Longest-prefix-match lookup of ``destination`` at ``router``."""
         table = self._tables.get(router)

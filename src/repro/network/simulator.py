@@ -28,7 +28,7 @@ which also makes cross-contingency interning an identity hit.
 from __future__ import annotations
 
 from collections import deque
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
 from repro.automata.alphabet import DROP
@@ -272,6 +272,16 @@ class Simulator:
         first use, and installs drop entries where the failure cut a route's
         exit off (``drop_unreachable=True``) rather than rejecting the
         network as malformed.
+
+        Memo-staleness audit (incremental k-failure derivation): every
+        ``Simulator`` owns *instance-level* trace memos (``_router_traces``,
+        ``_traces``, ``_selected``, ``_fib``), and this method always
+        returns a **fresh** instance with empty memos over the reduced
+        topology.  Chained derivation (``base.under_failure(k1)`` followed
+        by ``base.under_failure(k1 + k2)``) therefore cannot leak a parent
+        or baseline trace into a child simulator through shared mutable
+        state — the only cross-simulator reuse is the explicit,
+        criterion-guarded graph adoption in :meth:`derive_snapshot`.
         """
         return Simulator(
             self.topology.without_links(failed_links),
@@ -362,6 +372,39 @@ class Simulator:
             snapshot.add(fec, self.trace(fec.ingress, fec.dst_prefix, granularity=granularity))
         return snapshot
 
+    def changed_routers(
+        self, reference: "Simulator", destinations: Iterable[str]
+    ) -> dict[str, frozenset[str]]:
+        """Per destination, the routers whose FIB decision differs from ``reference``.
+
+        The *FIB-delta index* behind incremental contingency derivation: one
+        all-routers scan per distinct destination replaces a per-(ingress,
+        destination) walk over every reference trace.  A combination is then
+        provably unaffected iff its reference trace is disjoint from the
+        destination's delta set — exactly the :meth:`trace_unchanged`
+        predicate, reorganized so the FIB comparisons are shared across all
+        ingresses of a destination.
+        """
+        fib = self.fib()
+        reference_fib = reference.fib()
+        # A router whose entire table is unchanged cannot differ on any
+        # destination; screen with one dict comparison per router so the
+        # (linear-scan) LPM lookups below only run for genuine suspects.
+        suspects = [
+            router.name
+            for router in self.topology
+            if not fib.table_equals(router.name, reference_fib)
+        ]
+        index: dict[str, frozenset[str]] = {}
+        for destination in sorted(set(destinations)):
+            dest = Prefix.coerce(destination)
+            index[destination] = frozenset(
+                name
+                for name in suspects
+                if fib.lookup(name, dest) != reference_fib.lookup(name, dest)
+            )
+        return index
+
     def derive_snapshot(
         self,
         baseline: "Simulator",
@@ -369,23 +412,107 @@ class Simulator:
         *,
         name: str | None = None,
         combos: dict[tuple[str, str], list[str]] | None = None,
+        parent: tuple["Simulator", Snapshot] | None = None,
+        siblings: Sequence[tuple["Simulator", Snapshot]] = (),
     ) -> Snapshot:
         """``base_snapshot`` as this (failed) simulator would have traced it.
 
         Copy-on-write derivation for contingency sweeps: classes whose
-        baseline traces are provably unaffected (:meth:`trace_unchanged`)
-        keep their baseline graph objects — and therefore their interned
+        reference traces are provably unaffected (:meth:`trace_unchanged`)
+        keep their reference graph objects — and therefore their interned
         refs, so cross-contingency dedup is an identity hit — and only the
         affected (ingress, destination) combinations are re-traced.
         ``combos`` optionally passes the precomputed ``(ingress, dst) →
         fec ids`` grouping so a sweep does not regroup per contingency.
+
+        ``parent`` is the incremental-derivation seam: a ``(simulator,
+        snapshot)`` pair for a *neighboring* contingency (typically this
+        contingency's (k−1)-failure parent, which differs by one link).  When
+        given, the changed-FIB-decision criterion runs against the parent's
+        FIBs and traces instead of the baseline's — far fewer decisions
+        change between lattice neighbors than against the healthy network —
+        and uses the :meth:`changed_routers` delta index.  Unchanged classes
+        adopt the parent's graph objects, which is sound by induction: the
+        parent snapshot is (content-)identical to what full simulation would
+        produce, and an unaffected class forwards identically to the parent.
+        With ``parent=None`` the legacy from-baseline scan is used verbatim.
+
+        ``siblings`` are *secondary* references consulted when the parent's
+        criterion fails — typically the single-failure node of the last
+        failed link.  A combination the last link flips (changed vs the
+        parent) usually forwards exactly as it does under that link's
+        *solo* failure: the criterion re-runs against the sibling, and on a
+        pass the sibling's trace and graph are adopted instead of re-traced.
+        Soundness is reference-agnostic — the criterion only ever compares
+        this simulator's own FIB decisions against a reference's over the
+        reference trace's routers, and a pass proves the deterministic BFS
+        reproduces that exact graph here (identical FIB entries can only
+        point over bundles that survive in *both* topologies, and failures
+        remove whole bundles, so even interface-granularity conversion
+        agrees).  Only combinations affected by the last link *jointly with*
+        the earlier ones — the slice overlap, not the slice union — pay a
+        real re-trace.
         """
-        derived = base_snapshot.copy(name=name or f"{base_snapshot.name}-derived")
+        if parent is not None:
+            reference, reference_snapshot = parent
+        else:
+            reference, reference_snapshot = baseline, base_snapshot
+        derived = reference_snapshot.copy(name=name or f"{base_snapshot.name}-derived")
         if combos is None:
             combos = group_fec_combos(base_snapshot.fecs())
         granularity = base_snapshot.granularity
+        if parent is None:
+            for (ingress, destination), fec_ids in combos.items():
+                if self.trace_unchanged(baseline, ingress, destination):
+                    continue
+                graph = self.trace(ingress, destination, granularity=granularity)
+                for fec_id in fec_ids:
+                    derived.replace(fec_id, graph)
+            return derived
+        destinations = {dst for _, dst in combos}
+        delta = self.changed_routers(reference, destinations)
+        sibling_refs = [
+            (sib, sib_snapshot, self.changed_routers(sib, destinations), sib._router_traces)
+            for sib, sib_snapshot in siblings
+        ]
+        traces = self._router_traces
+        reference_traces = reference._router_traces
         for (ingress, destination), fec_ids in combos.items():
-            if self.trace_unchanged(baseline, ingress, destination):
+            changed = delta[destination]
+            # The combo key doubles as the router-trace memo key, so probe the
+            # reference's memo directly and only fall back to a real trace
+            # call (coerce + BFS) on a miss.
+            reference_trace = reference_traces.get((ingress, destination))
+            if reference_trace is None:
+                reference_trace = reference.router_trace(ingress, destination)
+            if not changed or changed.isdisjoint(reference_trace.nodes):
+                # Criterion-guarded memo adoption: an unaffected combination
+                # provably traces the identical router graph, so the child
+                # inherits the reference's trace object.  This keeps the whole
+                # derivation lattice warm — a (k+1)-failure grandchild probing
+                # this simulator as *its* reference hits memoized traces
+                # instead of re-walking the FIB per combination.
+                traces.setdefault((ingress, destination), reference_trace)
+                continue
+            adopted = False
+            for sibling, sibling_snapshot, sibling_delta, sibling_traces in sibling_refs:
+                sibling_changed = sibling_delta[destination]
+                sibling_trace = sibling_traces.get((ingress, destination))
+                if sibling_trace is None:
+                    sibling_trace = sibling.router_trace(ingress, destination)
+                if sibling_changed and not sibling_changed.isdisjoint(sibling_trace.nodes):
+                    continue
+                # Same criterion, different reference: this combination
+                # forwards exactly as it does under the sibling's failure
+                # set, so adopt its trace *and* its snapshot graph (object
+                # identity, hence identical interned refs).
+                traces.setdefault((ingress, destination), sibling_trace)
+                graph = sibling_snapshot.graph(fec_ids[0])
+                for fec_id in fec_ids:
+                    derived.replace(fec_id, graph)
+                adopted = True
+                break
+            if adopted:
                 continue
             graph = self.trace(ingress, destination, granularity=granularity)
             for fec_id in fec_ids:

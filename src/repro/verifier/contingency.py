@@ -42,6 +42,43 @@ know how to solve:
    ``contingencies × unique-pairs-per-contingency`` — the
    :attr:`SweepReport.dedup_ratio` headline, gated in CI.
 
+Scaling past single failures (the combinatorial k=2/k=3 spaces) adds three
+coordinated mechanisms on top:
+
+5. **Incremental lattice derivation**: a k-failure contingency's snapshot
+   is derived from its (k−1)-failure *parent* in the failure lattice
+   (:class:`_DerivationLattice`), not from the healthy baseline — the
+   changed-FIB-decision criterion runs against the parent's FIBs and
+   traces via the simulator's :meth:`~repro.network.simulator.Simulator.changed_routers`
+   delta index, so the per-contingency cost scales with the *marginal*
+   effect of the last failed link instead of the cumulative effect of all
+   k.  Parents are derived on demand (recursively down to the baseline)
+   and cached, so every contingency's parent exists before the contingency
+   itself is derived regardless of sweep order.  Derivation is
+   byte-identical to the from-baseline scan (``incremental=False``); the
+   bench gate ``bench_k2_sweep.py`` pins both the equality and the
+   speedup.
+6. **Sharded speculative execution** (``run(shards=N)``): the remaining
+   contingency set is partitioned across forked worker processes, each
+   running its own rebased session over its slice and shipping back its
+   verdict-cache deltas.  The parent then runs the normal serial loop with
+   the merged verdicts served through a replay runner — every ``(context,
+   spec key, pre ref, post ref)`` still computes once sweep-wide, and
+   the :class:`SweepReport` (dedup accounting included) is byte-for-byte
+   what the serial path produces, because the serial loop *is* what
+   produces it.  A shard that dies just means its outcomes are re-executed
+   in-process; unknown verdicts (:class:`~repro.verifier.runtime.CheckFailure`)
+   never ride the merge and are always re-executed.
+7. **Prioritized first-worst search** (``run(first_worst=True)``): the
+   k≥2 contingencies are reordered by a fragility score seeded from the
+   single-failure lattice nodes — the fraction of traffic combinations
+   each candidate link's failure flips, combined per contingency with the
+   risk layer's noisy-OR — so the most-violating contingency tends to
+   surface early.  The ordering is a *search order*, not a semantics
+   change: run to completion, the report equals the exhaustive sweep's
+   (``most_violating`` is order-independent), and the ``on_contingency``
+   callback lets operators watch verdicts land (or stop the sweep early).
+
 Per-contingency reports are byte-identical to naive one-shot
 ``verify_change`` runs over independently simulated snapshots (pinned by
 ``tests/verifier/test_contingency_sweep.py``).
@@ -49,6 +86,7 @@ Per-contingency reports are byte-identical to naive one-shot
 
 from __future__ import annotations
 
+import multiprocessing
 import time
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
@@ -67,9 +105,13 @@ from repro.rela.spec import RelaSpec
 from repro.snapshots.fec import FlowEquivalenceClass
 from repro.snapshots.graphstore import GraphStore
 from repro.snapshots.snapshot import Snapshot
-from repro.verifier.engine import VerificationOptions
+from repro.verifier.engine import VerificationOptions, _execute_unique_checks
 from repro.verifier.report import VerificationReport
+from repro.verifier.runtime import ExecutionResult
 from repro.verifier.session import VerificationSession
+
+#: Sentinel distinguishing "merged None verdict" from "not merged".
+_MISS = object()
 
 #: An unordered router pair naming one link bundle.
 LinkPair = tuple[str, str]
@@ -137,9 +179,13 @@ def k_link_failures(
 ) -> list[Contingency]:
     """Every ``k``-combination of link-bundle failures over a candidate set.
 
-    Combinations are enumerated in deterministic sorted order; ``limit``
-    truncates the (combinatorially explosive) enumeration to its first N
-    entries.  ``k=1`` degenerates to :func:`single_link_failures`.
+    Combinations are enumerated in deterministic sorted order over the
+    canonicalized, bundle-deduplicated candidate set — candidates naming
+    the same bundle twice (or in both orientations) yield one entry, on
+    every platform.  ``limit`` truncates the (combinatorially explosive)
+    enumeration, applied *after* bundle-equivalence dedup so ``limit=N``
+    always means N distinct contingencies.  ``k=1`` degenerates to
+    :func:`single_link_failures`.
     """
     if k < 1:
         raise VerificationError("k-link failure models need k >= 1")
@@ -149,9 +195,12 @@ def k_link_failures(
             f"cannot fail {k} links over a candidate set of {len(pairs)}"
         )
     contingencies: list[Contingency] = []
+    seen: set[frozenset[LinkPair]] = set()
     for combo in combinations(pairs, k):
-        if limit is not None and len(contingencies) >= limit:
-            break
+        key = frozenset(combo)
+        if key in seen:
+            continue
+        seen.add(key)
         tag = "+".join(f"{a}~{b}" for a, b in combo)
         contingencies.append(
             Contingency(
@@ -160,6 +209,8 @@ def k_link_failures(
                 description=f"links {tag} down",
             )
         )
+        if limit is not None and len(contingencies) >= limit:
+            break
     return contingencies
 
 
@@ -187,7 +238,10 @@ def _candidate_pairs(
     topology: Topology, candidates: Iterable[LinkPair] | None
 ) -> list[LinkPair]:
     if candidates is None:
-        return topology.link_bundles()
+        # Canonicalize the topology's own bundle list too: enumeration order
+        # (and therefore contingency ids and any ``limit`` truncation) must
+        # not depend on topology insertion order or platform dict/set order.
+        return sorted({_canonical_pair(pair) for pair in topology.link_bundles()})
     pairs = sorted({_canonical_pair(pair) for pair in candidates})
     bundles = set(topology.link_bundles())
     unknown = [pair for pair in pairs if pair not in bundles]
@@ -208,9 +262,15 @@ class ContingencyResult:
     #: The workload's compliance expectation on this contingency's snapshot
     #: (None when the change transform does not state one).
     expected_holds: bool | None = None
-    #: Seconds spent deriving this contingency's snapshots (routing
-    #: recompute, affected-trace re-tracing, change application).
+    #: Seconds spent on snapshot *derivation* proper — the change-criterion
+    #: screen, affected-trace re-tracing and change application.  This is
+    #: the cost the incremental lattice attacks, gated separately from
+    #: routing in ``check_perf_regression.py --sweep-k2``.
     derive_seconds: float = 0.0
+    #: Seconds recomputing routing state (BGP fixed point, IGP costs, FIB
+    #: build) for this contingency's degraded topology.  Zero when the
+    #: snapshot came straight from a cached lattice node.
+    route_seconds: float = 0.0
 
     @property
     def holds(self) -> bool:
@@ -246,6 +306,11 @@ class SweepReport:
     #: *direct* cost, measured inside the run: a two-arm wall-clock
     #: comparison cannot resolve it against scheduler jitter.
     checkpoint_seconds: float = 0.0
+    #: Worker processes the check phase was sharded across (1 = serial).
+    #: Runtime provenance only — the report content is shard-invariant.
+    shards: int = 1
+    #: True when the sweep ran in first-worst (fragility-ordered) mode.
+    prioritized: bool = False
 
     def record(self, result: ContingencyResult) -> None:
         self.results.append(result)
@@ -368,11 +433,38 @@ class SweepReport:
 
     @property
     def derive_seconds(self) -> float:
+        """Total snapshot-derivation seconds (criterion + re-trace + change)."""
         return sum(result.derive_seconds for result in self.results)
+
+    @property
+    def route_seconds(self) -> float:
+        """Total routing-recompute seconds (BGP/IGP/FIB) across contingencies.
+
+        ``getattr`` default keeps replay of pre-split checkpoint journals
+        readable (their results predate the route/derive attribution).
+        """
+        return sum(getattr(result, "route_seconds", 0.0) for result in self.results)
 
     @property
     def check_seconds(self) -> float:
         return sum(result.report.elapsed_seconds for result in self.results)
+
+    def first_worst_after(self) -> int | None:
+        """Units completed when the sweep's most-violating contingency landed.
+
+        1-based position of :meth:`most_violating`'s top entry in execution
+        order (``None`` when nothing violated) — the first-worst search's
+        figure of merit: under fragility ordering this should be a small
+        number even when the exhaustive sweep is long.
+        """
+        worst = self.most_violating(1)
+        if not worst:
+            return None
+        target = worst[0].contingency.contingency_id
+        for index, result in enumerate(self.results):
+            if result.contingency.contingency_id == target:
+                return index + 1
+        return None
 
     def most_violating(self, count: int = 5) -> list[ContingencyResult]:
         """The contingencies with the most violating flow classes, worst first."""
@@ -400,6 +492,203 @@ class SweepReport:
             f"{self.naive_checks} per-contingency unique checks "
             f"(dedup {ratio_text}, {self.distinct_graphs} distinct graphs, "
             f"{self.elapsed_seconds:.2f}s)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Incremental derivation: the failure lattice
+# ----------------------------------------------------------------------
+class _DerivationLattice:
+    """On-demand cache of ``(simulator, snapshot)`` nodes along the failure lattice.
+
+    Node ``(l1, …, lk)`` is the degraded network with those bundles failed;
+    its snapshot is derived from node ``(l1, …, l(k-1))`` through the
+    simulator's ``parent=`` seam, recursively down to the baseline at
+    ``()``.  On-demand recursion means a contingency's parent chain always
+    exists before the contingency derives, whatever order the sweep visits
+    units in — the lattice ordering contract without an explicit sort.
+
+    Nodes the lattice derives itself are always retained (they sit on some
+    contingency's parent chain by construction).  Sweep units *offer* their
+    own derivations back, retained only when the ``needed`` prefix set says
+    a later contingency will use them as a parent — so memory scales with
+    the interior of the lattice, not with the (much larger) leaf frontier.
+    Nothing is ever evicted below that bound: a sweep's interior is small
+    (the k−1 spaces), and dropping a node would force a re-derivation whose
+    graphs are already interned anyway.
+
+    ``route_seconds``/``derive_seconds`` accumulate the routing and
+    derivation cost of internally-derived nodes, so the sweep can attribute
+    lattice work to the contingency that triggered it.
+    """
+
+    def __init__(
+        self,
+        base_sim: Simulator,
+        base_pre: Snapshot,
+        combos: dict[tuple[str, str], list[str]],
+        *,
+        needed: set[tuple[LinkPair, ...]],
+    ) -> None:
+        self._base_sim = base_sim
+        self._base_pre = base_pre
+        self._combos = combos
+        self._needed = needed
+        self._nodes: dict[tuple[LinkPair, ...], tuple[Simulator, Snapshot]] = {
+            (): (base_sim, base_pre)
+        }
+        #: One representative FEC per (ingress, destination) combination —
+        #: all FECs of a combo share one graph, so one probe per combo
+        #: suffices for the fragility fractions.
+        self._representatives = [fec_ids[0] for fec_ids in combos.values()]
+        self._fractions: dict[LinkPair, float] = {}
+        self.route_seconds = 0.0
+        self.derive_seconds = 0.0
+
+    def cached(self, links: tuple[LinkPair, ...]) -> tuple[Simulator, Snapshot] | None:
+        """The retained node for exactly ``links``, if any."""
+        return self._nodes.get(links)
+
+    def parent(self, links: tuple[LinkPair, ...]) -> tuple[Simulator, Snapshot]:
+        """The (k−1)-failure reference pair for a contingency failing ``links``."""
+        return self.node(links[:-1])
+
+    def siblings(self, links: tuple[LinkPair, ...]) -> list[tuple[Simulator, Snapshot]]:
+        """Secondary references for deriving ``links``: the last link's solo node.
+
+        A k≥2 node's parent covers the first k−1 links; the last link's
+        single-failure node covers the marginal slice, so between the two
+        references only combinations affected by the last link *jointly
+        with* an earlier one pay a re-trace.  The solo node is shared by
+        every contingency ending in that link (and is usually a k=1 sweep
+        unit anyway), so deriving it amortizes to nothing.
+        """
+        if len(links) < 2:
+            return []
+        return [self.node((links[-1],))]
+
+    def node(self, links: tuple[LinkPair, ...]) -> tuple[Simulator, Snapshot]:
+        """The lattice node for ``links``, deriving the parent chain on demand."""
+        hit = self._nodes.get(links)
+        if hit is not None:
+            return hit
+        reference = self.node(links[:-1])
+        siblings = self.siblings(links)
+        started = time.perf_counter()
+        sim = self._base_sim.under_failure(links)
+        sim.fib()
+        self.route_seconds += time.perf_counter() - started
+        started = time.perf_counter()
+        tag = "+".join(f"{a}~{b}" for a, b in links)
+        snapshot = sim.derive_snapshot(
+            self._base_sim,
+            self._base_pre,
+            name=f"sweep-ref@{tag}",
+            combos=self._combos,
+            parent=reference,
+            siblings=siblings,
+        )
+        self.derive_seconds += time.perf_counter() - started
+        self._nodes[links] = (sim, snapshot)
+        return sim, snapshot
+
+    def offer(
+        self, links: tuple[LinkPair, ...], sim: Simulator, snapshot: Snapshot
+    ) -> None:
+        """Retain a sweep unit's derivation when it parents a later contingency."""
+        if links in self._needed:
+            self._nodes.setdefault(links, (sim, snapshot))
+
+    def changed_fraction(self, link: LinkPair) -> float:
+        """Fraction of traffic combinations this single bundle failure flips.
+
+        The first-worst fragility seed: probed per distinct candidate link
+        from the k=1 lattice node's graph refs against the baseline's (one
+        ref comparison per combo — derivation already interned both).
+        """
+        fraction = self._fractions.get(link)
+        if fraction is None:
+            if not self._representatives:
+                fraction = 0.0
+            else:
+                _, snapshot = self.node((link,))
+                base = self._base_pre
+                changed = sum(
+                    1
+                    for fec_id in self._representatives
+                    if snapshot.graph_ref(fec_id) != base.graph_ref(fec_id)
+                )
+                fraction = changed / len(self._representatives)
+            self._fractions[link] = fraction
+        return fraction
+
+
+@dataclass(slots=True)
+class _SweepState:
+    """Baseline state shared by every unit of one sweep run."""
+
+    store: GraphStore
+    base_sim: Simulator
+    base_pre: Snapshot
+    combos: dict[tuple[str, str], list[str]]
+    lattice: _DerivationLattice
+    base_route_seconds: float
+    base_derive_seconds: float
+
+
+class _ReplayRunner:
+    """Serve check outcomes merged from shard workers; execute only misses.
+
+    Installed as the sweep session's execution hook during a sharded run's
+    serial phase.  Outcomes are keyed by ``(alphabet signature, spec key,
+    pre fingerprint, post fingerprint)`` — the content form of the session's
+    verdict-cache key, which is exactly what shard delta logs journal.  A
+    work item the shards never computed (a dead shard, a memoize-off run, a
+    ``CheckFailure`` the delta log rightly refused to persist) falls through
+    to the normal executor, so the merge is a pure accelerator: the serial
+    loop's reports cannot depend on it.
+    """
+
+    def __init__(
+        self,
+        verdicts: dict[tuple[tuple[str, ...], str, str, str], object],
+        fallback: Callable[..., ExecutionResult] | None,
+    ) -> None:
+        self._verdicts = verdicts
+        self._fallback = fallback
+        self.served = 0
+        self.executed = 0
+
+    def __call__(self, work, table, compiled_specs, builder, options) -> ExecutionResult:
+        signature = tuple(builder.alphabet.names())
+        fingerprints = [graph.fingerprint() for graph in table]
+        outcomes: dict[str, object] = {}
+        missing = []
+        for item in work:
+            fec_id, spec_key, pre_idx, post_idx = item
+            hit = self._verdicts.get(
+                (signature, spec_key, fingerprints[pre_idx], fingerprints[post_idx]),
+                _MISS,
+            )
+            if hit is _MISS:
+                missing.append(item)
+            else:
+                outcomes[fec_id] = hit
+        self.served += len(work) - len(missing)
+        self.executed += len(missing)
+        if not missing:
+            return ExecutionResult(outcomes=outcomes)
+        execute = self._fallback if self._fallback is not None else _execute_unique_checks
+        fresh = execute(missing, table, compiled_specs, builder, options)
+        merged = dict(fresh.outcomes)
+        merged.update(outcomes)
+        return ExecutionResult(
+            outcomes=merged,
+            degraded=fresh.degraded,
+            failed_checks=fresh.failed_checks,
+            pool_rebuilds=fresh.pool_rebuilds,
+            retried_checks=fresh.retried_checks,
+            serial_fallback=fresh.serial_fallback,
         )
 
 
@@ -433,6 +722,14 @@ class ContingencySweep:
         across contingencies, which maximizes compiled-spec and verdict
         reuse (it is a performance knob only — reports are identical either
         way).
+    incremental:
+        Derive each k-failure snapshot from its (k−1)-failure lattice
+        parent (the default) instead of re-screening against the healthy
+        baseline.  A performance knob only — derivation is byte-identical
+        either way and the flag is excluded from :meth:`signature` — except
+        that sweeps whose parents are *not* themselves contingencies may
+        intern a few extra reference graphs (``distinct_graphs`` counts
+        them; per-contingency reports are unaffected).
     """
 
     def __init__(
@@ -448,6 +745,7 @@ class ContingencySweep:
         options: VerificationOptions | None = None,
         granularity: Granularity = Granularity.ROUTER,
         include_baseline: bool = True,
+        incremental: bool = True,
     ) -> None:
         self.topology = topology
         self.config = config
@@ -457,6 +755,7 @@ class ContingencySweep:
         self.db = db
         self.options = options
         self.granularity = granularity
+        self.incremental = incremental
         self.contingencies = list(contingencies)
         #: Execution hook handed to the sweep-wide session (see
         #: :attr:`repro.verifier.session.VerificationSession.runner`); the
@@ -499,6 +798,9 @@ class ContingencySweep:
         *,
         checkpoint: str | Path | None = None,
         resume: bool = False,
+        shards: int = 1,
+        first_worst: bool = False,
+        on_contingency: Callable[[int, ContingencyResult, bool], object] | None = None,
     ) -> SweepReport:
         """Run the sweep and return the aggregate report.
 
@@ -511,9 +813,37 @@ class ContingencySweep:
         (any unknown verdict) are journaled as markers only and retried
         fresh on resume.  A ``KeyboardInterrupt`` flushes a final
         interrupt marker before propagating.
+
+        ``shards=N`` forks N worker processes that speculatively execute
+        the remaining contingencies' checks in parallel; the serial loop
+        then serves their merged verdicts instead of recomputing them.
+        Report content is byte-for-byte the serial path's (only the
+        :attr:`SweepReport.shards` provenance field and timings differ).
+        Sharding needs the ``fork`` start method and check memoization; it
+        degrades silently to serial execution without them.  A custom
+        :attr:`runner` is *not* propagated into shards (service worker
+        pools do not survive a fork) — shards use the default executor and
+        the runner still serves the serial phase's misses.
+
+        ``first_worst=True`` reorders the k≥2 contingencies most-fragile
+        first (see the module docstring) before the run signature is
+        computed — a first-worst run is its own checkpointable unit order,
+        and resuming one requires passing ``first_worst=True`` again.
+
+        ``on_contingency(index, result, resumed)`` is invoked for every
+        unit, replayed or live, in execution order.  Returning ``True``
+        from a live unit stops the sweep early: the report covers the
+        completed prefix (checkpointed as usual, so a later ``resume``
+        picks up from the stop).
         """
         if resume and checkpoint is None:
             raise VerificationError("resume=True requires a checkpoint path")
+        if shards < 1:
+            raise VerificationError("a sweep needs at least one shard")
+        started = time.perf_counter()
+        state = self._prepare()
+        if first_worst:
+            self._prioritize(state)
         ckpt: Checkpoint | None = None
         journal_seconds = 0.0
         if checkpoint is not None:
@@ -523,26 +853,140 @@ class ContingencySweep:
             )
             journal_seconds = time.perf_counter() - journal_started
         try:
-            sweep = self._run(ckpt)
+            sweep = self._run(ckpt, state, shards=shards, on_contingency=on_contingency)
         finally:
             if ckpt is not None:
                 journal_started = time.perf_counter()
                 ckpt.close()
                 journal_seconds += time.perf_counter() - journal_started
         sweep.checkpoint_seconds += journal_seconds
+        sweep.shards = shards
+        sweep.prioritized = first_worst
+        sweep.elapsed_seconds = time.perf_counter() - started
         return sweep
 
-    def _run(self, ckpt: Checkpoint | None) -> SweepReport:
-        started = time.perf_counter()
+    def _prepare(self) -> _SweepState:
+        """Baseline routing, snapshot and lattice shared by the whole run."""
         store = GraphStore()
         base_sim = Simulator(self.topology, self.config)
-
+        route_started = time.perf_counter()
+        base_sim.fib()
+        base_route_seconds = time.perf_counter() - route_started
         derive_started = time.perf_counter()
         base_pre = base_sim.snapshot(
             self.fecs, name="sweep-pre", granularity=self.granularity, store=store
         )
         combos = group_fec_combos(self.fecs)
         base_derive_seconds = time.perf_counter() - derive_started
+        needed = {
+            contingency.failed_links[:-1]
+            for contingency in self.contingencies
+            if contingency.failed_links
+        }
+        # Sibling references: every k≥2 contingency also screens against
+        # its last link's single-failure node.
+        needed.update(
+            (contingency.failed_links[-1],)
+            for contingency in self.contingencies
+            if len(contingency.failed_links) >= 2
+        )
+        needed.discard(())
+        return _SweepState(
+            store=store,
+            base_sim=base_sim,
+            base_pre=base_pre,
+            combos=combos,
+            lattice=_DerivationLattice(base_sim, base_pre, combos, needed=needed),
+            base_route_seconds=base_route_seconds,
+            base_derive_seconds=base_derive_seconds,
+        )
+
+    def _prioritize(self, state: _SweepState) -> None:
+        """Reorder the k≥2 tail most-fragile first (the first-worst order).
+
+        The baseline and all single-failure contingencies keep their input
+        order at the head — they are cheap, they seed the fragility
+        fractions, and keeping them first preserves the lattice-parents-
+        first property under the reorder.  The k≥2 tail sorts by descending
+        noisy-OR of its links' single-failure flip fractions, contingency id
+        as the deterministic tie-break.
+        """
+        from repro.analytics.risk import _noisy_or  # lazy: risk imports this module
+
+        head = [c for c in self.contingencies if len(c.failed_links) <= 1]
+        tail = [c for c in self.contingencies if len(c.failed_links) > 1]
+        if not tail:
+            return
+        lattice = state.lattice
+
+        def fragility(contingency: Contingency) -> float:
+            return _noisy_or(
+                lattice.changed_fraction(link) for link in contingency.failed_links
+            )
+
+        tail.sort(key=lambda c: (-fragility(c), c.contingency_id))
+        self.contingencies = head + tail
+
+    def _derive(
+        self, contingency: Contingency, state: _SweepState
+    ) -> tuple[Snapshot, float, float]:
+        """This contingency's pre snapshot with (route, derive) attribution."""
+        if contingency.is_baseline:
+            return state.base_pre, state.base_route_seconds, state.base_derive_seconds
+        links = contingency.failed_links
+        lattice = state.lattice
+        if self.incremental:
+            cached = lattice.cached(links)
+            if cached is not None:
+                # Already derived — by prioritization's fragility probe or a
+                # duplicate failure set.  Its cost was paid where it happened.
+                return cached[1], 0.0, 0.0
+            route_base = lattice.route_seconds
+            derive_base = lattice.derive_seconds
+            parent = lattice.parent(links)
+            siblings = lattice.siblings(links)
+            route_started = time.perf_counter()
+            failed_sim = state.base_sim.under_failure(links)
+            failed_sim.fib()
+            route_seconds = time.perf_counter() - route_started
+            derive_started = time.perf_counter()
+            pre = failed_sim.derive_snapshot(
+                state.base_sim,
+                state.base_pre,
+                name=f"sweep-pre@{contingency.contingency_id}",
+                combos=state.combos,
+                parent=parent,
+                siblings=siblings,
+            )
+            derive_seconds = time.perf_counter() - derive_started
+            lattice.offer(links, failed_sim, pre)
+            # Parent-chain work the lattice did on this unit's behalf is
+            # this unit's cost.
+            route_seconds += lattice.route_seconds - route_base
+            derive_seconds += lattice.derive_seconds - derive_base
+            return pre, route_seconds, derive_seconds
+        route_started = time.perf_counter()
+        failed_sim = state.base_sim.under_failure(links)
+        failed_sim.fib()
+        route_seconds = time.perf_counter() - route_started
+        derive_started = time.perf_counter()
+        pre = failed_sim.derive_snapshot(
+            state.base_sim,
+            state.base_pre,
+            name=f"sweep-pre@{contingency.contingency_id}",
+            combos=state.combos,
+        )
+        return pre, route_seconds, time.perf_counter() - derive_started
+
+    def _run(
+        self,
+        ckpt: Checkpoint | None,
+        state: _SweepState,
+        *,
+        shards: int = 1,
+        on_contingency: Callable[[int, ContingencyResult, bool], object] | None = None,
+    ) -> SweepReport:
+        store, base_pre = state.store, state.base_pre
 
         session = VerificationSession(
             base_pre, self.spec, db=self.db, options=self.options
@@ -575,26 +1019,22 @@ class ContingencySweep:
                 store.intern(graph)
             session.preload_deltas(unit.get("deltas", ()))
             sweep.record(unit["result"])
+            if on_contingency is not None:
+                on_contingency(index, unit["result"], True)
+
+        if shards > 1 and len(completed) < len(self.contingencies):
+            merged = self._speculate(len(completed), shards)
+            if merged:
+                session.runner = _ReplayRunner(merged, self.runner)
 
         try:
             for index in range(len(completed), len(self.contingencies)):
                 contingency = self.contingencies[index]
                 watermark = len(store)
-                derive_started = time.perf_counter()
-                if contingency.is_baseline:
-                    pre = base_pre
-                else:
-                    failed_sim = base_sim.under_failure(contingency.failed_links)
-                    pre = failed_sim.derive_snapshot(
-                        base_sim,
-                        base_pre,
-                        name=f"sweep-pre@{contingency.contingency_id}",
-                        combos=combos,
-                    )
+                pre, route_seconds, derive_seconds = self._derive(contingency, state)
+                apply_started = time.perf_counter()
                 post, expected = self._apply_change(pre, contingency)
-                derive_seconds = time.perf_counter() - derive_started
-                if contingency.is_baseline:
-                    derive_seconds += base_derive_seconds
+                derive_seconds += time.perf_counter() - apply_started
 
                 session.rebase(pre)
                 report = session.advance(post, self.spec)
@@ -603,6 +1043,7 @@ class ContingencySweep:
                     report=report,
                     expected_holds=expected,
                     derive_seconds=derive_seconds,
+                    route_seconds=route_seconds,
                 )
                 sweep.record(result)
                 if ckpt is not None:
@@ -627,13 +1068,114 @@ class ContingencySweep:
                             ],
                         )
                     sweep.checkpoint_seconds += time.perf_counter() - journal_started
+                if on_contingency is not None:
+                    if on_contingency(index, result, False) is True:
+                        break
         except KeyboardInterrupt:
             if ckpt is not None:
                 ckpt.interrupt()
             raise
         sweep.distinct_graphs = len(store)
-        sweep.elapsed_seconds = time.perf_counter() - started
         return sweep
+
+    # ------------------------------------------------------------------
+    # Sharded speculative execution
+    # ------------------------------------------------------------------
+    def _speculate(
+        self, start: int, shards: int
+    ) -> dict[tuple[tuple[str, ...], str, str, str], object]:
+        """Phase 1 of a sharded run: fork workers, merge their verdict deltas.
+
+        Contingencies ``start..`` are partitioned round-robin across forked
+        processes.  Each worker runs its slice through its own rebased
+        session (delta log on) and ships the drained events back over a
+        pipe; the parent folds every ``add`` event into one content-keyed
+        verdict map.  First writer wins on key collisions — outcomes are
+        deterministic functions of the key, so collisions agree anyway.
+        Returns an empty map (serial execution) when forking or memoization
+        is unavailable, and silently drops the slice of any shard that died
+        — its outcomes are simply computed in-process by phase 2.
+        """
+        if self.options is not None and not self.options.memoize_fec_checks:
+            return {}  # no memoization → no delta log → nothing to merge
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:
+            return {}
+        indices = list(range(start, len(self.contingencies)))
+        partitions = [indices[offset::shards] for offset in range(shards)]
+        workers: list[tuple[multiprocessing.Process, object]] = []
+        for partition in partitions:
+            if not partition:
+                continue
+            receiver, sender = ctx.Pipe(duplex=False)
+            process = ctx.Process(
+                target=self._shard_main, args=(partition, sender), daemon=True
+            )
+            process.start()
+            sender.close()
+            workers.append((process, receiver))
+        merged: dict[tuple[tuple[str, ...], str, str, str], object] = {}
+        for process, receiver in workers:
+            try:
+                events = receiver.recv()
+            except (EOFError, OSError):
+                events = []
+            finally:
+                receiver.close()
+            process.join()
+            for event in events:
+                if event[0] != "add":
+                    continue
+                _, _token, signature, spec_key, pre_graph, post_graph, outcome = event
+                merged.setdefault(
+                    (
+                        tuple(signature),
+                        spec_key,
+                        pre_graph.fingerprint(),
+                        post_graph.fingerprint(),
+                    ),
+                    outcome,
+                )
+        return merged
+
+    def _shard_main(self, indices: list[int], conn) -> None:
+        """Forked worker entry point: run a slice, send the delta events."""
+        try:
+            conn.send(self._shard_events(indices))
+        except Exception:
+            # A failed shard degrades to serial re-execution of its slice;
+            # best-effort empty payload keeps the parent's recv() clean.
+            try:
+                conn.send([])
+            except Exception:
+                pass
+        finally:
+            conn.close()
+
+    def _shard_events(self, indices: list[int]) -> list[tuple]:
+        """Verify one contingency slice; return the session's delta events."""
+        from dataclasses import replace as dataclass_replace
+
+        state = self._prepare()
+        options = self.options
+        if options is not None and options.workers > 1:
+            # The shard is the parallelism; nested per-shard pools would
+            # oversubscribe the host.
+            options = dataclass_replace(options, workers=1)
+        session = VerificationSession(
+            state.base_pre, self.spec, db=self.db, options=options
+        )
+        session.enable_delta_log()
+        events: list[tuple] = []
+        for index in indices:
+            contingency = self.contingencies[index]
+            pre, _route, _derive = self._derive(contingency, state)
+            post, _expected = self._apply_change(pre, contingency)
+            session.rebase(pre)
+            session.advance(post, self.spec)
+            events.extend(session.drain_deltas())
+        return events
 
     def _apply_change(
         self, pre: Snapshot, contingency: Contingency

@@ -29,7 +29,10 @@ Three mechanisms, composed:
    loop with exponential backoff (``max_retries``, ``retry_backoff``) for
    transient failures.  Worker processes run batches on their main
    thread, so the SIGALRM guard works in workers exactly as it does
-   serially.
+   serially; off the main thread (or without ``SIGALRM``) the same
+   budget is enforced cooperatively — :mod:`repro.automata.guard` arms a
+   thread-local monotonic deadline that the lazy product walks poll at
+   step boundaries.
 
 3. **Graceful degradation.**  A check that exhausts its retries or
    deadline becomes a first-class :class:`CheckFailure` outcome — an
@@ -64,6 +67,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
+from repro.automata import guard
 from repro.errors import (
     CheckTimeoutError,
     DegradedExecutionError,
@@ -143,19 +147,27 @@ class ExecutionResult:
 def _deadline(seconds: float | None) -> Generator[None, None, None]:
     """Interrupt the enclosed block with :class:`CheckTimeoutError`.
 
-    Uses ``SIGALRM``/``setitimer``, so it is a no-op on platforms without
-    it (Windows) and off the main thread — per-check timeouts are
-    best-effort by nature; the pytest-level global timeout in CI is the
-    backstop of last resort.  Worker processes execute batches on their
-    main thread, so the guard is fully effective there.
+    Uses ``SIGALRM``/``setitimer`` where possible — worker processes execute
+    batches on their main thread, so the preemptive guard is fully effective
+    there.  On platforms without ``SIGALRM`` (Windows) and off the main
+    thread (embedded service runners, shard-local sessions, any threaded
+    caller), the guard used to be a silent no-op; it now falls back to a
+    cooperative monotonic-clock deadline polled by the product-walk loops in
+    :mod:`repro.automata.lazy`, so a hanging check is still cut off
+    in-thread — at step-boundary granularity rather than preemptively.
     """
+    if not seconds or seconds <= 0:
+        yield
+        return
     if (
-        not seconds
-        or seconds <= 0
-        or not hasattr(signal, "SIGALRM")
+        not hasattr(signal, "SIGALRM")
         or threading.current_thread() is not threading.main_thread()
     ):
-        yield
+        guard.arm_deadline(seconds)
+        try:
+            yield
+        finally:
+            guard.disarm_deadline()
         return
 
     def _on_alarm(signum: int, frame: Any) -> None:

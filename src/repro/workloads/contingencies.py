@@ -88,6 +88,7 @@ class SweepScenario:
         *,
         options: VerificationOptions | None = None,
         include_baseline: bool = True,
+        incremental: bool = True,
     ) -> ContingencySweep:
         """A ready-to-run sweep of this scenario over ``contingencies``."""
         if options is None:
@@ -103,6 +104,7 @@ class SweepScenario:
             options=options,
             granularity=self.granularity,
             include_baseline=include_baseline,
+            incremental=incremental,
         )
 
 
@@ -320,6 +322,36 @@ def interconnect_maintenance_sets(backbone: Backbone) -> list[Contingency]:
             by_region_pair.setdefault(key, []).append((a, b))
     return maintenance_link_sets(
         (by_region_pair[key] for key in sorted(by_region_pair)), prefix="interconnect"
+    )
+
+
+def intra_region_bundles(backbone: Backbone, *, tiers: tuple[str, str] = ("agg", "core")) -> list[LinkPair]:
+    """One representative intra-region link bundle per region, sorted.
+
+    Selects each region's first-``tiers[0]``-to-first-``tiers[1]`` bundle
+    (``rN-agg0 ~ rN-core0`` by default) — the candidate set the k≥2 sweeps
+    and the ``bench_k2_sweep`` benchmark combine over.  Intra-region
+    aggregation-to-core bundles are the interesting k=2 unit: with anycast
+    origination at every aggregation router and full-mesh ECMP, each
+    failure flips a region-wide slice of traffic, so pairs of them exhibit
+    genuinely new joint forwarding behaviour instead of degenerating to
+    the union of the singles.
+    """
+    region_of = {router.name: router.region for router in backbone.topology.routers()}
+    wanted: set[LinkPair] = set()
+    for region in backbone.regions():
+        first = backbone.routers_in(region, tiers[0])
+        second = backbone.routers_in(region, tiers[1])
+        if first and second:
+            pair = (first[0], second[0])
+            wanted.add((min(pair), max(pair)))
+    return sorted(
+        {
+            (min(a, b), max(a, b))
+            for a, b in backbone.topology.link_bundles()
+            if region_of[a] == region_of[b]
+            and (min(a, b), max(a, b)) in wanted
+        }
     )
 
 
